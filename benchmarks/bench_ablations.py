@@ -1,0 +1,97 @@
+"""Ablation benches: the design choices DESIGN.md calls out, asserted.
+
+Full tables: ``python -m repro.bench ablation_{chunk,dict,threshold,predictor,lz}``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import CompressorConfig
+
+
+@pytest.fixture(scope="module")
+def cesm_ps(cesm_dense):
+    return cesm_dense
+
+
+class TestChunkAblation:
+    def test_metadata_overhead_monotone_decreasing(self, cesm_ps):
+        sizes = []
+        for chunk in (256, 1024, 4096, 16384):
+            res = repro.compress(cesm_ps, eb=1e-3, huffman_chunk=chunk, workflow="huffman")
+            sizes.append(res.section_sizes["q.cbits"])
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_default_chunk_overhead_below_one_percent(self, cesm_ps):
+        res = repro.compress(cesm_ps, eb=1e-3, workflow="huffman")
+        assert res.section_sizes["q.cbits"] < 0.01 * res.compressed_bytes
+
+    def test_all_chunk_sizes_roundtrip(self, cesm_ps):
+        for chunk in (64, 1024, 65536):
+            res = repro.compress(cesm_ps, eb=1e-3, huffman_chunk=chunk)
+            out = repro.decompress(res.archive)
+            assert np.abs(cesm_ps - out).max() <= res.eb_abs
+
+
+class TestDictAblation:
+    def test_outliers_monotone_in_dict_size(self, hacc_field):
+        counts = []
+        for dict_size in (64, 256, 1024, 4096):
+            res = repro.compress(hacc_field, eb=1e-4, dict_size=dict_size,
+                                 workflow="huffman")
+            counts.append(res.n_outliers)
+        assert counts == sorted(counts, reverse=True)
+
+    def test_codebook_cost_scales_with_dict(self, cesm_ps):
+        small = repro.compress(cesm_ps, eb=1e-3, dict_size=256, workflow="huffman")
+        large = repro.compress(cesm_ps, eb=1e-3, dict_size=4096, workflow="huffman")
+        assert large.section_sizes["q.cb"] == 16 * small.section_sizes["q.cb"]
+
+
+class TestThresholdAblation:
+    def test_rule_threshold_is_a_knee(self, cesm_sparse):
+        """Below ~1.05 the sparse field misses the RLE path; at the paper's
+        1.09 it switches; far above, nothing more changes."""
+        picks = {}
+        for thr in (0.5, 1.09, 3.0):
+            res = repro.compress(cesm_sparse, eb=1e-2, rle_bitlen_threshold=thr)
+            picks[thr] = res.workflow
+        assert picks[1.09] != "huffman"
+        assert picks[3.0] != "huffman"
+
+    def test_bench_threshold_sweep(self, benchmark, cesm_sparse):
+        def sweep():
+            return [
+                repro.compress(cesm_sparse, eb=1e-2, rle_bitlen_threshold=t).workflow
+                for t in (1.0, 1.09, 1.5)
+            ]
+
+        out = benchmark(sweep)
+        assert len(out) == 3
+
+
+class TestPredictorAblation:
+    def test_lorenzo_default_wins_on_science_fields(self, nyx_field):
+        cr = {
+            p: repro.compress(nyx_field, eb=1e-3, predictor=p).compression_ratio
+            for p in ("lorenzo", "regression")
+        }
+        assert cr["lorenzo"] > cr["regression"]
+
+    def test_bench_regression_predictor(self, benchmark, cesm_dense):
+        res = benchmark(
+            repro.compress, cesm_dense, eb=1e-3, predictor="regression"
+        )
+        assert res.predictor == "regression"
+
+
+class TestLzAblation:
+    def test_lz_stage_gains_on_smooth(self, cesm_sparse):
+        plain = repro.compress(cesm_sparse, eb=1e-2, workflow="huffman")
+        lz = repro.compress(cesm_sparse, eb=1e-2, workflow="huffman+lz")
+        assert lz.compression_ratio > 1.3 * plain.compression_ratio
+
+    def test_bench_lz_stage(self, benchmark, cesm_dense):
+        res = benchmark(repro.compress, cesm_dense, eb=1e-2, workflow="huffman+lz")
+        assert res.compression_ratio > 1.0

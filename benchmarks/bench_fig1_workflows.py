@@ -1,0 +1,59 @@
+"""Fig. 1: the adaptive two-path workflow.
+
+The figure's computational content is the compressibility-aware dispatch:
+path "a" (Huffman) vs path "b" (RLE) chosen from the histogram without
+building a Huffman tree.  Diagram: ``python -m repro.bench fig1``.
+"""
+
+import numpy as np
+
+import repro
+from repro.core.config import CompressorConfig
+from repro.core.dual_quant import quantize_field
+from repro.core.selector import select_workflow
+from repro.encoding.histogram import histogram
+
+
+def test_adaptive_picks_rle_path_on_sparse(cesm_sparse):
+    res = repro.compress(cesm_sparse, eb=1e-2)
+    assert res.workflow == "rle+vle"
+
+
+def test_adaptive_picks_huffman_path_on_rough(hacc_field):
+    res = repro.compress(hacc_field, eb=1e-4)
+    assert res.workflow == "huffman"
+
+
+def test_adaptive_never_much_worse_than_rule_alternatives(cesm_sparse, cesm_dense):
+    """The selector's pick is within 10% of the best of the two paths the
+    paper's rule decides between (Huffman vs raw-RLE economics).
+
+    Note: this repo's RLE+VLE compresses run metadata more aggressively than
+    the paper's, so on some Huffman-classified fields forcing ``rle+vle``
+    can still win -- outside the rule's decision model by design.
+    """
+    for data in (cesm_sparse, cesm_dense):
+        best = max(
+            repro.compress(data, eb=1e-2, workflow=w).compression_ratio
+            for w in ("huffman", "rle")
+        )
+        auto = repro.compress(data, eb=1e-2).compression_ratio
+        assert auto > 0.9 * best
+
+
+def test_selector_threshold_consistency(cesm_sparse):
+    """When the decision fires via the 1.09 rule, the bound estimate agrees."""
+    config = CompressorConfig(eb=1e-2)
+    bundle, _ = quantize_field(cesm_sparse, config)
+    diag = select_workflow(bundle.quant, histogram(bundle.quant, 1024), config)
+    if "<=" in diag.reason and "1.09" in diag.reason:
+        assert diag.bitlen_lower <= config.rle_bitlen_threshold
+
+
+def test_bench_selector_overhead(benchmark, cesm_sparse):
+    """Selection must be cheap relative to encoding (no tree build)."""
+    config = CompressorConfig(eb=1e-2)
+    bundle, _ = quantize_field(cesm_sparse, config)
+    freqs = histogram(bundle.quant, 1024)
+    diag = benchmark(select_workflow, bundle.quant, freqs, config)
+    assert diag.decision in ("huffman", "rle", "rle+vle")

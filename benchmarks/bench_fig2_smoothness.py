@@ -1,0 +1,48 @@
+"""Fig. 2: madogram/smoothness estimation and the RLE decision signals.
+
+Full figures: ``python -m repro.bench fig2a`` / ``fig2b``.
+"""
+
+import numpy as np
+
+from repro.analysis.variogram import empirical_variogram, smoothness
+from repro.core.config import CompressorConfig
+from repro.core.dual_quant import postquantize, prequantize
+
+
+def _quant_codes(data, eb_rel=1e-2):
+    config = CompressorConfig(eb=eb_rel)
+    eb_abs = config.absolute_bound(float(data.max() - data.min()))
+    dq = prequantize(data, eb_abs)
+    quant, _, _ = postquantize(dq, config.chunks_for(data.ndim), config.dict_size)
+    return dq, quant.astype(np.int64) - config.radius
+
+
+def test_quant_codes_smoother_than_prequant(cesm_sparse):
+    """Fig. 2a's core observation."""
+    dq, q = _quant_codes(cesm_sparse)
+    v_pre = empirical_variogram(dq, kind="absolute", n_samples=30_000).mean()
+    v_q = empirical_variogram(q, kind="absolute", n_samples=30_000).mean()
+    assert v_q < v_pre
+
+
+def test_binary_variance_distance_stationary(cesm_sparse):
+    """Fig. 2a right panel: roughness is ~flat in encoding distance."""
+    _, q = _quant_codes(cesm_sparse)
+    v = empirical_variogram(q, kind="binary", n_samples=60_000)
+    # Over distances 10..200 the variation around the mean stays small.
+    tail = v.values[10:]
+    assert float(np.std(tail)) < 0.15 * max(float(np.mean(tail)), 1e-9) + 0.02
+
+
+def test_smoothness_orders_rle_friendliness(cesm_sparse, cesm_dense):
+    """Fig. 2b: smoother quant-codes <-> higher RLE ratio."""
+    _, q_sparse = _quant_codes(cesm_sparse)
+    _, q_dense = _quant_codes(cesm_dense)
+    assert smoothness(q_sparse) > smoothness(q_dense)
+
+
+def test_bench_variogram_sampling(benchmark, cesm_sparse):
+    _, q = _quant_codes(cesm_sparse)
+    result = benchmark(empirical_variogram, q, "binary", 200, 50_000, 0)
+    assert 0.0 <= result.mean() <= 1.0

@@ -1,0 +1,51 @@
+"""Fig. 3: the partial-sum <-> Lorenzo reconstruction equivalence.
+
+The figure is a proof sketch; its computational content is that N passes of
+1-D inclusive scans reconstruct exactly what the sequential recursion does,
+in any axis order.  Demonstration: ``python -m repro.bench fig3``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lorenzo import (
+    chunked_cumsum,
+    lorenzo_construct,
+    lorenzo_reconstruct,
+    lorenzo_reconstruct_sequential,
+)
+
+
+def test_two_pass_cumsum_is_lorenzo_2d():
+    rng = np.random.default_rng(0)
+    q = rng.integers(-4, 5, (32, 48)).astype(np.int64)
+    two_pass = np.cumsum(np.cumsum(q, axis=1), axis=0)
+    seq = lorenzo_reconstruct_sequential(q, (32, 48))
+    np.testing.assert_array_equal(two_pass, seq)
+
+
+def test_axis_order_irrelevant_3d():
+    rng = np.random.default_rng(1)
+    q = rng.integers(-4, 5, (12, 10, 8)).astype(np.int64)
+    orders = [(0, 1, 2), (2, 1, 0), (1, 0, 2)]
+    results = []
+    for order in orders:
+        acc = q
+        for axis in order:
+            acc = chunked_cumsum(acc, axis, q.shape[axis])
+        results.append(acc)
+    np.testing.assert_array_equal(results[0], results[1])
+    np.testing.assert_array_equal(results[0], results[2])
+
+
+@pytest.mark.parametrize("shape,chunks", [((512, 512), (16, 16)), ((64, 64, 64), (8, 8, 8))])
+def test_bench_construct_reconstruct_cycle(benchmark, shape, chunks):
+    """Wall time of a full integer construct+reconstruct cycle."""
+    rng = np.random.default_rng(2)
+    x = rng.integers(-1000, 1000, shape).astype(np.int64)
+
+    def cycle():
+        return lorenzo_reconstruct(lorenzo_construct(x, chunks), chunks)
+
+    out = benchmark(cycle)
+    np.testing.assert_array_equal(out, x)

@@ -1,0 +1,42 @@
+"""Table I: reference ratios qg/qh/qhg and their orderings.
+
+Full table: ``python -m repro.bench table1``.
+"""
+
+import pytest
+
+from repro.baselines import reference_ratios
+from repro.core.config import CompressorConfig
+
+
+def test_qhg_ordering_holds(cesm_dense, config_1e2):
+    """qhg (Huffman+gzip) always >= qh; gzip can only help."""
+    rr = reference_ratios(cesm_dense, config_1e2)
+    assert rr.qhg >= rr.qh * 0.98
+
+
+def test_coarse_bound_gzip_gain_larger(cesm_dense):
+    """Table I's diagonal: the qh->qhg gain shrinks as the bound tightens."""
+    gain_coarse = _gain(cesm_dense, 1e-2)
+    gain_tight = _gain(cesm_dense, 1e-4)
+    assert gain_coarse > gain_tight
+
+
+def _gain(data, eb):
+    rr = reference_ratios(data, CompressorConfig(eb=eb))
+    return rr.qhg / rr.qh
+
+
+def test_qg_crossover(hacc_field):
+    """qg beats qh at coarse bounds, loses at tight bounds (Table I HACC)."""
+    coarse = reference_ratios(hacc_field, CompressorConfig(eb=1e-2))
+    tight = reference_ratios(hacc_field, CompressorConfig(eb=1e-4))
+    assert coarse.qg > coarse.qh
+    assert tight.qg < tight.qh
+
+
+@pytest.mark.parametrize("eb", [1e-2, 1e-4])
+def test_bench_reference_ratios(benchmark, cesm_dense, eb):
+    config = CompressorConfig(eb=eb)
+    rr = benchmark(reference_ratios, cesm_dense, config)
+    assert rr.qh > 1.0

@@ -1,0 +1,56 @@
+"""Table IV: Workflow-RLE vs Workflow-Huffman compression ratios.
+
+Full 35-field table: ``python -m repro.bench table4``.
+"""
+
+import pytest
+
+import repro
+from repro.data.datasets import TABLE4_CESM_TARGETS, get_dataset
+
+
+def test_rle_vle_beats_huffman_on_sparse_field(cesm_sparse):
+    """The FSDSC row: RLE path exceeds the Huffman 32x ceiling."""
+    r_h = repro.compress(cesm_sparse, eb=1e-2, workflow="huffman")
+    r_rv = repro.compress(cesm_sparse, eb=1e-2, workflow="rle+vle")
+    assert r_rv.compression_ratio > r_h.compression_ratio
+    assert r_h.compression_ratio < 32.0
+    assert r_rv.compression_ratio > 32.0
+
+
+def test_raw_rle_loses_on_dense_field(cesm_dense):
+    """The PS row: raw RLE alone loses to Huffman on low-run fields."""
+    r_h = repro.compress(cesm_dense, eb=1e-2, workflow="huffman")
+    r_r = repro.compress(cesm_dense, eb=1e-2, workflow="rle")
+    assert r_r.compression_ratio < r_h.compression_ratio
+
+
+def test_vle_stage_adds_steady_gain(cesm_sparse):
+    """Paper: 'additional VLE after RLE provides a steady 2-3x more CR'."""
+    r_r = repro.compress(cesm_sparse, eb=1e-2, workflow="rle")
+    r_rv = repro.compress(cesm_sparse, eb=1e-2, workflow="rle+vle")
+    assert r_rv.compression_ratio / r_r.compression_ratio > 2.0
+
+
+def test_rle_ratio_ordering_tracks_paper():
+    """Measured RLE ratios preserve the paper's field ordering (top vs
+    bottom quartile of Table IV's RLE column)."""
+    ds = get_dataset("CESM")
+    ordered = sorted(TABLE4_CESM_TARGETS, key=lambda k: TABLE4_CESM_TARGETS[k][2])
+    low_names, high_names = ordered[:5], ordered[-5:]
+    low = [
+        repro.compress(ds.field(n).data, eb=1e-2, workflow="rle").compression_ratio
+        for n in low_names
+    ]
+    high = [
+        repro.compress(ds.field(n).data, eb=1e-2, workflow="rle").compression_ratio
+        for n in high_names
+    ]
+    assert max(low) < min(high) * 1.5
+    assert sum(high) / len(high) > 2 * sum(low) / len(low)
+
+
+@pytest.mark.parametrize("workflow", ["huffman", "rle", "rle+vle"])
+def test_bench_workflow_compress(benchmark, cesm_sparse, workflow):
+    res = benchmark(repro.compress, cesm_sparse, eb=1e-2, workflow=workflow)
+    assert res.compression_ratio > 1.0

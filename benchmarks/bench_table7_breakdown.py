@@ -1,0 +1,89 @@
+"""Table VII: full pipeline breakdown on V100 and A100.
+
+Full table: ``python -m repro.bench table7``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import CompressorConfig
+from repro.gpu import get_device, run_compression, run_decompression
+
+N_SIM = 134_217_728  # Nyx paper size
+
+
+@pytest.fixture(scope="module")
+def reports(nyx_field):
+    config = CompressorConfig(eb=1e-4)
+    out = {}
+    for dev in ("V100", "A100"):
+        art, comp = run_compression(
+            nyx_field, config, get_device(dev), impl="cuszplus", n_sim=N_SIM
+        )
+        recon, dec = run_decompression(
+            art, config, get_device(dev), impl="cuszplus", n_sim=N_SIM
+        )
+        out[dev] = (comp, dec, recon, art)
+    return out
+
+
+def test_roundtrip_correct(reports, nyx_field):
+    _, _, recon, art = reports["V100"]
+    assert np.abs(nyx_field.astype(np.float64) - recon.astype(np.float64)).max() <= art.eb_abs
+
+
+def test_memory_bound_kernels_scale_with_bandwidth(reports):
+    """lorenzo construct/reconstruct gain ~1.5-1.8x on A100 (1.73x BW)."""
+    for stage in ("lorenzo_construct", "lorenzo_reconstruct"):
+        v = _stage(reports, "V100", stage)
+        a = _stage(reports, "A100", stage)
+        assert 1.35 < a / v < 1.9, stage
+
+
+def test_huffman_decode_stagnates(reports):
+    """Serial-bound decode scales only ~1.24x (SM x clock ratio)."""
+    v = _stage(reports, "V100", "huffman_decode")
+    a = _stage(reports, "A100", "huffman_decode")
+    assert 1.05 < a / v < 1.4
+
+
+def test_decode_scaling_below_memory_scaling(reports):
+    dec_ratio = _stage(reports, "A100", "huffman_decode") / _stage(
+        reports, "V100", "huffman_decode"
+    )
+    mem_ratio = _stage(reports, "A100", "lorenzo_construct") / _stage(
+        reports, "V100", "lorenzo_construct"
+    )
+    assert dec_ratio < mem_ratio
+
+
+def test_overall_in_paper_regime(reports):
+    comp_v, dec_v = reports["V100"][0], reports["V100"][1]
+    assert 25.0 < comp_v.overall_gbps < 90.0
+    assert 20.0 < dec_v.overall_gbps < 90.0
+
+
+def test_encode_is_compression_bottleneck(reports):
+    """Paper footnote 5: Huffman encoding dominates compression time."""
+    comp_v = reports["V100"][0]
+    encode_t = next(s.seconds for s in comp_v.stages if s.name.startswith("huffman_encode"))
+    assert encode_t > 0.4 * comp_v.total_seconds
+
+
+def _stage(reports, dev, name):
+    rep = reports[dev][0] if name != "huffman_decode" and "reconstruct" not in name else None
+    comp, dec, _, _ = reports[dev]
+    source = dec if name in ("huffman_decode", "scatter_outlier", "lorenzo_reconstruct") else comp
+    return source.stage(name).gbps
+
+
+def test_bench_full_compress_walltime(benchmark, nyx_field):
+    res = benchmark(repro.compress, nyx_field, eb=1e-4)
+    assert res.compression_ratio > 1.0
+
+
+def test_bench_full_decompress_walltime(benchmark, nyx_field):
+    res = repro.compress(nyx_field, eb=1e-4)
+    out = benchmark(repro.decompress, res.archive)
+    assert out.shape == nyx_field.shape

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Predict GPU pipeline throughput for your field with the device simulator.
+
+Runs the full cuSZ+ pipeline (real computation) on a field and reports the
+per-kernel throughput breakdown the calibrated V100/A100 cost model predicts
+-- the same machinery that regenerates the paper's Table VII.
+
+Run:  python examples/gpu_throughput_model.py
+"""
+
+import numpy as np
+
+from repro.core.config import CompressorConfig
+from repro.data import get_dataset
+from repro.gpu import get_device, run_compression, run_decompression
+
+config = CompressorConfig(eb=1e-4)
+field = get_dataset("Nyx").example_field()
+print(
+    f"field: {field.dataset}/{field.name}, executed at {field.shape}, "
+    f"profiled at the paper-scale {field.paper_shape} "
+    f"({field.paper_bytes / 1e6:.0f} MB)\n"
+)
+
+for dev_name in ("V100", "A100"):
+    device = get_device(dev_name)
+    art, comp = run_compression(
+        field.data, config, device, impl="cuszplus", n_sim=field.paper_elements
+    )
+    out, dec = run_decompression(
+        art, config, device, impl="cuszplus", n_sim=field.paper_elements
+    )
+    assert np.abs(field.data - out).max() <= art.eb_abs
+
+    print(f"--- {device.name} ({device.mem_bw / 1e9:.0f} GB/s HBM) ---")
+    for stage in comp.stages + dec.stages:
+        print(f"  {stage.name:30} {stage.gbps:8.1f} GB/s  ({stage.bound}-bound)")
+    print(f"  {'overall compress':30} {comp.overall_gbps:8.1f} GB/s")
+    print(f"  {'overall decompress':30} {dec.overall_gbps:8.1f} GB/s\n")
+
+print(
+    "Note: memory-bound kernels scale with the 1.73x bandwidth ratio, the\n"
+    "serial-bound Huffman decode only with the 1.24x SMxclock ratio — the\n"
+    "paper's Section V-C scaling observation."
+)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""In-situ compression of a running simulation (the paper's motivating use).
+
+A 2-D damped wave equation is stepped explicitly; every few steps the state
+is compressed in place of raw I/O.  The example tracks the accumulated
+storage saving and verifies that every snapshot honors its error bound --
+the "LCLS-II produces 250 GB/s, compress before you write" scenario of the
+paper's introduction.
+
+Run:  python examples/insitu_simulation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.metrics import psnr
+
+N = 384
+STEPS = 60
+DUMP_EVERY = 10
+EB = 1e-3
+
+rng = np.random.default_rng(0)
+
+# Initial condition: a few Gaussian pulses.
+xx, yy = np.meshgrid(np.arange(N), np.arange(N), indexing="ij")
+u = np.zeros((N, N), dtype=np.float64)
+for _ in range(4):
+    cx, cy = rng.uniform(N * 0.2, N * 0.8, 2)
+    u += np.exp(-((xx - cx) ** 2 + (yy - cy) ** 2) / 200.0)
+u_prev = u.copy()
+
+raw_bytes = 0
+packed_bytes = 0
+snapshots = []
+
+for step in range(1, STEPS + 1):
+    # Damped wave: u_tt = c^2 lap(u) - k u_t  (explicit, periodic).
+    lap = (
+        np.roll(u, 1, 0) + np.roll(u, -1, 0) + np.roll(u, 1, 1) + np.roll(u, -1, 1)
+        - 4 * u
+    )
+    u_next = 2 * u - u_prev + 0.2 * lap - 0.01 * (u - u_prev)
+    u_prev, u = u, u_next
+
+    if step % DUMP_EVERY == 0:
+        frame = u.astype(np.float32)
+        result = repro.compress(frame, eb=EB)
+        restored = repro.decompress(result.archive)
+        err_ok = np.abs(frame - restored).max() <= result.eb_abs
+        raw_bytes += frame.nbytes
+        packed_bytes += result.compressed_bytes
+        snapshots.append(result)
+        print(
+            f"step {step:3d}: workflow={result.workflow:8} "
+            f"CR={result.compression_ratio:7.1f}x  "
+            f"PSNR={psnr(frame, restored):6.1f} dB  bound ok: {err_ok}"
+        )
+        assert err_ok
+
+print(
+    f"\n{len(snapshots)} snapshots: {raw_bytes / 1e6:.1f} MB raw -> "
+    f"{packed_bytes / 1e6:.3f} MB compressed "
+    f"({raw_bytes / packed_bytes:.1f}x overall)"
+)
+
+# --- temporal mode: exploit inter-snapshot redundancy ------------------------
+from repro.core.config import CompressorConfig
+from repro.core.temporal import TemporalCompressor, TemporalDecompressor
+
+eb_abs = EB * 2.0  # absolute bound for the stream
+tc = TemporalCompressor(CompressorConfig(eb=eb_abs, eb_mode="abs"))
+td = TemporalDecompressor()
+u = np.zeros((N, N), dtype=np.float64)
+for _ in range(4):
+    cx, cy = rng.uniform(N * 0.2, N * 0.8, 2)
+    u += np.exp(-((xx - cx) ** 2 + (yy - cy) ** 2) / 200.0)
+u_prev = u.copy()
+t_bytes = 0
+t_raw = 0
+kinds = []
+for step in range(1, STEPS + 1):
+    lap = (
+        np.roll(u, 1, 0) + np.roll(u, -1, 0) + np.roll(u, 1, 1) + np.roll(u, -1, 1)
+        - 4 * u
+    )
+    u_next = 2 * u - u_prev + 0.2 * lap - 0.01 * (u - u_prev)
+    u_prev, u = u, u_next
+    if step % 2 == 0:  # denser cadence: adjacent snapshots stay correlated
+        frame = u.astype(np.float32)
+        blob = tc.push(frame)
+        restored2 = td.pull(blob)
+        assert np.abs(frame - restored2).max() <= eb_abs * (1 + 1e-6)
+        t_bytes += len(blob)
+        t_raw += frame.nbytes
+        kinds.append(tc.last_info.is_keyframe)
+
+n_delta = sum(1 for k in kinds if not k)
+print(
+    f"temporal stream: {t_raw / 1e6:.1f} MB -> {t_bytes / 1e6:.3f} MB "
+    f"({t_raw / t_bytes:.1f}x; {n_delta}/{len(kinds)} frames shipped as deltas --\n"
+    "a fast-moving wavefront keeps falling back to keyframes, exactly the\n"
+    "content-adaptive behaviour the delta/keyframe decision is for)"
+)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Parallel compressed checkpointing across simulated ranks.
+
+Decomposes a global field into per-rank slabs, exchanges halos (the
+communication skeleton a real code has), writes a collectively-compressed
+checkpoint, restores it — including a single-rank partial restore — and
+prices the dump against a parallel-file-system model (the paper's HACC
+motivation: petabyte dumps vs PFS bandwidth).
+
+Run:  python examples/parallel_checkpoint.py
+"""
+
+import numpy as np
+
+from repro.core.config import CompressorConfig
+from repro.parallel import (
+    MIRA_CLASS_PFS,
+    read_checkpoint,
+    read_rank_slab,
+    run_spmd,
+    slab_bounds,
+    slab_for_rank,
+    write_checkpoint,
+)
+from repro.parallel.checkpoint import estimate_dump_cost
+from repro.parallel.decomposition import exchange_slab_halos
+
+N_RANKS = 8
+EB = 1e-3
+
+# A global simulation state (each rank would own only its slab in reality).
+rng = np.random.default_rng(7)
+x = np.linspace(0, 24, 512)
+field = (np.sin(x)[:, None] * np.cos(x)[None, :] * 6 + rng.normal(0, 0.01, (512, 512))).astype(
+    np.float32
+)
+config = CompressorConfig(eb=EB)
+
+
+def step(comm):
+    local = slab_for_rank(field, comm.size, comm.rank).copy()
+    # One halo exchange, as a stencil step would do.
+    lower, upper = exchange_slab_halos(comm, local)
+    assert (lower is None) == (comm.rank == 0)
+    assert (upper is None) == (comm.rank == comm.size - 1)
+    # Collective compressed dump (root returns the container).
+    return write_checkpoint(comm, local, config, global_rows=field.shape[0])
+
+
+blobs = run_spmd(N_RANKS, step)
+checkpoint = blobs[0]
+print(f"{N_RANKS} ranks wrote a checkpoint of {len(checkpoint) / 1e3:.1f} kB "
+      f"for {field.nbytes / 1e6:.1f} MB of state "
+      f"({field.nbytes / len(checkpoint):.1f}x)")
+
+# Full restore.
+restored = read_checkpoint(checkpoint)
+eb_abs = EB * float(field.max() - field.min())
+assert np.abs(field - restored).max() <= eb_abs
+print("full restore verified within the error bound")
+
+# Partial restore: rank 3's slab only.
+slab3 = read_rank_slab(checkpoint, 3)
+start, stop = slab_bounds(field.shape[0], N_RANKS, 3)
+assert np.abs(field[start:stop] - slab3).max() <= eb_abs
+print(f"partial restore of rank 3 (rows {start}:{stop}) verified")
+
+# Price the dump at scale on a Mira-class PFS.
+per_rank_raw = [field.nbytes // N_RANKS] * 4096
+per_rank_stored = [len(checkpoint) // N_RANKS] * 4096
+raw, packed = estimate_dump_cost(per_rank_raw, per_rank_stored, MIRA_CLASS_PFS, 50.0)
+print(
+    f"\nat 4096 ranks on {MIRA_CLASS_PFS.name}: raw dump {raw.total_seconds:.2f}s, "
+    f"compressed {packed.total_seconds:.3f}s "
+    f"({raw.total_seconds / packed.total_seconds:.1f}x faster)"
+)

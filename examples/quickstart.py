@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: compress a scientific field with an error bound, verify, restore.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.metrics import evaluate_quality
+
+# --- make a scientific-looking field (or np.fromfile your own) -------------
+rng = np.random.default_rng(42)
+x = np.linspace(0, 6 * np.pi, 1200)
+y = np.linspace(0, 4 * np.pi, 900)
+field = (
+    np.sin(y)[:, None] * np.cos(x)[None, :] * 10.0
+    + rng.normal(0, 0.02, (900, 1200))
+).astype(np.float32)
+
+# --- compress with a relative error bound of 1e-3 ---------------------------
+result = repro.compress(field, eb=1e-3, eb_mode="rel")
+
+print(f"original        : {result.original_bytes / 1e6:.2f} MB")
+print(f"compressed      : {result.compressed_bytes / 1e6:.3f} MB")
+print(f"compression     : {result.compression_ratio:.1f}x")
+print(f"workflow chosen : {result.workflow}  ({result.diagnostics.reason})")
+print(f"absolute bound  : {result.eb_abs:.3e}")
+print("section sizes   :", result.section_sizes)
+
+# --- the archive is a plain bytes blob: store it anywhere --------------------
+with open("/tmp/field.rpsz", "wb") as fh:
+    fh.write(result.archive)
+
+# --- decompress and verify the error bound ----------------------------------
+restored = repro.decompress(open("/tmp/field.rpsz", "rb").read())
+quality = evaluate_quality(field, restored, result.eb_abs)
+
+print(f"max |error|     : {quality.max_error:.3e} (bound {result.eb_abs:.3e})")
+print(f"bound satisfied : {quality.bound_satisfied}")
+print(f"PSNR            : {quality.psnr_db:.1f} dB")
+assert quality.bound_satisfied, "error bound must hold pointwise"
+print("OK: pointwise error bound verified.")

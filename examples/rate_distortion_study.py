@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Rate-distortion study: error-bounded (cuSZ+) vs fixed-rate (ZFP-like).
+
+Sweeps the error bound for the cuSZ+ pipeline and the rate for the ZFP-like
+block-transform codec on the same field, printing (compression ratio, PSNR,
+max error) pairs — the error-bounded-vs-fixed-rate contrast the paper draws
+in its related-work section.
+
+Run:  python examples/rate_distortion_study.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.metrics import max_abs_error, psnr
+from repro.baselines import ZfpLike
+from repro.data import get_dataset
+
+field = get_dataset("Miranda").field("pressure")
+data = field.data
+print(f"field: {field.dataset}/{field.name} {data.shape}\n")
+
+print("cuSZ+ (error-bounded):")
+print(f"{'rel eb':>8} {'CR':>8} {'PSNR dB':>8} {'max err':>10} {'bounded?':>9}")
+for eb in (1e-2, 1e-3, 1e-4, 1e-5):
+    res = repro.compress(data, eb=eb)
+    out = repro.decompress(res.archive)
+    err = max_abs_error(data, out)
+    print(
+        f"{eb:>8g} {res.compression_ratio:>8.1f} {psnr(data, out):>8.1f} "
+        f"{err:>10.2e} {str(err <= res.eb_abs):>9}"
+    )
+
+print("\nZFP-like (fixed-rate, no bound guarantee):")
+print(f"{'bits':>8} {'CR':>8} {'PSNR dB':>8} {'max err':>10}")
+for rate in (4, 8, 12, 16):
+    codec = ZfpLike(rate_bits=rate)
+    arch = codec.compress(data)
+    out = codec.decompress(arch)
+    print(
+        f"{rate:>8} {arch.compression_ratio():>8.1f} {psnr(data, out):>8.1f} "
+        f"{max_abs_error(data, out):>10.2e}"
+    )
+
+print(
+    "\nThe fixed-rate codec's distortion varies with content — no pointwise\n"
+    "guarantee — while the error-bounded path always satisfies |err| <= eb."
+)

@@ -1,0 +1,47 @@
+"""repro — a reproduction of cuSZ+ (CLUSTER 2021).
+
+Compressibility-aware, error-bounded lossy compression for scientific
+floating-point data, with a simulated-GPU performance model reproducing the
+paper's V100/A100 evaluation.
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> field = np.random.default_rng(0).normal(size=(512, 512)).astype(np.float32)
+>>> result = repro.compress(field, eb=1e-3)
+>>> restored = repro.decompress(result.archive)
+>>> assert np.abs(field - restored).max() <= result.eb_abs
+"""
+
+from .core.compressor import CompressionResult, Compressor, compress, decompress
+from .core.config import CompressorConfig, SelectorDiagnostics
+from .core.pwrel import compress_pwrel
+from .core.errors import (
+    ArchiveError,
+    CodebookOverflowError,
+    ConfigError,
+    DeviceError,
+    DimensionalityError,
+    EncodingError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compress",
+    "compress_pwrel",
+    "decompress",
+    "Compressor",
+    "CompressorConfig",
+    "CompressionResult",
+    "SelectorDiagnostics",
+    "ReproError",
+    "ConfigError",
+    "EncodingError",
+    "CodebookOverflowError",
+    "ArchiveError",
+    "DeviceError",
+    "DimensionalityError",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Analysis utilities: entropy/redundancy bounds, variograms, quality metrics."""
+
+from .entropy import bitlen_bounds, shannon_entropy
+from .metrics import QualityMetrics, compression_ratio, evaluate_quality, psnr
+from .variogram import empirical_variogram, smoothness
+
+__all__ = [
+    "shannon_entropy",
+    "bitlen_bounds",
+    "empirical_variogram",
+    "smoothness",
+    "QualityMetrics",
+    "evaluate_quality",
+    "psnr",
+    "compression_ratio",
+]

@@ -1,0 +1,125 @@
+"""Error-bound autotuning: meet a PSNR or compression-ratio target.
+
+Practitioners rarely know the right error bound a priori; they know "I need
+at least 85 dB" or "I must fit 10:1".  These helpers search the bound:
+
+* PSNR is analytically tied to the bound -- uniform quantization error at
+  absolute bound ``e`` over range ``R`` has PSNR ≈ -20 log10((e/R)/sqrt(3))
+  -- so :func:`tune_for_psnr` starts from the closed form and refines with
+  at most a couple of real compress/decompress evaluations.
+* Compression ratio is monotone (not smooth) in the bound, so
+  :func:`tune_for_ratio` brackets and bisects in log space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.compressor import compress, decompress
+from ..core.config import CompressorConfig
+from ..core.errors import ConfigError
+from .metrics import psnr
+
+__all__ = ["TuneResult", "tune_for_psnr", "tune_for_ratio"]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of a bound search."""
+
+    eb: float  # relative bound found
+    achieved: float  # achieved PSNR (dB) or ratio
+    target: float
+    evaluations: int
+    satisfied: bool
+
+    def config(self, **kwargs) -> CompressorConfig:
+        return CompressorConfig(eb=self.eb, eb_mode="rel", **kwargs)
+
+
+def _measure_psnr(data: np.ndarray, eb: float) -> float:
+    res = compress(data, eb=eb)
+    return psnr(data, decompress(res.archive))
+
+
+def tune_for_psnr(
+    data: np.ndarray,
+    target_db: float,
+    tolerance_db: float = 0.5,
+    max_evals: int = 8,
+) -> TuneResult:
+    """Find the loosest relative bound achieving at least ``target_db`` PSNR."""
+    if not 10.0 <= target_db <= 180.0:
+        raise ConfigError(f"PSNR target must be in 10..180 dB, got {target_db}")
+    data = np.asarray(data)
+    # Closed form: NRMSE of uniform error at rel bound e is e/sqrt(3).
+    eb = float(np.sqrt(3.0) * 10 ** (-target_db / 20.0))
+    evals = 0
+    achieved = _measure_psnr(data, eb)
+    evals += 1
+    # Refine: quantization on structured data is usually slightly better
+    # than the uniform model, so widen while we exceed the target; tighten
+    # if we undershoot.
+    while achieved < target_db and evals < max_evals:
+        eb /= 2.0
+        achieved = _measure_psnr(data, eb)
+        evals += 1
+    while achieved > target_db + 6.0 and evals < max_evals:
+        wider = eb * 2.0
+        candidate = _measure_psnr(data, wider)
+        evals += 1
+        if candidate < target_db:
+            break
+        eb, achieved = wider, candidate
+    return TuneResult(
+        eb=eb, achieved=achieved, target=target_db, evaluations=evals,
+        satisfied=achieved >= target_db - tolerance_db,
+    )
+
+
+def tune_for_ratio(
+    data: np.ndarray,
+    target_ratio: float,
+    tolerance: float = 0.1,
+    max_evals: int = 16,
+    eb_min: float = 1e-7,
+    eb_max: float = 1e-1,
+) -> TuneResult:
+    """Find the tightest relative bound achieving at least ``target_ratio``.
+
+    Bisects log10(eb); returns the last bound whose ratio met the target
+    (ratio is monotone non-decreasing in the bound up to plateau effects).
+    """
+    if target_ratio <= 1.0:
+        raise ConfigError(f"ratio target must exceed 1, got {target_ratio}")
+    data = np.asarray(data)
+
+    def ratio_at(eb: float) -> float:
+        return compress(data, eb=eb).compression_ratio
+
+    evals = 0
+    lo, hi = np.log10(eb_min), np.log10(eb_max)
+    r_hi = ratio_at(10.0**hi)
+    evals += 1
+    if r_hi < target_ratio:
+        return TuneResult(
+            eb=10.0**hi, achieved=r_hi, target=target_ratio,
+            evaluations=evals, satisfied=False,
+        )
+    best_eb, best_ratio = 10.0**hi, r_hi
+    while evals < max_evals and (hi - lo) > 0.02:
+        mid = (lo + hi) / 2.0
+        r = ratio_at(10.0**mid)
+        evals += 1
+        if r >= target_ratio * (1.0 - tolerance):
+            hi, best_eb, best_ratio = mid, 10.0**mid, r
+            if r < target_ratio:
+                break
+        else:
+            lo = mid
+    return TuneResult(
+        eb=best_eb, achieved=best_ratio, target=target_ratio,
+        evaluations=evals, satisfied=best_ratio >= target_ratio * (1.0 - tolerance),
+    )

@@ -1,0 +1,85 @@
+"""Entropy and Huffman-redundancy estimation (Section III-B.1).
+
+The adaptive workflow must predict the average Huffman bit-length ⟨b⟩
+*without building the tree*.  With ``H`` the Shannon entropy of the
+quant-code histogram and ``p1`` the probability of the most likely symbol,
+
+* Gallager's bound gives the redundancy upper bound
+  ``R+ = p1 + 0.086`` (unconditionally), and
+* Johnsen's bound gives the lower bound
+  ``R- = 1 - H(p1, 1 - p1)`` when ``p1 > 0.4``
+
+so ``H + R- <= ⟨b⟩ <= H + R+``.  The RLE rule fires when the *estimate* of
+⟨b⟩ drops to 1.09 or below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import EncodingError
+
+__all__ = [
+    "shannon_entropy",
+    "binary_entropy",
+    "redundancy_upper",
+    "redundancy_lower",
+    "bitlen_bounds",
+    "GALLAGER_CONSTANT",
+]
+
+#: Gallager (1978): Huffman redundancy <= p1 + 0.086 for any source.
+GALLAGER_CONSTANT = 0.086
+
+
+def shannon_entropy(freqs: np.ndarray) -> float:
+    """Shannon entropy (bits/symbol) of a frequency histogram."""
+    freqs = np.asarray(freqs, dtype=np.float64)
+    total = freqs.sum()
+    if total <= 0:
+        raise EncodingError("entropy of an empty histogram is undefined")
+    p = freqs[freqs > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def binary_entropy(p: float) -> float:
+    """H(p, 1-p) in bits; 0 at the endpoints."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    q = 1.0 - p
+    return float(-(p * np.log2(p) + q * np.log2(q)))
+
+
+def redundancy_upper(p1: float) -> float:
+    """Gallager's upper bound R+ = p1 + 0.086 on Huffman redundancy."""
+    return p1 + GALLAGER_CONSTANT
+
+
+def redundancy_lower(p1: float) -> float:
+    """Johnsen's lower bound R- = 1 - H(p1, 1-p1), valid for p1 > 0.4.
+
+    For p1 <= 0.4 the bound degenerates to 0 (Huffman can be arbitrarily
+    close to entropy), which is what we return.
+    """
+    if p1 <= 0.4:
+        return 0.0
+    return 1.0 - binary_entropy(p1)
+
+
+def bitlen_bounds(freqs: np.ndarray) -> tuple[float, float, float, float]:
+    """(entropy, p1, ⟨b⟩ lower bound, ⟨b⟩ upper bound) from a histogram.
+
+    The lower bound additionally respects the 1-bit floor of any prefix
+    code ("no less than one bit represents a data element").
+    """
+    freqs = np.asarray(freqs, dtype=np.float64)
+    total = freqs.sum()
+    if total <= 0:
+        raise EncodingError("empty histogram")
+    h = shannon_entropy(freqs)
+    p1 = float(freqs.max() / total)
+    lower = max(1.0, h + redundancy_lower(p1))
+    upper = max(lower, h + redundancy_upper(p1))
+    return h, p1, lower, upper

@@ -1,0 +1,87 @@
+"""Quality and ratio metrics: PSNR, NRMSE, max error, compression ratio.
+
+These are the figures of merit the paper reports: compression ratio for
+Tables I/IV/V, PSNR ("higher than 85 dB" for Table VII's error bound), and
+the error-bound check that defines "error-bounded" compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QualityMetrics",
+    "max_abs_error",
+    "psnr",
+    "nrmse",
+    "compression_ratio",
+    "verify_error_bound",
+    "evaluate_quality",
+]
+
+
+@dataclass
+class QualityMetrics:
+    """Bundle of distortion metrics between original and reconstruction."""
+
+    max_error: float
+    psnr_db: float
+    nrmse: float
+    value_range: float
+    bound_satisfied: bool
+    eb_abs: float
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest pointwise absolute error."""
+    return float(np.max(np.abs(original.astype(np.float64) - reconstructed.astype(np.float64))))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error normalized by the value range."""
+    o = original.astype(np.float64)
+    r = reconstructed.astype(np.float64)
+    rng = float(o.max() - o.min())
+    rmse = float(np.sqrt(np.mean((o - r) ** 2)))
+    if rng == 0.0:
+        return 0.0 if rmse == 0.0 else float("inf")
+    return rmse / rng
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (peak = value range)."""
+    e = nrmse(original, reconstructed)
+    if e == 0.0:
+        return float("inf")
+    return float(-20.0 * np.log10(e))
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """Plain size ratio; guards the degenerate empty-archive case."""
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return original_bytes / compressed_bytes
+
+
+def verify_error_bound(
+    original: np.ndarray, reconstructed: np.ndarray, eb_abs: float, slack: float = 1e-9
+) -> bool:
+    """Check ``|d - d̂| <= eb`` pointwise (tiny slack for float round-off)."""
+    return max_abs_error(original, reconstructed) <= eb_abs * (1.0 + slack) + 1e-300
+
+
+def evaluate_quality(
+    original: np.ndarray, reconstructed: np.ndarray, eb_abs: float
+) -> QualityMetrics:
+    """Compute all distortion metrics at once."""
+    o = np.asarray(original, dtype=np.float64)
+    return QualityMetrics(
+        max_error=max_abs_error(original, reconstructed),
+        psnr_db=psnr(original, reconstructed),
+        nrmse=nrmse(original, reconstructed),
+        value_range=float(o.max() - o.min()),
+        bound_satisfied=verify_error_bound(original, reconstructed, eb_abs),
+        eb_abs=eb_abs,
+    )

@@ -1,0 +1,160 @@
+"""Variogram / madogram / binary-variance smoothness estimation (Section III-B.2).
+
+The paper measures "smoothness" of the quant-code stream to decide when RLE
+pays off.  Three estimators, all over randomly sampled index pairs
+``(a, a + d)`` with distance ``d`` drawn from ``1..D_max``:
+
+* **variogram** -- mean squared difference ``E[(Z(a) - Z(a+d))^2]``;
+* **madogram** -- mean absolute difference (robust variant);
+* **binary variance** -- ``P[Z(a) != Z(a+d)]``, distance-free "does an RLE
+  run break here" probability.  Its expectation is the *roughness*;
+  ``smoothness = 1 - roughness``.
+
+Sampling is along the 1-D encoding order (how RLE iterates the data), so the
+estimators operate on the flattened stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "VariogramResult",
+    "empirical_variogram",
+    "binary_roughness",
+    "smoothness",
+    "smoothness_to_expected_run_length",
+    "expected_rle_compression_ratio",
+]
+
+#: Paper default: maximum sampled encoding distance.
+DEFAULT_MAX_DISTANCE = 200
+#: Paper: "a sufficiently large number sampling number N".
+DEFAULT_SAMPLES = 50_000
+
+
+@dataclass
+class VariogramResult:
+    """Per-distance variance estimates from pair sampling."""
+
+    distances: np.ndarray  # 1..D_max
+    values: np.ndarray  # averaged variance at each distance
+    counts: np.ndarray  # number of sampled pairs per distance
+    kind: str  # "squared" | "absolute" | "binary"
+
+    def mean(self) -> float:
+        """Count-weighted mean across distances (overall roughness level)."""
+        total = self.counts.sum()
+        if total == 0:
+            return float("nan")
+        return float((self.values * self.counts).sum() / total)
+
+
+def _sample_pairs(
+    n: int, max_distance: int, n_samples: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random (anchor, distance) pairs with ``anchor + distance`` in range."""
+    max_distance = min(max_distance, n - 1)
+    if max_distance < 1:
+        raise ValueError("stream too short for variogram sampling")
+    d = rng.integers(1, max_distance + 1, size=n_samples)
+    a = rng.integers(0, n - d, size=n_samples)
+    return a, d
+
+
+def empirical_variogram(
+    stream: np.ndarray,
+    kind: str = "binary",
+    max_distance: int = DEFAULT_MAX_DISTANCE,
+    n_samples: int = DEFAULT_SAMPLES,
+    seed: int | None = 0,
+) -> VariogramResult:
+    """Sampled variogram of a flattened stream.
+
+    ``kind`` selects the difference statistic: ``"squared"`` (classic
+    variogram ``2*gamma``), ``"absolute"`` (madogram), or ``"binary"``
+    (run-break probability).
+    """
+    stream = np.asarray(stream).reshape(-1)
+    rng = np.random.default_rng(seed)
+    a, d = _sample_pairs(stream.size, max_distance, n_samples, rng)
+    x = stream[a].astype(np.float64)
+    y = stream[a + d].astype(np.float64)
+    if kind == "squared":
+        diff = (x - y) ** 2
+    elif kind == "absolute":
+        diff = np.abs(x - y)
+    elif kind == "binary":
+        diff = (x != y).astype(np.float64)
+    else:
+        raise ValueError(f"unknown variogram kind {kind!r}")
+    max_d = int(d.max())
+    sums = np.bincount(d, weights=diff, minlength=max_d + 1)[1:]
+    counts = np.bincount(d, minlength=max_d + 1)[1:]
+    values = np.divide(sums, counts, out=np.zeros_like(sums), where=counts > 0)
+    return VariogramResult(
+        distances=np.arange(1, max_d + 1),
+        values=values,
+        counts=counts,
+        kind=kind,
+    )
+
+
+def binary_roughness(
+    stream: np.ndarray,
+    max_distance: int = DEFAULT_MAX_DISTANCE,
+    n_samples: int = DEFAULT_SAMPLES,
+    seed: int | None = 0,
+) -> float:
+    """Expected binary variance = probability two sampled values differ."""
+    return empirical_variogram(
+        stream, kind="binary", max_distance=max_distance, n_samples=n_samples, seed=seed
+    ).mean()
+
+
+def smoothness(
+    stream: np.ndarray,
+    max_distance: int = DEFAULT_MAX_DISTANCE,
+    n_samples: int = DEFAULT_SAMPLES,
+    seed: int | None = 0,
+) -> float:
+    """Paper's smoothness: ``1 - roughness``."""
+    return 1.0 - binary_roughness(stream, max_distance, n_samples, seed)
+
+
+def adjacent_roughness(stream: np.ndarray) -> float:
+    """Exact distance-1 roughness: fraction of adjacent pairs that differ.
+
+    This is ``1 / mean_run_length`` up to edge effects and is the quantity
+    RLE's output size depends on directly.
+    """
+    stream = np.asarray(stream).reshape(-1)
+    if stream.size < 2:
+        return 0.0
+    return float(np.count_nonzero(stream[1:] != stream[:-1]) / (stream.size - 1))
+
+
+def smoothness_to_expected_run_length(s: float) -> float:
+    """Expected RLE run length if run breaks are Bernoulli(1 - s)."""
+    if not 0.0 <= s <= 1.0:
+        raise ValueError(f"smoothness must be in [0, 1], got {s}")
+    if s >= 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - s)
+
+
+def expected_rle_compression_ratio(
+    s: float, symbol_bits: int = 32, value_bits: int = 16, length_bits: int = 16
+) -> float:
+    """Model CR of RLE given smoothness ``s`` (Fig. 2b's mapping).
+
+    Each expected run of ``1/(1-s)`` symbols (each ``symbol_bits`` of source
+    data) is stored as one (value, count) tuple of
+    ``value_bits + length_bits``.
+    """
+    run = smoothness_to_expected_run_length(s)
+    if not np.isfinite(run):
+        return float("inf")
+    return (run * symbol_bits) / (value_bits + length_bits)

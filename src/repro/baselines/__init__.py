@@ -1,0 +1,7 @@
+"""Baselines: CPU-SZ reference ratios, original cuSZ semantics, ZFP-like codec."""
+
+from .cpu_sz import CpuSZ, ReferenceRatios, reference_ratios
+from .cusz import OriginalCuSZ
+from .zfp_like import ZfpLike
+
+__all__ = ["CpuSZ", "ReferenceRatios", "reference_ratios", "OriginalCuSZ", "ZfpLike"]

@@ -1,0 +1,169 @@
+"""CPU-SZ baseline: the sequential algorithm and the qg/qh/qhg references.
+
+Two things live here:
+
+1. :class:`CpuSZ` -- the *original SZ* compression-side algorithm the paper
+   describes in Section IV-A: in-loop reconstruction.  Every element is
+   predicted from already-reconstructed neighbours, the prediction error is
+   quantized against the bound, and the reconstructed value replaces the
+   original before moving on -- the loop-carried read-after-write dependency
+   that motivates dual-quantization.  It is intentionally element-sequential
+   (use small arrays).
+
+2. :func:`reference_ratios` -- the qg / qh / qhg compression-ratio reference
+   points of Tables I and IV: quant-codes followed by gzip (``qg``),
+   multi-byte Huffman (``qh``, what cuSZ ships), and Huffman followed by
+   gzip (``qhg``, the CPU-SZ-style upper reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.compressor import compress
+from ..core.config import CompressorConfig
+from ..core.dual_quant import quantize_field
+from ..core.lorenzo import _predict_at  # reference predictor
+from ..encoding.deflate import deflate_bytes
+from ..encoding.histogram import histogram
+from ..encoding.huffman import build_codebook
+from ..encoding.huffman_codec import encode as huff_encode
+
+__all__ = ["CpuSZ", "ReferenceRatios", "reference_ratios"]
+
+
+class CpuSZ:
+    """Sequential original-SZ prediction/quantization (reference).
+
+    Matches the error-bound contract of the main pipeline but with the
+    compression-time in-place reconstruction of classic SZ.  Exists to
+    (a) document the dependency structure dual-quantization removes and
+    (b) cross-validate quant-code statistics in tests.
+    """
+
+    def __init__(self, config: CompressorConfig | None = None, **kwargs) -> None:
+        self.config = config or CompressorConfig(**kwargs)
+
+    def quantize(self, data: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+        """Return (quant_codes, reconstructed_values, eb_abs).
+
+        ``quant_codes`` uses the same [0, dict_size) convention as the main
+        pipeline, with out-of-range errors stored "uncompressed" -- here as
+        the exact reconstruction with a placeholder code of ``radius``
+        (their positions are recoverable as ``quant == radius`` but delta
+        != 0; tests treat the reconstruction as the contract).
+        """
+        data = np.asarray(data, dtype=np.float64)
+        vrange = float(data.max() - data.min())
+        eb = self.config.absolute_bound(vrange)
+        radius = self.config.radius
+        chunks = self.config.chunks_for(data.ndim)
+        recon = np.zeros_like(data)
+        # Reconstruction happens over *prequantized-scale* reals; classic SZ
+        # works on raw floats: predict, quantize the error, compensate.
+        quant = np.full(data.shape, radius, dtype=np.int64)
+        scale = 2.0 * eb
+        # Integer copy of the running reconstruction for the reference
+        # predictor (works on integers); we keep reals and round at use.
+        for index in np.ndindex(*data.shape):
+            origin = tuple((i // c) * c for i, c in zip(index, chunks))
+            pred = _predict_float(recon, index, origin)
+            err = data[index] - pred
+            code = int(np.rint(err / scale))
+            if -radius <= code < radius:
+                quant[index] = code + radius
+                recon[index] = pred + code * scale
+            else:
+                # Out of range: store losslessly (classic SZ's "unpredicted
+                # data"), reconstruction is exact.
+                recon[index] = data[index]
+        return quant, recon, eb
+
+    def compress_ratio_estimate(self, data: np.ndarray) -> float:
+        """CR from Huffman + gzip over the sequential quant-codes."""
+        quant, _, _ = self.quantize(data)
+        q16 = (quant.reshape(-1)).astype(np.uint16)
+        freqs = histogram(q16, self.config.dict_size)
+        book = build_codebook(freqs)
+        enc = huff_encode(q16, book, self.config.huffman_chunk)
+        compressed = len(deflate_bytes(enc.payload.tobytes())) + len(book.serialized())
+        return data.nbytes / max(compressed, 1)
+
+
+def _predict_float(recon: np.ndarray, index, origin) -> float:
+    """First-order Lorenzo prediction over a float array (same inclusion-
+    exclusion form as the integer reference predictor)."""
+    ndim = recon.ndim
+    pred = 0.0
+    for mask in range(1, 1 << ndim):
+        neighbour = list(index)
+        bits = 0
+        ok = True
+        for axis in range(ndim):
+            if mask >> axis & 1:
+                bits += 1
+                neighbour[axis] -= 1
+                if neighbour[axis] < origin[axis]:
+                    ok = False
+                    break
+        if not ok:
+            continue
+        pred += (1.0 if bits % 2 == 1 else -1.0) * recon[tuple(neighbour)]
+    return pred
+
+
+@dataclass
+class ReferenceRatios:
+    """The qg / qh / qhg compression-ratio reference points."""
+
+    qg: float
+    qh: float
+    qhg: float
+    eb_abs: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"qg": self.qg, "qh": self.qh, "qhg": self.qhg}
+
+
+def reference_ratios(data: np.ndarray, config: CompressorConfig) -> ReferenceRatios:
+    """Compute the Table I/IV reference compression ratios for one field.
+
+    * ``qg``  -- quant-codes interpreted as bytes, DEFLATEd (single-byte
+      generic compressor; the "presumed suboptimal scenario").
+    * ``qh``  -- multi-byte canonical Huffman (cuSZ's on-GPU scheme),
+      including codebook and chunk metadata.
+    * ``qhg`` -- Huffman payload additionally DEFLATEd (pattern-finding on
+      top of VLE; the CPU-SZ-style best case).
+
+    All three include the outlier section so ratios stay honest.
+    """
+    data = np.asarray(data)
+    bundle, eb_abs = quantize_field(data, config)
+    q = bundle.quant.reshape(-1)
+    outlier_bytes = bundle.n_outliers * 8
+
+    # qg: raw quant bytes -> DEFLATE.
+    qg_bytes = len(deflate_bytes(q.tobytes())) + outlier_bytes
+
+    # qh: the actual Huffman-workflow archive.
+    res = compress(data, config.with_(workflow="huffman"))
+    qh_bytes = res.compressed_bytes
+
+    # qhg: DEFLATE the Huffman bitstream, keep codebook + chunk metadata.
+    freqs = histogram(q, config.dict_size)
+    book = build_codebook(freqs)
+    enc = huff_encode(q, book, config.huffman_chunk)
+    qhg_bytes = (
+        len(deflate_bytes(enc.payload.tobytes()))
+        + len(deflate_bytes(enc.chunk_bits.tobytes()))
+        + len(book.serialized())
+        + outlier_bytes
+    )
+    return ReferenceRatios(
+        qg=data.nbytes / max(qg_bytes, 1),
+        qh=data.nbytes / max(qh_bytes, 1),
+        qhg=data.nbytes / max(qhg_bytes, 1),
+        eb_abs=eb_abs,
+    )

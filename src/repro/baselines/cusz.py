@@ -1,0 +1,107 @@
+"""Original cuSZ baseline semantics (pre-cuSZ+).
+
+The algorithmic differences from cuSZ+ this module captures (Section IV-B.1):
+
+* **Old outlier scheme** -- when the postquant delta is out of range, cuSZ
+  stores the *prequantized value* ``d_q`` itself as the outlier and writes a
+  placeholder ``0`` quant-code.  Decompression must branch: hitting the
+  placeholder means "take the outlier value verbatim instead of predicting",
+  which breaks the pure partial-sum structure (divergence + dependency).
+* **Coarse-grained reconstruction** -- one thread walks one chunk
+  sequentially; modeled here as the element-sequential branchy loop.
+
+Numerically both schemes reconstruct within the same bound; tests verify
+that this baseline and the cuSZ+ pipeline agree to within 2*eb everywhere.
+Performance differences are modeled by the kernel layer (``impl="cusz"``
+and ``variant="coarse"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import CompressorConfig
+from ..core.dual_quant import prequantize
+from ..core.errors import ConfigError
+from ..core.lorenzo import _predict_at, lorenzo_construct
+
+__all__ = ["OldSchemeQuantized", "OriginalCuSZ"]
+
+
+@dataclass
+class OldSchemeQuantized:
+    """cuSZ's compression-side output: quant codes + *value* outliers."""
+
+    quant: np.ndarray  # [0, dict_size); 0 is the outlier placeholder
+    outlier_indices: np.ndarray
+    outlier_values: np.ndarray  # prequantized values d_q (not deltas!)
+    shape: tuple[int, ...]
+    chunks: tuple[int, ...]
+    radius: int
+    eb_twice: float
+
+
+class OriginalCuSZ:
+    """The original cuSZ algorithm (old outlier scheme, branchy decode)."""
+
+    def __init__(self, config: CompressorConfig | None = None, **kwargs) -> None:
+        self.config = config or CompressorConfig(**kwargs)
+
+    def quantize(self, data: np.ndarray) -> OldSchemeQuantized:
+        data = np.asarray(data)
+        if data.size == 0:
+            raise ConfigError("cannot compress an empty array")
+        vrange = float(data.max() - data.min())
+        eb = self.config.absolute_bound(vrange)
+        chunks = self.config.chunks_for(data.ndim)
+        radius = self.config.radius
+        dq = prequantize(data, eb)
+        delta = lorenzo_construct(dq, chunks)
+        in_range = (delta > -radius) & (delta < radius)  # 0 is reserved
+        flat_dq = dq.reshape(-1)
+        outlier_indices = np.flatnonzero(~in_range).astype(np.int64)
+        outlier_values = flat_dq[outlier_indices].copy()
+        quant = np.where(in_range, delta + radius, 0).astype(np.uint16)
+        return OldSchemeQuantized(
+            quant=quant,
+            outlier_indices=outlier_indices,
+            outlier_values=outlier_values,
+            shape=data.shape,
+            chunks=chunks,
+            radius=radius,
+            eb_twice=2.0 * eb,
+        )
+
+    @staticmethod
+    def reconstruct_branchy(bundle: OldSchemeQuantized, dtype=np.float32) -> np.ndarray:
+        """The coarse-grained branchy reconstruction (element-sequential).
+
+        At placeholder positions the outlier *value* replaces the prediction
+        entirely -- the if-branch the modified quantization scheme removes.
+        Intentionally slow; use on small arrays (tests, demos).
+        """
+        quant = bundle.quant.reshape(bundle.shape)
+        outliers = dict(
+            zip(bundle.outlier_indices.tolist(), bundle.outlier_values.tolist())
+        )
+        dq = np.zeros(bundle.shape, dtype=np.int64)
+        flat_index = 0
+        strides = np.array(
+            [int(np.prod(bundle.shape[i + 1 :])) for i in range(len(bundle.shape))]
+        )
+        for index in np.ndindex(*bundle.shape):
+            flat_index = int(np.dot(index, strides))
+            q = int(quant[index])
+            if q == 0:  # placeholder -> take the stored value verbatim
+                dq[index] = outliers[flat_index]
+            else:
+                origin = tuple((i // c) * c for i, c in zip(index, bundle.chunks))
+                dq[index] = _predict_at(dq, index, origin) + (q - bundle.radius)
+        return (dq.astype(np.float64) * bundle.eb_twice).astype(dtype)
+
+    def roundtrip(self, data: np.ndarray, dtype=np.float32) -> tuple[np.ndarray, float]:
+        """Quantize + branchy reconstruct; returns (output, eb_abs)."""
+        bundle = self.quantize(data)
+        return self.reconstruct_branchy(bundle, dtype=dtype), bundle.eb_twice / 2.0

@@ -1,0 +1,6 @@
+"""Benchmark harness: paper-table experiments and the CLI entry point."""
+
+from . import experiments  # noqa: F401  (registers all experiments)
+from .harness import all_experiments, get_experiment
+
+__all__ = ["all_experiments", "get_experiment"]

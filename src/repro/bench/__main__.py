@@ -1,0 +1,52 @@
+"""CLI: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.bench list                 # show available experiments
+    python -m repro.bench table7               # run one
+    python -m repro.bench all                  # run everything (slow)
+    python -m repro.bench table7 --out results # also write results/table7.txt
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .harness import all_experiments, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    out_dir: Path | None = None
+    if "--out" in args:
+        i = args.index("--out")
+        try:
+            out_dir = Path(args[i + 1])
+        except IndexError:
+            print("--out requires a directory argument")
+            return 1
+        del args[i : i + 2]
+        out_dir.mkdir(parents=True, exist_ok=True)
+    if not args or args[0] in ("-h", "--help", "list"):
+        print("available experiments:")
+        for name, exp in sorted(all_experiments().items()):
+            print(f"  {name:16} {exp.description}")
+        return 0
+    names = list(all_experiments()) if args[0] == "all" else args
+    for name in names:
+        try:
+            exp = get_experiment(name)
+        except KeyError as e:
+            print(e)
+            return 1
+        body = exp.run()
+        print(body)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(body + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

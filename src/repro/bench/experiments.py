@@ -1,0 +1,811 @@
+"""One experiment per paper table/figure (see DESIGN.md Section 4).
+
+Each function regenerates its table/figure from the synthetic datasets and
+the simulated devices, printing measured values side by side with the
+paper's published numbers from :mod:`repro.bench.paper_targets`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.metrics import psnr
+from ..analysis.variogram import empirical_variogram, smoothness
+from ..baselines.cpu_sz import reference_ratios
+from ..core.compressor import compress
+from ..core.config import CompressorConfig
+from ..core.dual_quant import postquantize, prequantize, quantize_field
+from ..core.lorenzo import lorenzo_reconstruct, lorenzo_reconstruct_sequential
+from ..data.datasets import DATASETS, TABLE4_CESM_TARGETS, get_dataset
+from ..gpu.costmodel import CostModel
+from ..gpu.device import get_device
+from ..gpu.runtime import run_compression, run_decompression
+from ..kernels.lorenzo_kernels import lorenzo_construct_kernel, lorenzo_reconstruct_kernel
+from . import paper_targets as paper
+from .harness import ascii_series, format_table, register
+
+# Fields per dataset used when averaging (keeps runtimes laptop-friendly).
+_TABLE1_FIELDS = 4
+_TABLE1_DATASETS = ["HACC", "CESM", "Hurricane", "Nyx"]
+
+
+@register("table3", "dataset inventory (Table III)")
+def table3() -> str:
+    rows = []
+    for ds in DATASETS.values():
+        rows.append(
+            [
+                ds.name,
+                ds.description,
+                "x".join(map(str, ds.paper_shape)),
+                "x".join(map(str, ds.scaled_shape)),
+                len(ds.field_names),
+                f"{ds.paper_size_mb:.1f}",
+            ]
+        )
+    return format_table(
+        ["dataset", "description", "paper dims", "scaled dims", "#fields", "MB/field"],
+        rows,
+    )
+
+
+@register("table1", "reference compression ratios qg/qh/qhg (Table I)")
+def table1() -> str:
+    rows = []
+    for ds_name in _TABLE1_DATASETS:
+        ds = get_dataset(ds_name)
+        fields = ds.fields(limit=_TABLE1_FIELDS)
+        for eb in (1e-2, 1e-3, 1e-4):
+            config = CompressorConfig(eb=eb)
+            qg, qh, qhg = [], [], []
+            for f in fields:
+                rr = reference_ratios(f.data, config)
+                qg.append(rr.qg)
+                qh.append(rr.qh)
+                qhg.append(rr.qhg)
+            p_qg, p_qh, p_qhg = paper.TABLE1[ds_name][eb]
+            rows.append(
+                [
+                    f"{ds_name} @{eb:g}",
+                    float(np.mean(qg)),
+                    float(np.mean(qh)),
+                    float(np.mean(qhg)),
+                    p_qg,
+                    p_qh,
+                    p_qhg,
+                ]
+            )
+    return format_table(
+        ["dataset@eb", "qg", "qh", "qhg", "paper qg", "paper qh", "paper qhg"],
+        rows,
+        title=f"averaged over the first {_TABLE1_FIELDS} fields of each dataset",
+    )
+
+
+@register("fig1", "compression/decompression workflows (Fig. 1)")
+def fig1() -> str:
+    return """\
+cuSZ   compression : [1 chunk] -> (2 prequant) -> (3 predict) -> (4 postquant)
+                     -> (5 histogram) -> (6 build codebook, 1 thread) -> (7 Huffman enc)
+                     -> (8 deflate) -> memcpy to host -> (9 Zstd on CPU)
+cuSZ   decompression: Zstd on CPU -> memcpy -> Huffman dec -> coarse-grained
+                     per-chunk sequential Lorenzo reconstruction (branch on outliers)
+
+cuSZ+  compression : (1 fused prequant+Lorenzo+postquant, modified outlier scheme)
+                     -> (2 gather outliers, cuSPARSE) -> (3 histogram)
+                     -> workflow select by estimated <b> vs 1.09:
+                        path a (Huffman): (4a codebook) -> (5a Huffman enc) -> (6a deflate)
+                        path b (RLE)    : (4b reduce_by_key RLE) -> (5b optional VLE)
+cuSZ+  decompression: path decode (Huffman / RLE expand) -> scatter outliers
+                     (branch-free fuse q' = (q (+) outlier) - r)
+                     -> fine-grained N-pass partial-sum Lorenzo reconstruction
+
+(implemented in repro.core.workflow / repro.gpu.runtime; blue-boldface changes of
+the paper's Fig. 1 correspond to the modified scheme, the adaptive selector, and
+the partial-sum kernels)"""
+
+
+@register("fig2a", "madogram / binary-variance smoothness (Fig. 2a)")
+def fig2a() -> str:
+    ds = get_dataset("CESM")
+    f = ds.field("FSDSC")
+    config = CompressorConfig(eb=1e-2)
+    vrange = float(f.data.max() - f.data.min())
+    eb_abs = config.absolute_bound(vrange)
+    dq = prequantize(f.data, eb_abs)
+    quant, _, _ = postquantize(dq, config.chunks_for(2), config.dict_size)
+    q_centered = quant.astype(np.int64) - config.radius
+
+    v_pre = empirical_variogram(dq, kind="absolute", n_samples=60_000)
+    v_q = empirical_variogram(q_centered, kind="absolute", n_samples=60_000)
+    v_bin = empirical_variogram(q_centered, kind="binary", n_samples=60_000)
+
+    picks = [1, 2, 5, 10, 20, 50, 100, 150, 200]
+    rows = []
+    for d in picks:
+        if d <= v_pre.values.size:
+            rows.append([d, v_pre.values[d - 1], v_q.values[d - 1], v_bin.values[d - 1]])
+    table = format_table(
+        ["distance", "|Δ| prequant", "|Δ| quant-code", "binary variance"],
+        rows,
+        title="CESM FSDSC @ eb=1e-2 (sampled madogram, paper Fig. 2a)",
+    )
+    plot = ascii_series(
+        list(v_bin.distances[:200]),
+        {"binary variance (roughness)": list(v_bin.values[:200])},
+        title="roughness vs encoding distance (flat at ~1 - smoothness)",
+    )
+    checks = [
+        f"quant-code |Δ| variance < prequant |Δ| variance: "
+        f"{v_q.mean() < v_pre.mean()} ({v_q.mean():.3f} vs {v_pre.mean():.3f})",
+        f"binary variance ~ distance-stationary: std/mean over distance = "
+        f"{float(np.std(v_bin.values) / np.mean(v_bin.values)):.3f}",
+    ]
+    return table + "\n\n" + plot + "\n\n" + "\n".join(checks)
+
+
+@register("fig2b", "smoothness vs p1 vs compression ratio (Fig. 2b)")
+def fig2b() -> str:
+    from ..data import synthetic as syn
+
+    rows = []
+    s_vals, p1_vals, rle_crs, vle_crs = [], [], [], []
+    for n_plumes in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+        f = syn.plume_field((450, 900), n_plumes, 16.0, np.random.default_rng(7))
+        config = CompressorConfig(eb=1e-2)
+        bundle, _ = quantize_field(f, config)
+        s = smoothness(bundle.quant, n_samples=40_000)
+        res_rle = compress(f, config.with_(workflow="rle"))
+        res_vle = compress(f, config.with_(workflow="huffman"))
+        p1 = res_vle.diagnostics.p1
+        rows.append([n_plumes, s, p1, res_rle.compression_ratio, res_vle.compression_ratio])
+        s_vals.append(s)
+        p1_vals.append(p1)
+        rle_crs.append(res_rle.compression_ratio)
+        vle_crs.append(res_vle.compression_ratio)
+    table = format_table(
+        ["n_plumes", "smoothness", "p1", "RLE CR", "VLE CR"],
+        rows,
+        title="synthetic CESM-like sweep @ eb=1e-2 (paper Fig. 2b)",
+    )
+    plot = ascii_series(
+        s_vals,
+        {"RLE CR": rle_crs, "VLE CR (capped <32)": vle_crs},
+        title="compression ratio vs smoothness; RLE crosses VLE near the CR-32 point",
+    )
+    corr = float(np.corrcoef(s_vals, p1_vals)[0, 1])
+    return (
+        table + "\n\n" + plot
+        + f"\n\nsmoothness-p1 correlation: {corr:.3f} (Fig. 2b's mapping)"
+    )
+
+
+@register("table2", "partial-sum reconstruction proof of concept (Table II)")
+def table2() -> str:
+    cases = {
+        "1D (HACC)": ("HACC", "vx"),
+        "2D (CESM)": ("CESM", "FSDSC"),
+        "3D (Nyx)": ("Nyx", "baryon_density"),
+    }
+    config = CompressorConfig(eb=1e-4)
+    rows = []
+    for label, (ds_name, field_name) in cases.items():
+        ds = get_dataset(ds_name)
+        f = ds.field(field_name)
+        bundle, _ = quantize_field(f.data, config)
+        for dev_name in ("V100", "A100"):
+            device = get_device(dev_name)
+            model = CostModel(device)
+            measured = {}
+            for variant in ("coarse", "naive", "optimized"):
+                _, prof = lorenzo_reconstruct_kernel(
+                    bundle, variant=variant, n_sim=f.paper_elements
+                )
+                measured[variant] = model.time(prof).gbps
+            p = paper.TABLE2[label][dev_name]
+            rows.append(
+                [
+                    f"{label} {dev_name}",
+                    measured["coarse"],
+                    measured["naive"],
+                    measured["optimized"],
+                    p["cusz"],
+                    p["naive"],
+                    p["optimized"],
+                ]
+            )
+    return format_table(
+        ["case", "coarse(cuSZ)", "naive", "ours", "paper cuSZ", "paper naive", "paper ours"],
+        rows,
+        title="Lorenzo reconstruction throughput in GB/s (simulated vs paper)",
+    )
+
+
+@register("fig3", "partial-sum equivalence demonstration (Fig. 3)")
+def fig3() -> str:
+    rng = np.random.default_rng(3)
+    q = rng.integers(-3, 4, (4, 6)).astype(np.int64)
+    pass_x = np.cumsum(q, axis=1)
+    pass_xy = np.cumsum(pass_x, axis=0)
+    seq = lorenzo_reconstruct_sequential(q, (4, 6))
+    vec = lorenzo_reconstruct(q, (4, 6))
+    lines = [
+        "q' (fused quant-code - radius):",
+        str(q),
+        "",
+        "pass 1: inclusive partial-sum along x:",
+        str(pass_x),
+        "",
+        "pass 2: inclusive partial-sum along y (= full reconstruction):",
+        str(pass_xy),
+        "",
+        f"equals sequential Lorenzo reconstruction: {np.array_equal(pass_xy, seq)}",
+        f"equals chunked vectorized implementation: {np.array_equal(pass_xy, vec)}",
+    ]
+    return "\n".join(lines)
+
+
+@register("table4", "Workflow-RLE vs Workflow-Huffman on CESM fields (Table IV)")
+def table4() -> str:
+    ds = get_dataset("CESM")
+    config = CompressorConfig(eb=1e-2)
+    rows = []
+    wins = 0
+    gains = []
+    for name in TABLE4_CESM_TARGETS:
+        f = ds.field(name)
+        rr = reference_ratios(f.data, config)
+        res_rle = compress(f.data, config.with_(workflow="rle"))
+        res_both = compress(f.data, config.with_(workflow="rle+vle"))
+        qh = rr.qh
+        gain_rle = res_rle.compression_ratio / qh
+        gain_both = res_both.compression_ratio / qh
+        gains.append(gain_both)
+        if res_both.compression_ratio > qh:
+            wins += 1
+        p_qhg, p_qh, p_rle, p_both = TABLE4_CESM_TARGETS[name]
+        rows.append(
+            [
+                name,
+                rr.qhg,
+                qh,
+                res_rle.compression_ratio,
+                f"{gain_rle:.2f}x" if gain_rle > 1 else "-",
+                res_both.compression_ratio,
+                f"{gain_both:.2f}x",
+                p_qh,
+                p_rle,
+                p_both,
+            ]
+        )
+    table = format_table(
+        [
+            "field", "qhg ref", "qh VLE", "RLE", "gain", "RLE+VLE", "gain",
+            "paper qh", "paper RLE", "paper R+V",
+        ],
+        rows,
+        title="CESM fields @ eb=1e-2 (measured vs paper Table IV)",
+    )
+    summary = (
+        f"\nRLE+VLE beats Workflow-Huffman on {wins}/{len(rows)} fields; "
+        f"max gain {max(gains):.2f}x (paper: up to 5.34x)"
+    )
+    return table + summary
+
+
+@register("table5", "Workflow-RLE throughput and ratio (Table V)")
+def table5() -> str:
+    config = CompressorConfig(eb=1e-2)
+    rows = []
+    for (ds_name, field_name), targets in paper.TABLE5.items():
+        ds = get_dataset(ds_name)
+        f = ds.field(field_name)
+        for impl, workflow, stage in (
+            ("cuszplus", "rle", "rle"),
+            ("cusz", "huffman", "huffman_encode"),
+        ):
+            per_dev = {}
+            for dev_name in ("V100", "A100"):
+                art, rep = run_compression(
+                    f.data, config, get_device(dev_name), impl=impl,
+                    workflow=workflow, n_sim=f.paper_elements,
+                )
+                per_dev[dev_name] = (rep.stage(stage).gbps, rep.overall_gbps)
+            res = compress(
+                f.data,
+                config.with_(workflow="rle" if impl == "cuszplus" else "huffman"),
+            )
+            key = "ours" if impl == "cuszplus" else "cusz"
+            p = targets[key]
+            rows.append(
+                [
+                    f"{ds_name}/{field_name} {key}",
+                    per_dev["V100"][0],
+                    per_dev["V100"][1],
+                    per_dev["A100"][0],
+                    per_dev["A100"][1],
+                    f"{res.compression_ratio:.1f}x",
+                    p[0],
+                    p[1],
+                    f"{p[4]:.1f}x",
+                ]
+            )
+    return format_table(
+        [
+            "field/impl", "V100 stage", "V100 overall", "A100 stage", "A100 overall",
+            "CR", "paper V100 stage", "paper V100 overall", "paper CR",
+        ],
+        rows,
+        title="Workflow-RLE (ours) vs Workflow-Huffman (cuSZ) @ eb=1e-2",
+    )
+
+
+@register("table6", "optimized kernels vs cuSZ on V100 (Table VI)")
+def table6() -> str:
+    from ..kernels.huffman_kernels import huffman_encode_kernel
+
+    config = CompressorConfig(eb=1e-4)
+    device = get_device("V100")
+    model = CostModel(device)
+    rows = []
+    for ds_name in ("HACC", "CESM", "Hurricane", "Nyx", "QMCPACK"):
+        ds = get_dataset(ds_name)
+        f = ds.example_field()
+        measured = {}
+        for impl in ("cusz", "cuszplus"):
+            bundle, _, prof = lorenzo_construct_kernel(
+                f.data, config, impl=impl, n_sim=f.paper_elements
+            )
+            measured[f"construct_{impl}"] = model.time(prof).gbps
+            _, _, eprof = huffman_encode_kernel(
+                bundle.quant, config, impl=impl, n_sim=f.paper_elements
+            )
+            measured[f"encode_{impl}"] = model.time(eprof).gbps
+            variant = "coarse" if impl == "cusz" else "optimized"
+            _, rprof = lorenzo_reconstruct_kernel(
+                bundle, variant=variant, n_sim=f.paper_elements
+            )
+            measured[f"reconstruct_{impl}"] = model.time(rprof).gbps
+        p = paper.TABLE6[ds_name]
+        for kernel, mkey in (
+            ("lorenzo_construct", "construct"),
+            ("huffman_encode", "encode"),
+            ("lorenzo_reconstruct", "reconstruct"),
+        ):
+            cu, ours = measured[f"{mkey}_cusz"], measured[f"{mkey}_cuszplus"]
+            pcu, pours = p[kernel]
+            rows.append(
+                [
+                    f"{ds_name} {kernel}",
+                    cu,
+                    ours,
+                    f"{ours / cu:.2f}x",
+                    pcu,
+                    pours,
+                    f"{pours / pcu:.2f}x",
+                ]
+            )
+    return format_table(
+        ["dataset/kernel", "cuSZ", "ours", "speedup", "paper cuSZ", "paper ours", "paper speedup"],
+        rows,
+        title="kernel throughput on V100 in GB/s (simulated vs paper Table VI)",
+    )
+
+
+@register("table7", "full kernel breakdown on V100 and A100 (Table VII)")
+def table7() -> str:
+    config = CompressorConfig(eb=1e-4)
+    results: dict[str, dict[str, dict[str, float]]] = {"V100": {}, "A100": {}}
+    psnrs = {}
+    for ds_name in paper.TABLE7_DATASETS:
+        ds = get_dataset(ds_name)
+        f = ds.example_field()
+        for dev_name in ("V100", "A100"):
+            device = get_device(dev_name)
+            art, crep = run_compression(
+                f.data, config, device, impl="cuszplus", n_sim=f.paper_elements
+            )
+            out, drep = run_decompression(
+                art, config, device, impl="cuszplus", n_sim=f.paper_elements
+            )
+            col = {}
+            for s in crep.stages + drep.stages:
+                col[s.name.split("[")[0]] = s.gbps
+            col["overall_compress"] = crep.overall_gbps
+            col["overall_decompress"] = drep.overall_gbps
+            results[dev_name][ds_name] = col
+            if dev_name == "V100":
+                psnrs[ds_name] = psnr(f.data, out)
+    rows = []
+    for kernel in paper.TABLE7_ROWS:
+        for dev_name, targets in (("V100", paper.TABLE7_V100), ("A100", paper.TABLE7_A100)):
+            row = [f"{kernel} {dev_name}"]
+            for ds_name in paper.TABLE7_DATASETS:
+                row.append(results[dev_name][ds_name].get(kernel))
+            rows.append(row)
+            row_p = [f"  (paper {dev_name})"]
+            for ds_name in paper.TABLE7_DATASETS:
+                row_p.append(targets[kernel][ds_name])
+            rows.append(row_p)
+    table = format_table(
+        ["kernel/device"] + list(paper.TABLE7_DATASETS),
+        rows,
+        title="cuSZ+ default workflow @ rel eb=1e-4, GB/s (simulated, paper below each row)",
+    )
+    psnr_line = "PSNR (dB) at eb=1e-4: " + ", ".join(
+        f"{k}={v:.1f}" for k, v in psnrs.items()
+    )
+    return table + "\n" + psnr_line + "  (paper: all > 85 dB)"
+
+
+# ---------------------------------------------------------------------------
+# Ablations: design choices the paper fixes, swept here (DESIGN.md Section 4)
+# ---------------------------------------------------------------------------
+
+
+@register("ablation_chunk", "Huffman chunk size: metadata overhead vs decode parallelism")
+def ablation_chunk() -> str:
+    ds = get_dataset("CESM")
+    f = ds.field("PS")
+    rows = []
+    for chunk in (256, 1024, 4096, 16384, 65536):
+        config = CompressorConfig(eb=1e-3, huffman_chunk=chunk, workflow="huffman")
+        res = compress(f.data, config)
+        meta_bytes = res.section_sizes.get("q.cbits", 0)
+        # Decode work-depth = symbols per chunk (the lockstep step count).
+        rows.append(
+            [
+                chunk,
+                res.compression_ratio,
+                meta_bytes,
+                100.0 * meta_bytes / res.compressed_bytes,
+                chunk,  # per-thread serial decode steps
+            ]
+        )
+    note = (
+        "larger chunks shrink deflate metadata but deepen each GPU decode\n"
+        "thread's serial walk; cuSZ's choice balances the two."
+    )
+    return format_table(
+        ["huffman_chunk", "CR", "chunk-meta bytes", "meta % of archive", "decode depth"],
+        rows,
+        title="CESM PS @ eb=1e-3",
+    ) + "\n" + note
+
+
+@register("ablation_dict", "dictionary size: outliers vs codebook cost vs ratio")
+def ablation_dict() -> str:
+    ds = get_dataset("Hurricane")
+    f = ds.field("Uf48")
+    rows = []
+    for dict_size in (64, 256, 1024, 4096):
+        config = CompressorConfig(eb=1e-4, dict_size=dict_size, workflow="huffman")
+        res = compress(f.data, config)
+        rows.append(
+            [
+                dict_size,
+                res.compression_ratio,
+                res.n_outliers,
+                res.section_sizes.get("q.cb", 0),
+            ]
+        )
+    return format_table(
+        ["dict_size", "CR", "outliers", "codebook bytes"],
+        rows,
+        title="Hurricane Uf48 @ eb=1e-4 (radius = dict_size/2)",
+    )
+
+
+@register("ablation_threshold", "selector threshold sweep around the 1.09 rule")
+def ablation_threshold() -> str:
+    ds = get_dataset("CESM")
+    fields = [ds.field(n) for n in list(TABLE4_CESM_TARGETS)[:12]]
+    rows = []
+    for thr in (1.0, 1.05, 1.09, 1.2, 1.5, 2.0):
+        total_cr = []
+        n_rle = 0
+        for f in fields:
+            res = compress(f.data, CompressorConfig(eb=1e-2, rle_bitlen_threshold=thr))
+            total_cr.append(res.compression_ratio)
+            n_rle += res.workflow != "huffman"
+        rows.append([thr, n_rle, float(np.exp(np.mean(np.log(total_cr))))])
+    return format_table(
+        ["threshold", "#fields on RLE path", "geomean CR"],
+        rows,
+        title="12 CESM fields @ eb=1e-2 (paper's rule: 1.09)",
+    )
+
+
+@register("ablation_predictor", "Lorenzo vs regression predictor across datasets")
+def ablation_predictor() -> str:
+    rows = []
+    for ds_name in ("CESM", "Hurricane", "Nyx", "Miranda"):
+        f = get_dataset(ds_name).example_field()
+        crs = {}
+        for pred in ("lorenzo", "regression", "interp"):
+            res = compress(f.data, CompressorConfig(eb=1e-3, predictor=pred))
+            crs[pred] = res.compression_ratio
+        auto = compress(f.data, CompressorConfig(eb=1e-3, predictor="auto"))
+        rows.append(
+            [
+                f"{ds_name}/{f.name}",
+                crs["lorenzo"],
+                crs["regression"],
+                crs["interp"],
+                auto.predictor,
+                auto.compression_ratio,
+            ]
+        )
+    note = (
+        "first-order Lorenzo holds up on locally-rough science data (the\n"
+        "paper's Section II-B.3 rationale); the SZ3-style interpolation\n"
+        "(ref. [19]) overtakes it exactly on the smoothest fields."
+    )
+    return format_table(
+        ["field", "lorenzo CR", "regression CR", "interp CR", "auto picks", "auto CR"],
+        rows,
+        title="predictor ablation @ eb=1e-3",
+    ) + "\n" + note
+
+
+@register("io_dump", "parallel dump-time model: raw vs compressed I/O (paper intro)")
+def io_dump() -> str:
+    """The HACC motivating arithmetic: per-node ~1 GB fields dumped against
+    a shared PFS, raw vs cuSZ+-compressed (compression at the simulated
+    V100's overall throughput)."""
+    from ..parallel.checkpoint import estimate_dump_cost
+    from ..parallel.io_model import MIRA_CLASS_PFS, MODERN_PFS
+
+    config = CompressorConfig(eb=1e-3)
+    f = get_dataset("HACC").example_field()
+    res = compress(f.data, config)
+    # Scale measured sizes to the paper-scale per-rank field.
+    per_rank_raw = f.paper_bytes
+    per_rank_stored = int(per_rank_raw / res.compression_ratio)
+    art, crep = run_compression(
+        f.data, config, get_device("V100"), n_sim=f.paper_elements
+    )
+    rows = []
+    for n_ranks in (16, 256, 4096, 16384):
+        for pfs in (MIRA_CLASS_PFS, MODERN_PFS):
+            raw, packed = estimate_dump_cost(
+                [per_rank_raw] * n_ranks,
+                [per_rank_stored] * n_ranks,
+                pfs,
+                compress_gbps_per_rank=crep.overall_gbps,
+            )
+            rows.append(
+                [
+                    f"{n_ranks} ranks / {pfs.name}",
+                    raw.total_seconds,
+                    packed.compress_seconds,
+                    packed.write_seconds,
+                    packed.total_seconds,
+                    f"{raw.total_seconds / packed.total_seconds:.1f}x",
+                ]
+            )
+    head = (
+        f"HACC-like dump: {per_rank_raw / 1e9:.2f} GB/rank, CR "
+        f"{res.compression_ratio:.1f}x, compression at "
+        f"{crep.overall_gbps:.1f} GB/s per rank (V100 model)"
+    )
+    return head + "\n" + format_table(
+        ["configuration", "raw dump s", "compress s", "write s", "total s", "speedup"],
+        rows,
+    )
+
+
+@register("future_scaling", "conclusion's extrapolation: V100 -> A100 -> H100")
+def future_scaling() -> str:
+    """The paper concludes cuSZ+ "can benefit more from the improvement of
+    memory bandwidth than that of peak FLOPS"; run the calibrated pipeline
+    on an H100-class device (3.7x V100 bandwidth, 1.55x issue rate) and see
+    which kernels follow which axis."""
+    config = CompressorConfig(eb=1e-4)
+    f = get_dataset("Nyx").example_field()
+    per_dev = {}
+    for dev_name in ("V100", "A100", "H100"):
+        device = get_device(dev_name)
+        art, crep = run_compression(
+            f.data, config, device, impl="cuszplus", n_sim=f.paper_elements
+        )
+        _, drep = run_decompression(
+            art, config, device, impl="cuszplus", n_sim=f.paper_elements
+        )
+        col = {s.name.split("[")[0]: s.gbps for s in crep.stages + drep.stages}
+        col["overall compress"] = crep.overall_gbps
+        col["overall decompress"] = drep.overall_gbps
+        per_dev[dev_name] = col
+    rows = []
+    for kernel in per_dev["V100"]:
+        v, a, h = (per_dev[d][kernel] for d in ("V100", "A100", "H100"))
+        rows.append([kernel, v, a, h, f"{h / v:.2f}x"])
+    v100 = get_device("V100")
+    h100 = get_device("H100")
+    note = (
+        f"bandwidth axis: {h100.mem_bw / v100.mem_bw:.2f}x; "
+        f"issue (SMxclock) axis: {h100.issue_rate / v100.issue_rate:.2f}x\n"
+        "memory-bound kernels ride the first, Huffman decode the second --\n"
+        "decompression becomes increasingly decode-dominated on future parts."
+    )
+    return format_table(
+        ["kernel", "V100", "A100", "H100", "H100/V100"],
+        rows,
+        title="Nyx baryon_density @ eb=1e-4, GB/s",
+    ) + "\n" + note
+
+
+@register("ablation_lz", "dictionary stage: from-scratch LZ77 vs zlib on quant streams")
+def ablation_lz() -> str:
+    import time
+    import zlib
+
+    from ..encoding.lz77 import lz_compress, lz_decompress
+
+    rows = []
+    for ds_name, field_name in (("CESM", "FSDSC"), ("CESM", "PS"), ("Nyx", "baryon_density")):
+        f = get_dataset(ds_name).field(field_name)
+        bundle, _ = quantize_field(f.data, CompressorConfig(eb=1e-2))
+        raw = bundle.quant.tobytes()
+        t0 = time.perf_counter()
+        ours = lz_compress(raw)
+        t_ours = time.perf_counter() - t0
+        assert lz_decompress(ours) == raw
+        t0 = time.perf_counter()
+        theirs = zlib.compress(raw, 6)
+        t_zlib = time.perf_counter() - t0
+        rows.append(
+            [
+                f"{ds_name}/{field_name}",
+                len(raw) / len(ours),
+                len(raw) / len(theirs),
+                t_ours * 1e3,
+                t_zlib * 1e3,
+            ]
+        )
+    note = (
+        "the from-scratch coder (entropy-coded tokens, greedy parse) lands\n"
+        "within ~1.5x of zlib's ratio; its structure -- parallel candidate\n"
+        "search and length extension, inherently sequential parse -- is the\n"
+        "paper's point about dictionary coding on GPUs."
+    )
+    return format_table(
+        ["quant stream", "LZ77 CR", "zlib CR", "LZ77 ms", "zlib ms"],
+        rows,
+        title="dictionary coding of quant-code bytes @ eb=1e-2",
+    ) + "\n" + note
+
+
+@register("roofline", "per-kernel bound classification on V100")
+def roofline() -> str:
+    config = CompressorConfig(eb=1e-4)
+    f = get_dataset("Nyx").example_field()
+    device = get_device("V100")
+    art, crep = run_compression(f.data, config, device, n_sim=f.paper_elements)
+    _, drep = run_decompression(art, config, device, n_sim=f.paper_elements)
+    rows = []
+    for s in crep.stages + drep.stages:
+        rows.append([s.name, s.gbps, s.seconds * 1e3, s.bound])
+    return format_table(
+        ["kernel", "GB/s", "time ms", "bound"],
+        rows,
+        title=f"Nyx baryon_density at paper scale ({f.paper_bytes / 1e6:.0f} MB) on V100",
+    )
+
+
+@register("ablation_host", "why not just add gzip? host-stage cost (Section III-A.3)")
+def ablation_host() -> str:
+    """Price cuSZ's Step-9 (ship the Huffman payload over PCIe, run the CPU
+    dictionary codec) against the GPU-only adaptive workflow -- the paper's
+    argument for compressibility-awareness instead of a host stage."""
+    from ..gpu.host_model import host_link_for, host_stage_time
+
+    config = CompressorConfig(eb=1e-2)
+    rows = []
+    for ds_name, field_name in (("CESM", "FSDSC"), ("Nyx", "baryon_density")):
+        f = get_dataset(ds_name).field(field_name)
+        device = get_device("V100")
+        link = host_link_for(device)
+        # GPU-only paths.
+        _, rep_h = run_compression(f.data, config, device, workflow="huffman",
+                                   n_sim=f.paper_elements)
+        _, rep_r = run_compression(f.data, config, device, workflow="rle",
+                                   n_sim=f.paper_elements)
+        res_h = compress(f.data, config.with_(workflow="huffman"))
+        res_lz = compress(f.data, config.with_(workflow="huffman+lz"))
+        res_r = compress(f.data, config.with_(workflow="rle"))
+        # Host-stage path: huffman on GPU, payload shipped + zstd'd on host.
+        payload = int(f.paper_bytes / res_h.compression_ratio)
+        t_xfer, t_codec = host_stage_time(payload, link, codec="zstd")
+        t_total = rep_h.total_seconds + t_xfer + t_codec
+        host_gbps = f.paper_bytes / t_total / 1e9
+        rows.append([
+            f"{ds_name}/{field_name} GPU huffman",
+            rep_h.overall_gbps, f"{res_h.compression_ratio:.1f}x",
+        ])
+        rows.append([
+            "  + host zstd stage", host_gbps, f"{res_lz.compression_ratio:.1f}x",
+        ])
+        rows.append([
+            "  GPU Workflow-RLE", rep_r.overall_gbps, f"{res_r.compression_ratio:.1f}x",
+        ])
+    note = (
+        "the host stage buys ratio but divides throughput; Workflow-RLE\n"
+        "recovers (most of) the ratio while staying at GPU speed -- the\n"
+        "design argument of Section III."
+    )
+    return format_table(
+        ["pipeline", "overall GB/s", "CR"],
+        rows,
+        title="V100 @ eb=1e-2 (host: PCIe3 + ~500 MB/s Zstd)",
+    ) + "\n" + note
+
+
+@register("fidelity", "reproduction scorecard: measured vs paper, all throughput tables")
+def fidelity() -> str:
+    """Quantify the reproduction: per cell group, the geometric mean and
+    worst-case ratio of measured/paper across Tables II, VI and VII."""
+    config = CompressorConfig(eb=1e-4)
+    ratios: dict[str, list[float]] = {}
+
+    def note(group: str, measured: float, target: float | None) -> None:
+        if target and measured > 0:
+            ratios.setdefault(group, []).append(measured / target)
+
+    # Table VII (both devices) + Table VI via the same pipeline runs.
+    results = {}
+    for ds_name in paper.TABLE7_DATASETS:
+        f = get_dataset(ds_name).example_field()
+        for dev_name in ("V100", "A100"):
+            device = get_device(dev_name)
+            art, crep = run_compression(f.data, config, device, n_sim=f.paper_elements)
+            _, drep = run_decompression(art, config, device, n_sim=f.paper_elements)
+            col = {s.name.split("[")[0]: s.gbps for s in crep.stages + drep.stages}
+            col["overall_compress"] = crep.overall_gbps
+            col["overall_decompress"] = drep.overall_gbps
+            results[(ds_name, dev_name)] = col
+            targets = paper.TABLE7_V100 if dev_name == "V100" else paper.TABLE7_A100
+            for kernel in paper.TABLE7_ROWS:
+                note(f"T7 {kernel} {dev_name}", col.get(kernel, 0.0),
+                     targets[kernel][ds_name])
+
+    # Table VI: cuSZ baselines on V100.
+    model = CostModel(get_device("V100"))
+    for ds_name, kernels in paper.TABLE6.items():
+        f = get_dataset(ds_name).example_field()
+        bundle, _, prof = lorenzo_construct_kernel(f.data, config, impl="cusz",
+                                                   n_sim=f.paper_elements)
+        note("T6 cuSZ construct", model.time(prof).gbps, kernels["lorenzo_construct"][0])
+        from ..kernels.huffman_kernels import huffman_encode_kernel
+
+        _, _, eprof = huffman_encode_kernel(bundle.quant, config, impl="cusz",
+                                            n_sim=f.paper_elements)
+        note("T6 cuSZ encode", model.time(eprof).gbps, kernels["huffman_encode"][0])
+        _, rprof = lorenzo_reconstruct_kernel(bundle, variant="coarse",
+                                              n_sim=f.paper_elements)
+        note("T6 cuSZ reconstruct", model.time(rprof).gbps,
+             kernels["lorenzo_reconstruct"][0])
+
+    # Table IV: compression ratios (codecs, no model).
+    ds = get_dataset("CESM")
+    cfg2 = CompressorConfig(eb=1e-2)
+    for name, (qhg, qh, rle, both) in list(TABLE4_CESM_TARGETS.items()):
+        f = ds.field(name)
+        res = compress(f.data, cfg2.with_(workflow="rle"))
+        note("T4 RLE ratio", res.compression_ratio, rle)
+
+    rows = []
+    overall = []
+    for group in sorted(ratios):
+        r = np.array(ratios[group])
+        overall.extend(np.log(r))
+        gm = float(np.exp(np.mean(np.log(r))))
+        worst = float(r[np.argmax(np.abs(np.log(r)))])
+        rows.append([group, len(r), gm, worst])
+    gm_all = float(np.exp(np.mean(overall)))
+    table = format_table(
+        ["cell group", "#cells", "geomean meas/paper", "worst"],
+        rows,
+        title="reproduction scorecard (1.00 = exact)",
+    )
+    return table + f"\n\noverall geometric mean across {len(overall)} cells: {gm_all:.3f}"

@@ -1,0 +1,155 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Transcribed from Tian et al., "Optimizing Error-Bounded Lossy Compression
+for Scientific Data on GPUs", IEEE CLUSTER 2021: Tables I, II, V, VI, VII.
+(Table IV lives next to the CESM generators in
+:mod:`repro.data.datasets`.)  Units are GB/s unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "TABLE5",
+    "TABLE6",
+    "TABLE7_V100",
+    "TABLE7_A100",
+    "TABLE7_SIZES_MB",
+]
+
+#: Table I: averaged compression ratios, dataset -> eb -> (qg, qh, qhg).
+TABLE1: dict[str, dict[float, tuple[float, float, float]]] = {
+    "HACC": {
+        1e-2: (22.72, 20.33, 31.02),
+        1e-3: (7.58, 9.51, 10.01),
+        1e-4: (3.89, 4.82, 5.01),
+    },
+    "Hurricane": {
+        1e-2: (43.67, 24.80, 58.76),
+        1e-3: (18.41, 17.04, 24.65),
+        1e-4: (10.31, 9.76, 12.99),
+    },
+    "CESM": {
+        1e-2: (61.21, 24.24, 75.50),
+        1e-3: (20.78, 18.38, 28.13),
+        1e-4: (9.98, 10.29, 12.50),
+    },
+    "Nyx": {
+        1e-2: (118.94, 30.24, 164.39),
+        1e-3: (28.25, 23.92, 40.17),
+        1e-4: (12.87, 15.27, 17.95),
+    },
+}
+
+#: Table II: Lorenzo reconstruction proof-of-concept throughput (GB/s).
+#: dim -> device -> {variant: value}; None where the paper has a dash.
+TABLE2: dict[str, dict[str, dict[str, float | None]]] = {
+    "1D (HACC)": {
+        "V100": {"cusz": 16.8, "naive": 252.6, "optimized": 313.1},
+        "A100": {"cusz": None, "naive": 219.8, "optimized": 504.5},
+    },
+    "2D (CESM)": {
+        "V100": {"cusz": 58.5, "naive": 198.4, "optimized": 254.2},
+        "A100": {"cusz": None, "naive": 182.1, "optimized": 508.6},
+    },
+    "3D (Nyx)": {
+        "V100": {"cusz": 29.7, "naive": 175.9, "optimized": 238.1},
+        "A100": {"cusz": None, "naive": 147.9, "optimized": 405.1},
+    },
+}
+
+#: Table V: Workflow-RLE vs cuSZ Workflow-Huffman.
+#: (dataset, field) -> impl -> (V100 stage GB/s, V100 overall, A100 stage,
+#: A100 overall, CR).  "stage" is the RLE kernel for ours, Huffman for cuSZ.
+TABLE5: dict[tuple[str, str], dict[str, tuple[float, float, float, float, float]]] = {
+    ("RTM", "snapshot2800"): {
+        "ours": (142.4, 57.8, 212.6, 78.0, 76.0),
+        "cusz": (135.7, 55.1, 233.9, 80.8, 31.7),
+    },
+    ("CESM", "FSDSC"): {
+        "ours": (104.8, 47.7, 162.4, 57.8, 26.1),
+        "cusz": (146.3, 54.8, 146.4, 55.5, 23.0),
+    },
+    ("Nyx", "baryon_density"): {
+        "ours": (159.1, 64.1, 214.5, 91.2, 122.7),
+        "cusz": (130.8, 58.9, 234.2, 94.8, 31.0),
+    },
+}
+
+#: Table VI: kernel throughput on V100, dataset -> kernel -> (cusz, ours).
+TABLE6: dict[str, dict[str, tuple[float, float]]] = {
+    "HACC": {
+        "lorenzo_construct": (207.7, 307.4),
+        "huffman_encode": (54.1, 58.3),
+        "lorenzo_reconstruct": (16.8, 313.1),
+    },
+    "CESM": {
+        "lorenzo_construct": (252.1, 273.9),
+        "huffman_encode": (57.2, 107.7),
+        "lorenzo_reconstruct": (58.5, 254.2),
+    },
+    "Hurricane": {
+        "lorenzo_construct": (175.8, 229.9),
+        "huffman_encode": (55.2, 111.2),
+        "lorenzo_reconstruct": (43.9, 218.4),
+    },
+    "Nyx": {
+        "lorenzo_construct": (200.2, 296.0),
+        "huffman_encode": (58.8, 120.5),
+        "lorenzo_reconstruct": (29.7, 238.1),
+    },
+    "QMCPACK": {
+        "lorenzo_construct": (189.6, 298.6),
+        "huffman_encode": (61.0, 110.8),
+        "lorenzo_reconstruct": (22.4, 255.5),
+    },
+}
+
+_T7_ROWS = [
+    "lorenzo_construct",
+    "gather_outlier",
+    "histogram",
+    "huffman_encode",
+    "overall_compress",
+    "huffman_decode",
+    "scatter_outlier",
+    "lorenzo_reconstruct",
+    "overall_decompress",
+]
+
+_T7_DATASETS = ["HACC", "CESM", "Hurricane", "Nyx", "RTM", "Miranda", "QMCPACK"]
+
+#: Table VII, V100 columns: kernel -> dataset -> GB/s.
+TABLE7_V100: dict[str, dict[str, float]] = {
+    "lorenzo_construct": dict(zip(_T7_DATASETS, [328.3, 273.9, 199.0, 296.0, 193.1, 289.3, 298.6])),
+    "gather_outlier": dict(zip(_T7_DATASETS, [221.4, 160.6, 251.1, 238.0, 249.7, 228.6, 261.2])),
+    "histogram": dict(zip(_T7_DATASETS, [565.9, 356.5, 438.4, 372.4, 573.6, 489.8, 724.3])),
+    "huffman_encode": dict(zip(_T7_DATASETS, [58.3, 107.7, 111.2, 120.5, 123.2, 161.1, 110.8])),
+    "overall_compress": dict(zip(_T7_DATASETS, [42.1, 44.8, 49.3, 53.9, 52.5, 62.2, 56.9])),
+    "huffman_decode": dict(zip(_T7_DATASETS, [42.1, 37.9, 45.8, 66.8, 48.9, 42.7, 44.6])),
+    "scatter_outlier": dict(zip(_T7_DATASETS, [225.0, 334.8, 628.1, 359.7, 440.2, 679.1, 347.1])),
+    "lorenzo_reconstruct": dict(zip(_T7_DATASETS, [308.7, 267.0, 200.1, 251.7, 201.3, 245.3, 255.5])),
+    "overall_decompress": dict(zip(_T7_DATASETS, [31.8, 30.2, 35.2, 46.0, 36.1, 34.5, 34.2])),
+}
+
+#: Table VII, A100 columns.
+TABLE7_A100: dict[str, dict[str, float]] = {
+    "lorenzo_construct": dict(zip(_T7_DATASETS, [501.1, 466.8, 429.0, 481.3, 422.7, 480.7, 492.9])),
+    "gather_outlier": dict(zip(_T7_DATASETS, [324.8, 151.4, 284.2, 334.9, 221.6, 336.0, 266.2])),
+    "histogram": dict(zip(_T7_DATASETS, [923.5, 409.8, 681.2, 870.2, 793.9, 714.9, 569.7])),
+    "huffman_encode": dict(zip(_T7_DATASETS, [174.6, 121.6, 206.0, 217.2, 202.2, 201.6, 198.4])),
+    "overall_compress": dict(zip(_T7_DATASETS, [84.1, 51.5, 82.2, 92.4, 76.4, 87.6, 79.5])),
+    "huffman_decode": dict(zip(_T7_DATASETS, [48.5, 26.6, 51.8, 91.2, 56.0, 50.1, 49.0])),
+    "scatter_outlier": dict(zip(_T7_DATASETS, [658.4, 630.2, 918.3, 797.4, 906.6, 1066.8, 782.8])),
+    "lorenzo_reconstruct": dict(zip(_T7_DATASETS, [504.4, 495.3, 345.5, 398.6, 335.6, 386.9, 384.0])),
+    "overall_decompress": dict(zip(_T7_DATASETS, [41.4, 24.3, 43.0, 67.9, 45.6, 42.6, 41.2])),
+}
+
+#: Table VII header row: per-field sizes in MB.
+TABLE7_SIZES_MB = dict(
+    zip(_T7_DATASETS, [1071.8, 24.7, 95.4, 512.0, 180.7, 144.0, 601.5])
+)
+
+TABLE7_ROWS = _T7_ROWS
+TABLE7_DATASETS = _T7_DATASETS

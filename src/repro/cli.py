@@ -1,0 +1,158 @@
+"""Command-line interface: the ``cusz``-binary equivalent.
+
+Subcommands::
+
+    python -m repro compress   INPUT -o OUT.rpsz --dims 1800 3600 --eb 1e-3
+    python -m repro decompress OUT.rpsz -o restored.f32
+    python -m repro info       OUT.rpsz
+    python -m repro verify     INPUT OUT.rpsz --dims 1800 3600
+
+Input fields are SDRBench-style headerless binaries (``.f32``/``.f64``);
+``--dims`` is given slowest-varying first, exactly like the real tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis.metrics import evaluate_quality
+from .core.archive import ArchiveReader
+from .core.compressor import compress, decompress
+from .core.config import CompressorConfig
+from .core.errors import ReproError
+from .data.io import load_binary
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="cuSZ+-style error-bounded lossy compression for scientific data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pc = sub.add_parser("compress", help="compress a flat binary field")
+    pc.add_argument("input", type=Path, help="input .f32/.f64 field")
+    pc.add_argument("-o", "--output", type=Path, required=True, help="archive path")
+    pc.add_argument("--dims", type=int, nargs="+", required=True,
+                    help="field dimensions, slowest-varying first")
+    pc.add_argument("--eb", type=float, default=1e-4, help="error bound (default 1e-4)")
+    pc.add_argument("--mode", choices=["rel", "abs"], default="rel",
+                    help="bound interpretation (default: relative to value range)")
+    pc.add_argument("--workflow", choices=["auto", "huffman", "rle", "rle+vle"],
+                    default="auto")
+    pc.add_argument("--predictor", choices=["lorenzo", "regression", "interp", "auto"],
+                    default="lorenzo")
+    pc.add_argument("--dict-size", type=int, default=1024)
+    pc.add_argument("--dtype", choices=["f32", "f64"], default=None,
+                    help="override dtype inference from the file suffix")
+
+    pd = sub.add_parser("decompress", help="decompress an archive")
+    pd.add_argument("archive", type=Path)
+    pd.add_argument("-o", "--output", type=Path, required=True,
+                    help="output flat binary path")
+
+    pi = sub.add_parser("info", help="describe an archive")
+    pi.add_argument("archive", type=Path)
+
+    ps = sub.add_parser("stats", help="size/entropy breakdown of an archive")
+    ps.add_argument("archive", type=Path)
+
+    pv = sub.add_parser("verify", help="verify an archive against its original")
+    pv.add_argument("input", type=Path, help="original .f32/.f64 field")
+    pv.add_argument("archive", type=Path)
+    pv.add_argument("--dims", type=int, nargs="+", required=True)
+    pv.add_argument("--dtype", choices=["f32", "f64"], default=None)
+    return parser
+
+
+def _load_field(path: Path, dims: list[int], dtype_flag: str | None) -> np.ndarray:
+    dtype = {"f32": np.float32, "f64": np.float64, None: None}[dtype_flag]
+    return load_binary(path, tuple(dims), dtype=dtype)
+
+
+def _cmd_compress(args) -> int:
+    field = _load_field(args.input, args.dims, args.dtype)
+    config = CompressorConfig(
+        eb=args.eb, eb_mode=args.mode, workflow=args.workflow,
+        predictor=args.predictor, dict_size=args.dict_size,
+    )
+    result = compress(field, config)
+    args.output.write_bytes(result.archive)
+    print(f"{args.input} -> {args.output}")
+    print(f"  {result.original_bytes} -> {result.compressed_bytes} bytes "
+          f"({result.compression_ratio:.2f}x)")
+    print(f"  workflow={result.workflow} predictor={result.predictor} "
+          f"eb_abs={result.eb_abs:.4g} outliers={result.n_outliers}")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    field = decompress(args.archive.read_bytes())
+    np.ascontiguousarray(field).tofile(args.output)
+    print(f"{args.archive} -> {args.output}  shape={field.shape} dtype={field.dtype}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    blob = args.archive.read_bytes()
+    reader = ArchiveReader(blob)
+    from .core.compressor import _unpack_meta  # shared parsing
+
+    meta = _unpack_meta(reader.get_bytes("meta"))
+    print(f"archive    : {args.archive} ({len(blob)} bytes)")
+    print(f"shape      : {meta['shape']}  dtype={np.dtype(meta['dtype']).name}")
+    print(f"workflow   : {meta['workflow']}  predictor={meta['predictor']}")
+    print(f"error bound: {meta['eb_abs']:.4g} (absolute, user bound)")
+    print(f"dict size  : {meta['dict_size']}  outliers={meta['n_outliers']}")
+    original = int(np.prod(meta["shape"])) * np.dtype(meta["dtype"]).itemsize
+    print(f"ratio      : {original / len(blob):.2f}x")
+    print("sections   :")
+    for name in reader.names():
+        print(f"  {name:10} {len(reader.get_bytes(name)):>12} bytes")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .core.inspect import inspect_archive
+
+    print(inspect_archive(args.archive.read_bytes()).report())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    field = _load_field(args.input, args.dims, args.dtype)
+    restored = decompress(args.archive.read_bytes())
+    if restored.shape != field.shape:
+        print(f"FAIL: archive shape {restored.shape} != field shape {field.shape}")
+        return 1
+    from .core.compressor import _unpack_meta
+
+    meta = _unpack_meta(ArchiveReader(args.archive.read_bytes()).get_bytes("meta"))
+    quality = evaluate_quality(field, restored, meta["eb_abs"])
+    print(f"max |error| : {quality.max_error:.4g}")
+    print(f"bound       : {quality.eb_abs:.4g}  satisfied={quality.bound_satisfied}")
+    print(f"PSNR        : {quality.psnr_db:.2f} dB   NRMSE={quality.nrmse:.3g}")
+    return 0 if quality.bound_satisfied else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "compress": _cmd_compress,
+        "decompress": _cmd_decompress,
+        "info": _cmd_info,
+        "stats": _cmd_stats,
+        "verify": _cmd_verify,
+    }[args.command]
+    try:
+        return handler(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

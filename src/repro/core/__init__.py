@@ -1,0 +1,25 @@
+"""Core pipeline: dual-quantization, Lorenzo, workflows, archive, public API."""
+
+from .compressor import CompressionResult, Compressor, compress, decompress
+from .config import CompressorConfig, SelectorDiagnostics
+from .inspect import ArchiveStats, inspect_archive
+from .pwrel import compress_pwrel
+from .streaming import StreamingCompressor, compress_blocks, decompress_blocks
+from .temporal import TemporalCompressor, TemporalDecompressor
+
+__all__ = [
+    "compress",
+    "decompress",
+    "compress_pwrel",
+    "Compressor",
+    "CompressorConfig",
+    "CompressionResult",
+    "SelectorDiagnostics",
+    "compress_blocks",
+    "decompress_blocks",
+    "StreamingCompressor",
+    "TemporalCompressor",
+    "TemporalDecompressor",
+    "ArchiveStats",
+    "inspect_archive",
+]

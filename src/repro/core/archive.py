@@ -1,0 +1,156 @@
+"""Self-describing binary archive for compressed fields.
+
+The archive is a small sectioned container: a fixed header, a section table
+(name, dtype, byte length), and the concatenated section payloads.  Every
+byte the decompressor needs is inside, so compression-ratio accounting is
+honest: ``CR = original_bytes / len(archive)`` includes codebooks, chunk
+metadata, outliers, and the header itself (the paper's Table IV note about
+chunkwise metadata overhead).
+
+The layout is deliberately explicit (struct-packed, little-endian) rather
+than pickle/JSON so archives are portable and their size is deterministic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ArchiveError
+
+__all__ = ["ArchiveBuilder", "ArchiveReader", "MAGIC", "VERSION"]
+
+MAGIC = b"RPRSZP1\x00"
+VERSION = 1
+
+#: Section-table entry: 16-byte name, 8-byte dtype string, u64 length.
+_ENTRY = struct.Struct("<16s8sQ")
+_HEADER = struct.Struct("<8sHI")  # magic, version, n_sections
+
+#: dtype tag for raw (untyped) byte sections.
+_RAW = b"raw"
+
+
+def _dtype_tag(dtype: np.dtype) -> bytes:
+    tag = np.dtype(dtype).str.encode()  # e.g. b"<u2", b"<f4"
+    if len(tag) > 8:
+        raise ArchiveError(f"dtype tag too long: {tag!r}")
+    return tag
+
+
+@dataclass
+class _Section:
+    name: str
+    dtype: bytes
+    payload: bytes
+
+
+class ArchiveBuilder:
+    """Accumulate named sections and serialize to one byte blob."""
+
+    def __init__(self) -> None:
+        self._sections: list[_Section] = []
+        self._names: set[str] = set()
+
+    def add_bytes(self, name: str, payload: bytes) -> "ArchiveBuilder":
+        """Add an untyped byte section."""
+        self._add(name, _RAW, bytes(payload))
+        return self
+
+    def add_array(self, name: str, arr: np.ndarray) -> "ArchiveBuilder":
+        """Add a 1-D typed array section (dtype is recorded for the reader)."""
+        arr = np.ascontiguousarray(arr)
+        self._add(name, _dtype_tag(arr.dtype), arr.tobytes())
+        return self
+
+    def _add(self, name: str, dtype: bytes, payload: bytes) -> None:
+        if len(name.encode()) > 16:
+            raise ArchiveError(f"section name too long: {name!r}")
+        if name in self._names:
+            raise ArchiveError(f"duplicate section {name!r}")
+        self._names.add(name)
+        self._sections.append(_Section(name, dtype, payload))
+
+    def to_bytes(self) -> bytes:
+        """Serialize header + section table + payloads."""
+        parts = [_HEADER.pack(MAGIC, VERSION, len(self._sections))]
+        for s in self._sections:
+            parts.append(_ENTRY.pack(s.name.encode().ljust(16, b"\x00"),
+                                     s.dtype.ljust(8, b"\x00"),
+                                     len(s.payload)))
+        for s in self._sections:
+            parts.append(s.payload)
+        return b"".join(parts)
+
+    def section_sizes(self) -> dict[str, int]:
+        """Per-section payload byte counts (for size breakdowns)."""
+        return {s.name: len(s.payload) for s in self._sections}
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Header + section-table bytes (the container's own footprint)."""
+        return _HEADER.size + _ENTRY.size * len(self._sections)
+
+
+class ArchiveReader:
+    """Parse an archive blob and expose sections by name."""
+
+    def __init__(self, blob: bytes) -> None:
+        if len(blob) < _HEADER.size:
+            raise ArchiveError("archive truncated: missing header")
+        magic, version, n_sections = _HEADER.unpack_from(blob, 0)
+        if magic != MAGIC:
+            raise ArchiveError(f"bad magic {magic!r}; not a repro archive")
+        if version != VERSION:
+            raise ArchiveError(f"unsupported archive version {version}")
+        offset = _HEADER.size
+        table_end = offset + _ENTRY.size * n_sections
+        if len(blob) < table_end:
+            raise ArchiveError("archive truncated: incomplete section table")
+        self._sections: dict[str, tuple[bytes, int, int]] = {}
+        payload_off = table_end
+        for _ in range(n_sections):
+            raw_name, raw_dtype, length = _ENTRY.unpack_from(blob, offset)
+            offset += _ENTRY.size
+            try:
+                name = raw_name.rstrip(b"\x00").decode("ascii")
+            except UnicodeDecodeError:
+                raise ArchiveError("corrupt section table: non-ASCII section name") from None
+            dtype = raw_dtype.rstrip(b"\x00")
+            if payload_off + length > len(blob):
+                raise ArchiveError(f"archive truncated: section {name!r} payload")
+            self._sections[name] = (dtype, payload_off, int(length))
+            payload_off += length
+        self._blob = blob
+
+    def names(self) -> list[str]:
+        return list(self._sections)
+
+    def has(self, name: str) -> bool:
+        return name in self._sections
+
+    def get_bytes(self, name: str) -> bytes:
+        dtype, off, length = self._entry(name)
+        return self._blob[off : off + length]
+
+    def get_array(self, name: str) -> np.ndarray:
+        """Read back a typed array section (1-D, recorded dtype)."""
+        raw_dtype, off, length = self._entry(name)
+        if raw_dtype == _RAW:
+            raise ArchiveError(f"section {name!r} is raw bytes, not an array")
+        try:
+            dtype = np.dtype(raw_dtype.decode("ascii"))
+        except (TypeError, UnicodeDecodeError):
+            raise ArchiveError(
+                f"section {name!r} has a corrupt dtype tag {raw_dtype!r}"
+            ) from None
+        return np.frombuffer(self._blob, dtype=dtype,
+                             count=length // dtype.itemsize, offset=off)
+
+    def _entry(self, name: str) -> tuple[bytes, int, int]:
+        try:
+            return self._sections[name]
+        except KeyError:
+            raise ArchiveError(f"archive has no section {name!r}") from None

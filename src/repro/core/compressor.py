@@ -1,0 +1,368 @@
+"""Public compression API: :func:`compress`, :func:`decompress`, :class:`Compressor`.
+
+End-to-end cuSZ+ pipeline (Fig. 1, bottom):
+
+1. dual-quantization (prequant -> Lorenzo prediction -> postquant) with the
+   modified outlier scheme (outliers carry the compensation delta);
+2. histogram of quant-codes;
+3. compressibility-aware workflow selection (⟨b⟩ <= 1.09 rule);
+4. Workflow-Huffman (canonical multi-byte VLE, chunked/deflated) or
+   Workflow-RLE (reduce-by-key runs, optional VLE over run values);
+5. outlier gather into a sparse section;
+6. sectioned archive serialization.
+
+Decompression is the mirror image, ending in the branch-free partial-sum
+Lorenzo reconstruction.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..encoding.histogram import histogram
+from .archive import ArchiveBuilder, ArchiveReader
+from .config import CompressorConfig, SelectorDiagnostics
+from .dual_quant import (
+    Quantized,
+    fuse_quant_and_outliers,
+    quantize_field,
+)
+from .errors import ArchiveError, ConfigError
+from .lorenzo import lorenzo_reconstruct
+from .selector import select_workflow
+from .workflow import (
+    emit_huffman_sections,
+    emit_rle_sections,
+    read_huffman_sections,
+    read_rle_sections,
+)
+
+__all__ = ["CompressionResult", "Compressor", "compress", "decompress"]
+
+# Archive metadata section layout (little-endian):
+#   dtype_code u8, ndim u8, workflow u8, predictor u8,
+#   dict_size u32, huffman_chunk u32, rle_length_bytes u32,
+#   shape 4*u64, chunks 4*u32,
+#   eb_twice f64 (guarded quantization step), n_symbols u64, n_runs u64,
+#   n_outliers u64, eb_abs f64 (the user-facing bound, for verification)
+_META = struct.Struct("<BBBBIII4Q4IdQQQd")
+
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_CODE_DTYPES = {v: k for k, v in _DTYPE_CODES.items()}
+_WORKFLOW_CODES = {"huffman": 0, "rle": 1, "rle+vle": 2, "huffman+lz": 3}
+_CODE_WORKFLOWS = {v: k for k, v in _WORKFLOW_CODES.items()}
+_PREDICTOR_CODES = {"lorenzo": 0, "regression": 1, "interp": 2}
+_CODE_PREDICTORS = {v: k for k, v in _PREDICTOR_CODES.items()}
+
+
+@dataclass
+class CompressionResult:
+    """Everything :func:`compress` produces.
+
+    ``archive`` is the self-contained byte blob; the rest is reporting:
+    per-section sizes, the selected workflow with its selector diagnostics,
+    and the resolved absolute error bound.
+    """
+
+    archive: bytes
+    workflow: str
+    eb_abs: float
+    original_bytes: int
+    section_sizes: dict[str, int] = field(default_factory=dict)
+    diagnostics: SelectorDiagnostics | None = None
+    stage_stats: dict[str, float] = field(default_factory=dict)
+    n_outliers: int = 0
+    predictor: str = "lorenzo"
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.archive)
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.original_bytes / len(self.archive)
+
+
+def compress(data: np.ndarray, config: CompressorConfig | None = None, **kwargs) -> CompressionResult:
+    """Compress a 1..4-D float array into a self-contained archive.
+
+    ``kwargs`` are convenience overrides for :class:`CompressorConfig`
+    fields, e.g. ``compress(x, eb=1e-3, workflow="huffman")``.
+    """
+    if config is None:
+        config = CompressorConfig(**kwargs)
+    elif kwargs:
+        config = config.with_(**kwargs)
+    data = np.asarray(data)
+    if data.dtype not in _DTYPE_CODES:
+        if np.issubdtype(data.dtype, np.floating):
+            data = data.astype(np.float32)
+        else:
+            raise ConfigError(f"unsupported dtype {data.dtype}; expected float32/float64")
+
+    # Missing values (NaN masks are routine in observational/climate data):
+    # record their positions losslessly and fill with the finite mean so the
+    # predictor sees smooth data; decompression restores the NaNs exactly.
+    nan_mask = np.isnan(data)
+    nan_payload: bytes | None = None
+    if nan_mask.any():
+        finite = data[~nan_mask]
+        if finite.size == 0:
+            raise ConfigError("field is entirely NaN; nothing to compress")
+        fill = float(finite.mean())
+        data = np.where(nan_mask, np.asarray(fill, dtype=data.dtype), data)
+        nan_payload = _encode_nan_mask(nan_mask)
+
+    bundle, eb_abs = quantize_field(data, config)
+    freqs = histogram(bundle.quant, config.dict_size)
+    diag = select_workflow(bundle.quant, freqs, config)
+    workflow = diag.decision
+
+    builder = ArchiveBuilder()
+    stage_stats: dict[str, float] = {}
+    flat = bundle.quant.reshape(-1)
+    n_runs = 0
+    if workflow in ("huffman", "huffman+lz"):
+        stage_stats.update(
+            emit_huffman_sections(
+                flat, config.dict_size, config.huffman_chunk, builder,
+                lz_stage=workflow == "huffman+lz",
+            )
+        )
+    elif workflow in ("rle", "rle+vle"):
+        rle_stats = emit_rle_sections(flat, config, builder, with_vle=workflow == "rle+vle")
+        n_runs = int(rle_stats.pop("n_runs"))
+        stage_stats.update(rle_stats)
+    else:  # pragma: no cover - selector guarantees a known value
+        raise ConfigError(f"selector produced unknown workflow {workflow!r}")
+
+    _emit_outliers(bundle, builder)
+    if nan_payload is not None:
+        builder.add_bytes("nan", nan_payload)
+    if bundle.predictor == "regression":
+        builder.add_bytes("reg", bundle.reg_coeffs.serialized())
+    builder.add_bytes("meta", _pack_meta(data, config, bundle, workflow, eb_abs, n_runs))
+    return CompressionResult(
+        archive=builder.to_bytes(),
+        workflow=workflow,
+        eb_abs=eb_abs,
+        original_bytes=int(data.nbytes),
+        section_sizes=builder.section_sizes(),
+        diagnostics=diag,
+        stage_stats=stage_stats,
+        n_outliers=bundle.n_outliers,
+        predictor=bundle.predictor,
+    )
+
+
+def decompress(blob: bytes) -> np.ndarray:
+    """Reconstruct the original-shaped array from an archive blob.
+
+    Transparently handles point-wise-relative containers produced by
+    :func:`repro.core.pwrel.compress_pwrel`.
+    """
+    reader = ArchiveReader(blob)
+    if reader.has("pw.inner"):
+        from .pwrel import decompress_pwrel
+
+        return decompress_pwrel(blob)
+    meta = _unpack_meta(reader.get_bytes("meta"))
+    config = CompressorConfig(
+        eb=meta["eb_twice"] / 2.0,
+        eb_mode="abs",
+        dict_size=meta["dict_size"],
+        huffman_chunk=meta["huffman_chunk"],
+        rle_length_dtype=f"uint{meta['rle_length_bytes'] * 8}",
+    )
+    quant_dtype = np.uint16 if meta["dict_size"] <= 1 << 16 else np.uint32
+    n = meta["n_symbols"]
+    if meta["workflow"] in ("huffman", "huffman+lz"):
+        flat = read_huffman_sections(
+            reader, n, meta["huffman_chunk"], out_dtype=quant_dtype
+        )
+    else:
+        flat = read_rle_sections(
+            reader, n, meta["n_runs"], config, quant_dtype=quant_dtype
+        )
+    if flat.size != n:
+        raise ArchiveError(f"decoded {flat.size} quant-codes, expected {n}")
+
+    oidx, oval = _read_outliers(reader, meta["n_outliers"])
+    fused = fuse_quant_and_outliers(flat, oidx, oval, meta["dict_size"] // 2)
+    if meta["predictor"] == "regression":
+        from .regression import RegressionCoefficients, predict_from_coefficients
+
+        grid = tuple(-(-s // c) for s, c in zip(meta["shape"], meta["chunks"]))
+        coeffs = RegressionCoefficients.deserialized(
+            reader.get_bytes("reg"), grid, meta["chunks"]
+        )
+        dq = predict_from_coefficients(coeffs, meta["shape"]) + fused.reshape(meta["shape"])
+    elif meta["predictor"] == "interp":
+        from .interp import interp_reconstruct
+
+        dq = interp_reconstruct(fused.reshape(meta["shape"]), cubic=True)
+    else:
+        dq = lorenzo_reconstruct(fused.reshape(meta["shape"]), meta["chunks"])
+    out = (dq.astype(np.float64) * meta["eb_twice"]).astype(meta["dtype"])
+    if reader.has("nan"):
+        mask = _decode_nan_mask(reader.get_bytes("nan"), int(np.prod(meta["shape"])))
+        out.reshape(-1)[mask] = np.nan
+    return out
+
+
+class Compressor:
+    """Stateful convenience wrapper binding a configuration.
+
+    >>> comp = Compressor(eb=1e-3)
+    >>> result = comp.compress(field)
+    >>> restored = comp.decompress(result.archive)
+    """
+
+    def __init__(self, config: CompressorConfig | None = None, **kwargs) -> None:
+        self.config = config.with_(**kwargs) if config and kwargs else (
+            config or CompressorConfig(**kwargs)
+        )
+
+    def compress(self, data: np.ndarray) -> CompressionResult:
+        return compress(data, self.config)
+
+    @staticmethod
+    def decompress(blob: bytes) -> np.ndarray:
+        return decompress(blob)
+
+
+# ---------------------------------------------------------------------------
+# Section helpers
+# ---------------------------------------------------------------------------
+
+
+def _encode_nan_mask(mask: np.ndarray) -> bytes:
+    """Pick the smaller of a packed bit-mask and a u32 index list."""
+    flat = mask.reshape(-1)
+    idx = np.flatnonzero(flat).astype(np.uint32)
+    bitmask_bytes = (flat.size + 7) // 8
+    if idx.nbytes < bitmask_bytes:
+        return b"\x01" + idx.tobytes()
+    return b"\x00" + np.packbits(flat).tobytes()
+
+
+def _decode_nan_mask(raw: bytes, n: int) -> np.ndarray:
+    """Flat boolean mask from :func:`_encode_nan_mask`'s payload."""
+    if not raw:
+        raise ArchiveError("empty NaN-mask section")
+    kind, payload = raw[0], raw[1:]
+    if kind == 1:
+        idx = np.frombuffer(payload, dtype=np.uint32)
+        if idx.size and int(idx.max()) >= n:
+            raise ArchiveError("NaN-mask index out of range")
+        mask = np.zeros(n, dtype=bool)
+        mask[idx.astype(np.int64)] = True
+        return mask
+    if kind == 0:
+        packed = np.frombuffer(payload, dtype=np.uint8)
+        if packed.size * 8 < n:
+            raise ArchiveError("NaN bit-mask too short")
+        return np.unpackbits(packed, count=n).astype(bool)
+    raise ArchiveError(f"unknown NaN-mask encoding {kind}")
+
+
+def _emit_outliers(bundle: Quantized, builder: ArchiveBuilder) -> None:
+    """Gather-outlier stage: store sparse (index, delta) pairs compactly."""
+    idx = bundle.outlier_indices
+    val = bundle.outlier_values
+    n = int(np.prod(bundle.shape))
+    idx_dtype = np.uint32 if n <= np.iinfo(np.uint32).max else np.int64
+    if val.size and (val.min() < np.iinfo(np.int32).min or val.max() > np.iinfo(np.int32).max):
+        val_dtype = np.int64
+    else:
+        val_dtype = np.int32
+    builder.add_array("o.idx", idx.astype(idx_dtype))
+    builder.add_array("o.val", val.astype(val_dtype))
+
+
+def _read_outliers(reader: ArchiveReader, n_outliers: int) -> tuple[np.ndarray, np.ndarray]:
+    idx = reader.get_array("o.idx").astype(np.int64)
+    val = reader.get_array("o.val").astype(np.int64)
+    if idx.size != n_outliers or val.size != n_outliers:
+        raise ArchiveError("outlier section size mismatch with header")
+    return idx, val
+
+
+def _pack_meta(
+    data: np.ndarray,
+    config: CompressorConfig,
+    bundle: Quantized,
+    workflow: str,
+    eb_abs: float,
+    n_runs: int,
+) -> bytes:
+    shape = list(bundle.shape) + [0] * (4 - len(bundle.shape))
+    chunks = list(bundle.chunks) + [0] * (4 - len(bundle.chunks))
+    return _META.pack(
+        _DTYPE_CODES[np.dtype(data.dtype)],
+        data.ndim,
+        _WORKFLOW_CODES[workflow],
+        _PREDICTOR_CODES[bundle.predictor],
+        config.dict_size,
+        config.huffman_chunk,
+        np.dtype(config.rle_length_dtype).itemsize,
+        *shape,
+        *chunks,
+        bundle.eb_twice,
+        int(np.prod(bundle.shape)),
+        n_runs,
+        bundle.n_outliers,
+        eb_abs,
+    )
+
+
+def _unpack_meta(raw: bytes) -> dict:
+    if len(raw) != _META.size:
+        raise ArchiveError(f"meta section has {len(raw)} bytes, expected {_META.size}")
+    fields = _META.unpack(raw)
+    (dtype_code, ndim, wf_code, pred_code, dict_size, huffman_chunk, rle_len_bytes) = fields[:7]
+    shape4 = fields[7:11]
+    chunks4 = fields[11:15]
+    eb_twice, n_symbols, n_runs, n_outliers, eb_abs = fields[15:]
+    if dtype_code not in _CODE_DTYPES:
+        raise ArchiveError(f"unknown dtype code {dtype_code}")
+    if wf_code not in _CODE_WORKFLOWS:
+        raise ArchiveError(f"unknown workflow code {wf_code}")
+    if pred_code not in _CODE_PREDICTORS:
+        raise ArchiveError(f"unknown predictor code {pred_code}")
+    if not 1 <= ndim <= 4:
+        raise ArchiveError(f"invalid ndim {ndim}")
+    shape = tuple(int(s) for s in shape4[:ndim])
+    chunks = tuple(int(c) for c in chunks4[:ndim])
+    if any(s < 1 for s in shape) or int(np.prod(shape, dtype=np.float64)) != n_symbols:
+        raise ArchiveError(f"corrupt metadata: shape {shape} != {n_symbols} elements")
+    if n_symbols < 1 or n_symbols > 1 << 40:
+        raise ArchiveError(f"corrupt metadata: implausible element count {n_symbols}")
+    if any(c < 1 for c in chunks):
+        raise ArchiveError(f"corrupt metadata: chunk sizes {chunks}")
+    if not (2 <= dict_size <= 1 << 20) or dict_size % 2:
+        raise ArchiveError(f"corrupt metadata: dict_size {dict_size}")
+    if huffman_chunk < 1:
+        raise ArchiveError(f"corrupt metadata: huffman_chunk {huffman_chunk}")
+    if rle_len_bytes not in (1, 2, 4, 8):
+        raise ArchiveError(f"corrupt metadata: rle length width {rle_len_bytes}")
+    if not (eb_twice > 0 and np.isfinite(eb_twice)):
+        raise ArchiveError(f"corrupt metadata: quantization step {eb_twice}")
+    return {
+        "dtype": _CODE_DTYPES[dtype_code],
+        "workflow": _CODE_WORKFLOWS[wf_code],
+        "predictor": _CODE_PREDICTORS[pred_code],
+        "dict_size": int(dict_size),
+        "huffman_chunk": int(huffman_chunk),
+        "rle_length_bytes": int(rle_len_bytes),
+        "shape": shape,
+        "chunks": chunks,
+        "eb_twice": float(eb_twice),
+        "n_symbols": int(n_symbols),
+        "n_runs": int(n_runs),
+        "n_outliers": int(n_outliers),
+        "eb_abs": float(eb_abs),
+    }

@@ -1,0 +1,189 @@
+"""Configuration objects for the compressor.
+
+The defaults mirror cuSZ/cuSZ+ as described in the paper:
+
+* quant-code dictionary (``dict_size``) of 1024 symbols, i.e. a quantization
+  *radius* of 512;
+* per-chunk compression with chunk sizes 256 (1D), 16x16 (2D) and 8x8x8 (3D),
+  matching the paper's Section IV-B.3 kernel chunking;
+* Huffman coding performed in independent chunks of ``huffman_chunk``
+  quant-codes (the "deflating" granularity), which is what makes GPU decoding
+  parallelizable;
+* the adaptive workflow rule "use RLE when the estimated average Huffman
+  bit-length is no greater than ``rle_bitlen_threshold`` (= 1.09)".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+from .errors import ConfigError, DimensionalityError
+
+#: Supported error-bound interpretation modes.
+#:   ``abs``  -- the bound is an absolute value difference.
+#:   ``rel``  -- the bound is relative to the field's value range (the
+#:               paper's "relative to value range" bounds, e.g. 1e-4).
+ErrorBoundMode = Literal["abs", "rel"]
+
+#: Workflow selection.  ``auto`` applies the paper's compressibility-aware
+#: rule; the other values force a specific pipeline.  ``huffman+lz`` appends
+#: the CPU-side dictionary stage (cuSZ Step-9 / the qhg reference) using the
+#: from-scratch LZ77 coder -- highest ratio, host-side throughput.
+WorkflowChoice = Literal["auto", "huffman", "rle", "rle+vle", "huffman+lz"]
+
+#: Predictor selection.  ``lorenzo`` is the paper's default; ``regression``
+#: is the SZ2-style block hyperplane predictor (the paper's stated future
+#: work); ``interp`` is the SZ3-style multi-level cubic interpolation
+#: (paper ref. [19]); ``auto`` quantizes with each and keeps the cheapest.
+PredictorChoice = Literal["lorenzo", "regression", "interp", "auto"]
+
+#: Default per-dimensionality chunk shapes (cuSZ block sizes).
+DEFAULT_CHUNKS: dict[int, tuple[int, ...]] = {
+    1: (256,),
+    2: (16, 16),
+    3: (8, 8, 8),
+    4: (8, 8, 8, 8),
+}
+
+#: Average-bit-length threshold below which Workflow-RLE is selected
+#: (paper Section III-B: "when Huffman is likely to achieve an average
+#: bit-length lower than 1.09, we can use RLE").
+RLE_BITLEN_THRESHOLD = 1.09
+
+
+@dataclass(frozen=True)
+class CompressorConfig:
+    """User-facing configuration for :func:`repro.compress`.
+
+    Parameters
+    ----------
+    eb:
+        Error bound.  Interpreted according to ``eb_mode``.
+    eb_mode:
+        ``"rel"`` (default, bound is ``eb * (max - min)`` of the field) or
+        ``"abs"``.
+    dict_size:
+        Number of quant-code symbols (histogram bins / Huffman alphabet).
+        Must be an even positive integer; the quantization radius is
+        ``dict_size // 2``.
+    workflow:
+        ``"auto"`` to apply the adaptive selection rule, or force one of
+        ``"huffman"``, ``"rle"``, ``"rle+vle"``.
+    chunks:
+        Optional per-axis chunk shape; ``None`` selects the cuSZ default for
+        the data's dimensionality.
+    huffman_chunk:
+        Number of quant-codes per independently-decodable Huffman chunk.
+    rle_bitlen_threshold:
+        The adaptive rule's threshold on the estimated average Huffman
+        bit-length.
+    rle_encode_lengths:
+        Whether to Huffman-encode the RLE run-length metadata as well
+        (paper default: disabled -- metadata is stored raw).
+    rle_length_dtype:
+        Integer dtype used for raw RLE run lengths.
+    predictor:
+        ``"lorenzo"`` (default), ``"regression"`` (SZ2-style block
+        hyperplanes), or ``"auto"`` (pick per field by estimated cost).
+    """
+
+    eb: float = 1e-4
+    eb_mode: ErrorBoundMode = "rel"
+    dict_size: int = 1024
+    workflow: WorkflowChoice = "auto"
+    predictor: PredictorChoice = "lorenzo"
+    chunks: tuple[int, ...] | None = None
+    huffman_chunk: int = 4096
+    rle_bitlen_threshold: float = RLE_BITLEN_THRESHOLD
+    rle_encode_lengths: bool = False
+    rle_length_dtype: str = "uint16"
+
+    def __post_init__(self) -> None:
+        if not (self.eb > 0.0 and math.isfinite(self.eb)):
+            raise ConfigError(f"error bound must be a positive finite number, got {self.eb!r}")
+        if self.eb_mode not in ("abs", "rel"):
+            raise ConfigError(f"eb_mode must be 'abs' or 'rel', got {self.eb_mode!r}")
+        if self.dict_size < 2 or self.dict_size % 2 != 0:
+            raise ConfigError(f"dict_size must be an even integer >= 2, got {self.dict_size!r}")
+        if self.workflow not in ("auto", "huffman", "rle", "rle+vle", "huffman+lz"):
+            raise ConfigError(f"unknown workflow {self.workflow!r}")
+        if self.predictor not in ("lorenzo", "regression", "interp", "auto"):
+            raise ConfigError(f"unknown predictor {self.predictor!r}")
+        if self.huffman_chunk < 1:
+            raise ConfigError(f"huffman_chunk must be >= 1, got {self.huffman_chunk!r}")
+        if self.chunks is not None:
+            if len(self.chunks) not in DEFAULT_CHUNKS:
+                raise DimensionalityError(
+                    f"chunks must have 1..4 axes, got {len(self.chunks)}"
+                )
+            if any(int(c) < 1 for c in self.chunks):
+                raise ConfigError(f"chunk sizes must be positive, got {self.chunks!r}")
+        if not (0.0 < self.rle_bitlen_threshold):
+            raise ConfigError("rle_bitlen_threshold must be positive")
+
+    @property
+    def radius(self) -> int:
+        """Quantization radius: quant-codes live in ``[0, dict_size)`` with
+        the zero prediction error mapped to ``radius``."""
+        return self.dict_size // 2
+
+    def chunks_for(self, ndim: int) -> tuple[int, ...]:
+        """Chunk shape to use for ``ndim``-dimensional data."""
+        if self.chunks is not None:
+            if len(self.chunks) != ndim:
+                raise DimensionalityError(
+                    f"configured chunks {self.chunks!r} do not match {ndim}-D data"
+                )
+            return self.chunks
+        try:
+            return DEFAULT_CHUNKS[ndim]
+        except KeyError:
+            raise DimensionalityError(f"unsupported dimensionality {ndim}") from None
+
+    def absolute_bound(self, value_range: float) -> float:
+        """Resolve the configured bound to an absolute error bound.
+
+        ``value_range`` is ``max - min`` of the field being compressed and is
+        only consulted in ``rel`` mode.  A constant field (range 0) in
+        relative mode degenerates to a tiny positive bound so quantization
+        stays well-defined.
+        """
+        if self.eb_mode == "abs":
+            return self.eb
+        if value_range <= 0.0:
+            return self.eb
+        return self.eb * value_range
+
+    def with_(self, **kwargs) -> "CompressorConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class SelectorDiagnostics:
+    """Diagnostics produced by the adaptive workflow selector.
+
+    Captures everything the decision rule looked at so benchmarks and users
+    can audit why a workflow was chosen.
+    """
+
+    p1: float
+    entropy: float
+    bitlen_lower: float
+    bitlen_upper: float
+    rle_bitlen_estimate: float
+    smoothness: float | None
+    decision: str
+    reason: str = ""
+
+
+__all__ = [
+    "CompressorConfig",
+    "SelectorDiagnostics",
+    "ErrorBoundMode",
+    "WorkflowChoice",
+    "DEFAULT_CHUNKS",
+    "RLE_BITLEN_THRESHOLD",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro compression framework.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class.  Errors are split by the stage that raised them
+(configuration, encoding, archive parsing, device simulation) because the
+stages have different recovery strategies: a configuration error is a caller
+bug, a corrupt archive is an input problem, a device error is a simulator
+misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid compressor or kernel configuration supplied by the caller."""
+
+
+class EncodingError(ReproError):
+    """A lossless-encoding stage (Huffman, RLE, bit I/O) failed."""
+
+
+class CodebookOverflowError(EncodingError):
+    """A symbol outside the codebook alphabet was given to an encoder."""
+
+
+class ArchiveError(ReproError):
+    """A compressed archive is malformed, truncated, or version-mismatched."""
+
+
+class DeviceError(ReproError):
+    """Invalid use of the simulated GPU device/runtime."""
+
+
+class DimensionalityError(ConfigError):
+    """Data dimensionality outside the supported 1..4-D range."""

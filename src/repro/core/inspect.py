@@ -1,0 +1,142 @@
+"""Archive inspection: size accounting and payload statistics.
+
+Answers the operational questions a compression deployment asks of an
+archive without (fully) decompressing it:
+
+* where did the bytes go? (payload vs codebook vs chunk metadata vs
+  outliers vs container overhead)
+* how close is the Huffman payload to its entropy bound?
+* what do the quant-codes look like? (p1, entropy, outlier rate -- the
+  selector's view, recovered from the archive alone)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.entropy import bitlen_bounds
+from .archive import ArchiveReader
+from .compressor import _unpack_meta
+from .config import CompressorConfig
+from .errors import ArchiveError
+from .workflow import read_huffman_sections, read_rle_sections
+
+__all__ = ["ArchiveStats", "inspect_archive"]
+
+
+@dataclass
+class ArchiveStats:
+    """Everything :func:`inspect_archive` derives from one archive."""
+
+    total_bytes: int
+    original_bytes: int
+    shape: tuple[int, ...]
+    dtype: str
+    workflow: str
+    predictor: str
+    eb_abs: float
+    section_bytes: dict[str, int] = field(default_factory=dict)
+    container_overhead: int = 0
+    # Quant-code statistics recovered from the archive.
+    p1: float = 0.0
+    entropy: float = 0.0
+    bitlen_lower: float = 0.0
+    bitlen_upper: float = 0.0
+    n_outliers: int = 0
+    payload_bits_per_element: float = 0.0
+    entropy_gap_percent: float = 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.original_bytes / self.total_bytes
+
+    def breakdown(self) -> list[tuple[str, int, float]]:
+        """(section, bytes, percent-of-archive) rows plus overhead."""
+        rows = [
+            (name, size, 100.0 * size / self.total_bytes)
+            for name, size in sorted(self.section_bytes.items(), key=lambda kv: -kv[1])
+        ]
+        rows.append(
+            ("(container)", self.container_overhead,
+             100.0 * self.container_overhead / self.total_bytes)
+        )
+        return rows
+
+    def report(self) -> str:
+        lines = [
+            f"archive   : {self.total_bytes} bytes for {self.original_bytes} "
+            f"({self.compression_ratio:.2f}x)",
+            f"field     : shape={self.shape} dtype={self.dtype} "
+            f"workflow={self.workflow} predictor={self.predictor}",
+            f"bound     : {self.eb_abs:.4g} (absolute)",
+            f"quant     : p1={self.p1:.4f} entropy={self.entropy:.3f} b/sym "
+            f"(⟨b⟩ ∈ [{self.bitlen_lower:.2f}, {self.bitlen_upper:.2f}]), "
+            f"outliers={self.n_outliers}",
+            f"payload   : {self.payload_bits_per_element:.3f} bits/element "
+            f"({self.entropy_gap_percent:+.1f}% vs entropy)",
+            "sections  :",
+        ]
+        for name, size, pct in self.breakdown():
+            lines.append(f"  {name:12} {size:>12} B  {pct:5.1f}%")
+        return "\n".join(lines)
+
+
+def inspect_archive(blob: bytes) -> ArchiveStats:
+    """Analyze a single-field archive (raises on multi-block/pwrel/checkpoint
+    containers -- inspect their inner archives instead)."""
+    reader = ArchiveReader(blob)
+    if not reader.has("meta"):
+        raise ArchiveError(
+            "not a single-field archive (no 'meta' section); for containers, "
+            "inspect the inner block/rank archives"
+        )
+    meta = _unpack_meta(reader.get_bytes("meta"))
+    dtype = np.dtype(meta["dtype"])
+    original = meta["n_symbols"] * dtype.itemsize
+    sections = {name: len(reader.get_bytes(name)) for name in reader.names()}
+    overhead = len(blob) - sum(sections.values())
+
+    # Recover the quant stream to recompute the selector's statistics.
+    config = CompressorConfig(
+        eb=meta["eb_twice"] / 2.0, eb_mode="abs", dict_size=meta["dict_size"],
+        huffman_chunk=meta["huffman_chunk"],
+        rle_length_dtype=f"uint{meta['rle_length_bytes'] * 8}",
+    )
+    qdtype = np.uint16 if meta["dict_size"] <= 1 << 16 else np.uint32
+    if meta["workflow"] in ("huffman", "huffman+lz"):
+        quant = read_huffman_sections(
+            reader, meta["n_symbols"], meta["huffman_chunk"], out_dtype=qdtype
+        )
+    else:
+        quant = read_rle_sections(
+            reader, meta["n_symbols"], meta["n_runs"], config, quant_dtype=qdtype
+        )
+    freqs = np.bincount(quant, minlength=meta["dict_size"])
+    entropy, p1, lower, upper = bitlen_bounds(freqs)
+
+    payload_sections = [s for s in ("q.bits", "q.lz", "r.val", "r.len",
+                                    "rv.bits", "rl.bits") if s in sections]
+    payload_bits = 8.0 * sum(sections[s] for s in payload_sections)
+    bits_per_elem = payload_bits / meta["n_symbols"]
+    gap = (bits_per_elem / entropy - 1.0) * 100.0 if entropy > 0 else 0.0
+
+    return ArchiveStats(
+        total_bytes=len(blob),
+        original_bytes=original,
+        shape=meta["shape"],
+        dtype=dtype.name,
+        workflow=meta["workflow"],
+        predictor=meta["predictor"],
+        eb_abs=meta["eb_abs"],
+        section_bytes=sections,
+        container_overhead=overhead,
+        p1=p1,
+        entropy=entropy,
+        bitlen_lower=lower,
+        bitlen_upper=upper,
+        n_outliers=meta["n_outliers"],
+        payload_bits_per_element=bits_per_elem,
+        entropy_gap_percent=gap,
+    )

@@ -1,0 +1,94 @@
+"""Compressibility-aware workflow selection (Section III).
+
+Given the quant-code histogram (cheap to compute on GPU; cuSZ already needs
+it for Huffman), the selector estimates the average Huffman bit-length ⟨b⟩
+*without building the tree* using the Johnsen/Gallager redundancy bounds,
+estimates RLE's bits-per-symbol from the run-break rate, and applies the
+paper's practical rule:
+
+    use Workflow-RLE when the estimated ⟨b⟩ is no greater than 1.09.
+
+The secondary criterion ⟨b⟩_RLE <= ⟨b⟩ ("we expect to use RLE when its
+bit-length wins") is also checked; either test firing selects RLE.  When RLE
+is chosen, the default is RLE followed by VLE over the run values -- the
+paper reports a steady 2-3x additional gain from that stage -- while the run
+*lengths* (metadata) stay raw by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.entropy import bitlen_bounds
+from ..analysis.variogram import adjacent_roughness
+from .config import CompressorConfig, SelectorDiagnostics
+
+__all__ = ["select_workflow", "estimate_rle_bits_per_symbol"]
+
+
+def estimate_rle_bits_per_symbol(
+    quant: np.ndarray, value_bits: int, length_bits: int
+) -> float:
+    """⟨b⟩_RLE: raw RLE output bits per input symbol.
+
+    One (value, count) tuple per run; the run-break rate (adjacent
+    roughness) gives runs-per-symbol directly, so
+    ``⟨b⟩_RLE = break_rate * (value_bits + length_bits)`` up to the one
+    extra run at the stream head.
+    """
+    flat = np.asarray(quant).reshape(-1)
+    n = flat.size
+    if n == 0:
+        return float("inf")
+    n_runs = adjacent_roughness(flat) * max(n - 1, 1) + 1
+    return n_runs * (value_bits + length_bits) / n
+
+
+def select_workflow(
+    quant: np.ndarray,
+    freqs: np.ndarray,
+    config: CompressorConfig,
+) -> SelectorDiagnostics:
+    """Decide between Workflow-Huffman and Workflow-RLE.
+
+    Returns full diagnostics; ``decision`` is one of ``"huffman"``,
+    ``"rle"``, ``"rle+vle"``.  A forced workflow in the config short-circuits
+    the estimation (but diagnostics are still populated).
+    """
+    entropy, p1, lower, upper = bitlen_bounds(freqs)
+    value_bits = int(quant.dtype.itemsize) * 8
+    length_bits = int(np.dtype(config.rle_length_dtype).itemsize) * 8
+    rle_bits = estimate_rle_bits_per_symbol(quant, value_bits, length_bits)
+    # Distance-1 smoothness (Section III-B.2's madogram signal at lag 1);
+    # one vectorized pass, reported alongside the histogram signals.
+    smooth = 1.0 - adjacent_roughness(np.asarray(quant).reshape(-1))
+
+    if config.workflow != "auto":
+        return SelectorDiagnostics(
+            p1=p1, entropy=entropy, bitlen_lower=lower, bitlen_upper=upper,
+            rle_bitlen_estimate=rle_bits, smoothness=smooth,
+            decision=config.workflow, reason="forced by configuration",
+        )
+
+    # The paper's practical rule uses the optimistic ("likely achievable")
+    # estimate of ⟨b⟩, i.e. the lower bound H + R-(p1) floored at 1 bit.
+    threshold_hit = lower <= config.rle_bitlen_threshold
+    rle_wins = rle_bits <= lower
+    if threshold_hit or rle_wins:
+        decision = "rle+vle"
+        reason = (
+            f"⟨b⟩ estimate {lower:.3f} <= {config.rle_bitlen_threshold}"
+            if threshold_hit
+            else f"⟨b⟩_RLE {rle_bits:.3f} <= ⟨b⟩ estimate {lower:.3f}"
+        )
+    else:
+        decision = "huffman"
+        reason = (
+            f"⟨b⟩ estimate {lower:.3f} > {config.rle_bitlen_threshold} "
+            f"and ⟨b⟩_RLE {rle_bits:.3f} loses"
+        )
+    return SelectorDiagnostics(
+        p1=p1, entropy=entropy, bitlen_lower=lower, bitlen_upper=upper,
+        rle_bitlen_estimate=rle_bits, smoothness=smooth,
+        decision=decision, reason=reason,
+    )

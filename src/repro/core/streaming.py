@@ -1,0 +1,264 @@
+"""Block-wise compression for fields larger than device memory.
+
+Paper, Section V-A.3: "when the field is too large to fit in a single GPU's
+memory, cuSZ+ divides it into blocks and then compresses by block"; and the
+Step-1 chunk split "favors coarse-grained decompression".  This module
+implements both properties:
+
+* :func:`compress_blocks` splits a field along its slowest axis into blocks
+  of bounded size and compresses each independently into one multi-block
+  container;
+* :func:`decompress_blocks` restores the whole field;
+* :func:`decompress_block` / :func:`decompress_range` decode only the
+  requested blocks -- coarse-grained random access without touching the
+  rest of the archive;
+* :class:`StreamingCompressor` consumes blocks incrementally (e.g. straight
+  from a simulation loop or an out-of-core reader) and emits the same
+  container.
+
+The error-bound contract is global: in relative mode the bound is resolved
+against the *whole field's* value range before splitting (a two-pass
+scheme).  The incremental path cannot see the full range up front, so it
+requires an absolute bound -- the honest choice, and what in-situ users have
+anyway.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .archive import ArchiveBuilder, ArchiveReader
+from .compressor import compress, decompress
+from .config import CompressorConfig
+from .errors import ArchiveError, ConfigError
+
+__all__ = [
+    "compress_blocks",
+    "decompress_blocks",
+    "decompress_block",
+    "decompress_range",
+    "block_manifest",
+    "StreamingCompressor",
+]
+
+#: Multi-block container manifest: ndim u8, pad 3x u8, n_blocks u32,
+#: trailing shape 4*u64 (full field shape), then per-block extents (u64 each)
+_BMETA_HEAD = struct.Struct("<B3xI4Q")
+
+
+@dataclass(frozen=True)
+class BlockManifest:
+    """Geometry of a multi-block archive."""
+
+    shape: tuple[int, ...]
+    extents: tuple[int, ...]  # per-block size along axis 0
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.extents)
+
+    @property
+    def offsets(self) -> tuple[int, ...]:
+        out = [0]
+        for e in self.extents[:-1]:
+            out.append(out[-1] + e)
+        return tuple(out)
+
+    def block_for_index(self, index: int) -> int:
+        """Which block holds axis-0 position ``index``."""
+        if not 0 <= index < self.shape[0]:
+            raise IndexError(f"index {index} out of range 0..{self.shape[0] - 1}")
+        acc = 0
+        for k, e in enumerate(self.extents):
+            acc += e
+            if index < acc:
+                return k
+        raise AssertionError("unreachable")
+
+
+def _pack_manifest(m: BlockManifest) -> bytes:
+    shape4 = list(m.shape) + [0] * (4 - len(m.shape))
+    head = _BMETA_HEAD.pack(len(m.shape), m.n_blocks, *shape4)
+    return head + np.asarray(m.extents, dtype=np.uint64).tobytes()
+
+
+def _unpack_manifest(raw: bytes) -> BlockManifest:
+    if len(raw) < _BMETA_HEAD.size:
+        raise ArchiveError("block manifest truncated")
+    ndim, n_blocks, *shape4 = _BMETA_HEAD.unpack_from(raw, 0)
+    extents = np.frombuffer(raw, dtype=np.uint64, offset=_BMETA_HEAD.size)
+    if extents.size != n_blocks:
+        raise ArchiveError(
+            f"block manifest lists {extents.size} extents, header says {n_blocks}"
+        )
+    shape = tuple(int(s) for s in shape4[:ndim])
+    if sum(int(e) for e in extents) != shape[0]:
+        raise ArchiveError("block extents do not tile the field")
+    return BlockManifest(shape=shape, extents=tuple(int(e) for e in extents))
+
+
+def _block_count_extents(n0: int, block_rows: int) -> list[int]:
+    if block_rows < 1:
+        raise ConfigError(f"block size must be >= 1 row, got {block_rows}")
+    extents = []
+    remaining = n0
+    while remaining > 0:
+        take = min(block_rows, remaining)
+        extents.append(take)
+        remaining -= take
+    return extents
+
+
+def compress_blocks(
+    data: np.ndarray,
+    config: CompressorConfig | None = None,
+    max_block_bytes: int = 64 << 20,
+    **kwargs,
+) -> bytes:
+    """Compress a large field block-by-block into one container blob.
+
+    The field is split along axis 0 so each uncompressed block stays under
+    ``max_block_bytes``.  Relative bounds are resolved against the full
+    field's range so every block honors the same absolute bound.
+    """
+    if config is None:
+        config = CompressorConfig(**kwargs)
+    elif kwargs:
+        config = config.with_(**kwargs)
+    data = np.asarray(data)
+    if data.ndim < 1 or data.size == 0:
+        raise ConfigError("cannot block-compress an empty array")
+    row_bytes = int(data.nbytes // data.shape[0]) or 1
+    block_rows = max(int(max_block_bytes // row_bytes), 1)
+    extents = _block_count_extents(data.shape[0], block_rows)
+    # NaN-masked fields resolve the relative bound on the finite range.
+    eb_abs = config.absolute_bound(float(np.nanmax(data) - np.nanmin(data)))
+    block_config = config.with_(eb=eb_abs, eb_mode="abs")
+    blocks = (
+        data[off : off + ext]
+        for off, ext in zip(BlockManifest(data.shape, tuple(extents)).offsets, extents)
+    )
+    return _build_container(blocks, data.shape, extents, block_config)
+
+
+def _build_container(
+    blocks: Iterable[np.ndarray],
+    shape: tuple[int, ...],
+    extents: list[int],
+    block_config: CompressorConfig,
+) -> bytes:
+    builder = ArchiveBuilder()
+    count = 0
+    for k, block in enumerate(blocks):
+        result = compress(block, block_config)
+        builder.add_bytes(f"blk{k}", result.archive)
+        count += 1
+    if count != len(extents):
+        raise ConfigError(f"got {count} blocks, manifest expected {len(extents)}")
+    builder.add_bytes("bmeta", _pack_manifest(BlockManifest(shape, tuple(extents))))
+    return builder.to_bytes()
+
+
+def block_manifest(blob: bytes) -> BlockManifest:
+    """Read a container's geometry without decompressing anything."""
+    return _unpack_manifest(ArchiveReader(blob).get_bytes("bmeta"))
+
+
+def decompress_block(blob: bytes, index: int) -> np.ndarray:
+    """Decode exactly one block (coarse-grained random access)."""
+    reader = ArchiveReader(blob)
+    manifest = _unpack_manifest(reader.get_bytes("bmeta"))
+    if not 0 <= index < manifest.n_blocks:
+        raise IndexError(f"block {index} out of range 0..{manifest.n_blocks - 1}")
+    return decompress(reader.get_bytes(f"blk{index}"))
+
+
+def decompress_range(blob: bytes, start: int, stop: int) -> np.ndarray:
+    """Decode only the blocks covering axis-0 rows ``[start, stop)``.
+
+    Returns exactly those rows; untouched blocks are never decoded.
+    """
+    manifest = block_manifest(blob)
+    if not 0 <= start < stop <= manifest.shape[0]:
+        raise IndexError(f"row range [{start}, {stop}) outside field of {manifest.shape[0]}")
+    first = manifest.block_for_index(start)
+    last = manifest.block_for_index(stop - 1)
+    reader = ArchiveReader(blob)
+    pieces = [decompress(reader.get_bytes(f"blk{k}")) for k in range(first, last + 1)]
+    stacked = np.concatenate(pieces, axis=0)
+    base = manifest.offsets[first]
+    return stacked[start - base : stop - base]
+
+
+def decompress_blocks(blob: bytes) -> np.ndarray:
+    """Restore the full field from a multi-block container."""
+    manifest = block_manifest(blob)
+    reader = ArchiveReader(blob)
+    pieces = [decompress(reader.get_bytes(f"blk{k}")) for k in range(manifest.n_blocks)]
+    out = np.concatenate(pieces, axis=0)
+    if out.shape != manifest.shape:
+        raise ArchiveError(f"blocks reassemble to {out.shape}, manifest says {manifest.shape}")
+    return out
+
+
+class StreamingCompressor:
+    """Incremental block-by-block compression (in-situ / out-of-core).
+
+    Feed blocks with :meth:`append`; call :meth:`finish` for the container.
+    Requires an absolute error bound -- the global value range is unknowable
+    mid-stream, so a relative bound could not be honored.
+
+    >>> sc = StreamingCompressor(CompressorConfig(eb=1e-3, eb_mode="abs"))
+    >>> for block in simulation_steps():
+    ...     sc.append(block)
+    >>> blob = sc.finish()
+    """
+
+    def __init__(self, config: CompressorConfig) -> None:
+        if config.eb_mode != "abs":
+            raise ConfigError(
+                "streaming compression requires an absolute error bound "
+                "(the full value range is not known up front)"
+            )
+        self.config = config
+        self._builder = ArchiveBuilder()
+        self._extents: list[int] = []
+        self._tail_shape: tuple[int, ...] | None = None
+        self._finished = False
+
+    def append(self, block: np.ndarray) -> None:
+        """Compress and append one block (all blocks must share trailing dims)."""
+        if self._finished:
+            raise ConfigError("streaming compressor already finished")
+        block = np.asarray(block)
+        if block.ndim < 1 or block.size == 0:
+            raise ConfigError("blocks must be non-empty arrays")
+        tail = tuple(block.shape[1:])
+        if self._tail_shape is None:
+            self._tail_shape = tail
+        elif tail != self._tail_shape:
+            raise ConfigError(
+                f"block trailing shape {tail} != first block's {self._tail_shape}"
+            )
+        result = compress(block, self.config)
+        self._builder.add_bytes(f"blk{len(self._extents)}", result.archive)
+        self._extents.append(int(block.shape[0]))
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._extents)
+
+    def finish(self) -> bytes:
+        """Seal the container and return the blob."""
+        if not self._extents:
+            raise ConfigError("no blocks were appended")
+        self._finished = True
+        shape = (sum(self._extents), *(self._tail_shape or ()))
+        self._builder.add_bytes(
+            "bmeta", _pack_manifest(BlockManifest(shape, tuple(self._extents)))
+        )
+        return self._builder.to_bytes()

@@ -1,0 +1,204 @@
+"""Lossless-stage pipelines: Workflow-Huffman and Workflow-RLE (Fig. 1).
+
+Both workflows consume the quant-code array produced by dual-quantization
+and emit archive sections; decompression mirrors them.  Section naming uses
+a prefix so the same Huffman plumbing serves both the main quant stream and
+the RLE value stream (the "+VLE" stage).
+
+Workflow-Huffman (the cuSZ default, path "a"):
+    histogram -> canonical codebook -> chunked Huffman encode -> deflate.
+
+Workflow-RLE (the cuSZ+ addition, path "b"):
+    reduce_by_key RLE -> (optional) Huffman over run values; run lengths
+    stored raw by default (the paper disables metadata compression on GPU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..encoding.histogram import histogram
+from ..encoding.huffman import CanonicalCodebook, build_codebook
+from ..encoding.huffman_codec import HuffmanEncoded, decode as huff_decode, encode as huff_encode
+from ..encoding.rle import RunLengthEncoded, rle_decode, rle_encode
+from .archive import ArchiveBuilder, ArchiveReader
+from .config import CompressorConfig
+from .errors import ArchiveError
+
+__all__ = [
+    "emit_huffman_sections",
+    "read_huffman_sections",
+    "emit_rle_sections",
+    "read_rle_sections",
+]
+
+
+def _huffman_encode_stream(
+    symbols: np.ndarray, alphabet_size: int, chunk_size: int
+) -> tuple[CanonicalCodebook, HuffmanEncoded, float]:
+    """Histogram -> codebook -> chunked encode; returns (book, stream, ⟨b⟩)."""
+    freqs = histogram(symbols, alphabet_size)
+    book = build_codebook(freqs)
+    encoded = huff_encode(symbols, book, chunk_size)
+    return book, encoded, book.average_bit_length(freqs)
+
+
+def _add_huffman_group(
+    builder: ArchiveBuilder,
+    prefix: str,
+    book: CanonicalCodebook,
+    encoded: HuffmanEncoded,
+    sparse_codebook: bool = False,
+) -> None:
+    raw_book = book.serialized_sparse() if sparse_codebook else book.serialized()
+    builder.add_bytes(f"{prefix}.cb", raw_book)
+    builder.add_array(f"{prefix}.bits", encoded.payload)
+    builder.add_array(f"{prefix}.cbits", encoded.chunk_bits)
+
+
+def _huffman_group_bytes(book_bytes: bytes, encoded: HuffmanEncoded) -> int:
+    return len(book_bytes) + encoded.payload_bytes + encoded.metadata_bytes
+
+
+def emit_huffman_sections(
+    symbols: np.ndarray,
+    alphabet_size: int,
+    chunk_size: int,
+    builder: ArchiveBuilder,
+    prefix: str = "q",
+    lz_stage: bool = False,
+) -> dict[str, float]:
+    """Huffman-encode ``symbols`` and add codebook/payload/metadata sections.
+
+    ``lz_stage`` appends the CPU-side dictionary pass (cuSZ Step-9): the
+    deflated Huffman bitstream is LZ77-compressed into ``<prefix>.lz``
+    (replacing ``<prefix>.bits``) when that actually shrinks it.  Returns
+    stage statistics used by the compression info report.
+    """
+    from ..encoding.lz77 import lz_compress
+
+    book, encoded, avg_bitlen = _huffman_encode_stream(symbols, alphabet_size, chunk_size)
+    stats = {
+        "avg_bitlen": avg_bitlen,
+        "payload_bytes": float(encoded.payload_bytes),
+        "metadata_bytes": float(encoded.metadata_bytes),
+    }
+    if lz_stage:
+        packed = lz_compress(encoded.payload.tobytes())
+        if len(packed) < encoded.payload_bytes:
+            builder.add_bytes(f"{prefix}.cb", book.serialized())
+            builder.add_bytes(f"{prefix}.lz", packed)
+            builder.add_array(f"{prefix}.cbits", encoded.chunk_bits)
+            stats["lz_bytes"] = float(len(packed))
+            return stats
+        stats["lz_skipped"] = 1.0
+    _add_huffman_group(builder, prefix, book, encoded)
+    return stats
+
+
+def read_huffman_sections(
+    reader: ArchiveReader,
+    n_symbols: int,
+    chunk_size: int,
+    prefix: str = "q",
+    out_dtype=np.uint16,
+    sparse_codebook: bool = False,
+) -> np.ndarray:
+    """Decode a Huffman section group written by :func:`emit_huffman_sections`."""
+    raw_book = reader.get_bytes(f"{prefix}.cb")
+    if sparse_codebook:
+        book = CanonicalCodebook.deserialized_sparse(raw_book)
+    else:
+        book = CanonicalCodebook.deserialized(raw_book)
+    if reader.has(f"{prefix}.lz"):
+        from ..encoding.lz77 import lz_decompress
+
+        payload = np.frombuffer(lz_decompress(reader.get_bytes(f"{prefix}.lz")), dtype=np.uint8)
+    else:
+        payload = reader.get_array(f"{prefix}.bits")
+    chunk_bits = reader.get_array(f"{prefix}.cbits")
+    encoded = HuffmanEncoded(
+        payload=payload,
+        chunk_bits=chunk_bits,
+        n_symbols=n_symbols,
+        chunk_size=chunk_size,
+    )
+    return huff_decode(encoded, book, out_dtype=out_dtype)
+
+
+def emit_rle_sections(
+    quant: np.ndarray,
+    config: CompressorConfig,
+    builder: ArchiveBuilder,
+    with_vle: bool,
+) -> dict[str, float]:
+    """RLE-encode the quant stream; optionally VLE the run values.
+
+    Sections: ``r.len`` (raw run lengths), and either ``r.val`` (raw run
+    values) or the ``rv.*`` Huffman group over run values.
+    """
+    rle = rle_encode(quant.reshape(-1), length_dtype=np.dtype(config.rle_length_dtype))
+    stats: dict[str, float] = {
+        "n_runs": float(rle.n_runs),
+        "mean_run_length": rle.mean_run_length,
+    }
+    if with_vle:
+        # VLE over run values (dense 1024-symbol codebook).  The codebook is
+        # a fixed cost; for short run streams it can exceed the raw values
+        # outright, so VLE only replaces raw when it actually shrinks.
+        book, encoded, avg_bitlen = _huffman_encode_stream(
+            rle.values, config.dict_size, config.huffman_chunk
+        )
+        if _huffman_group_bytes(book.serialized(), encoded) < rle.values.nbytes:
+            _add_huffman_group(builder, "rv", book, encoded)
+            stats["vle_avg_bitlen"] = avg_bitlen
+            stats["vle_payload_bytes"] = float(encoded.payload_bytes)
+        else:
+            builder.add_array("r.val", rle.values)
+            stats["vle_skipped"] = 1.0
+        # VLE over run lengths (sparse codebook -- the 16-bit length alphabet
+        # is huge but only a few dozen distinct lengths occur).  Run lengths
+        # are heavily skewed, so this typically roughly halves the metadata,
+        # which is where Table IV's >2x RLE+VLE gains come from.
+        length_alphabet = int(np.iinfo(rle.lengths.dtype).max) + 1
+        lbook, lencoded, lavg = _huffman_encode_stream(
+            rle.lengths.astype(np.uint32), length_alphabet, config.huffman_chunk
+        )
+        if _huffman_group_bytes(lbook.serialized_sparse(), lencoded) < rle.lengths.nbytes:
+            _add_huffman_group(builder, "rl", lbook, lencoded, sparse_codebook=True)
+            stats["vle_len_avg_bitlen"] = lavg
+        else:
+            builder.add_array("r.len", rle.lengths)
+    else:
+        builder.add_array("r.val", rle.values)
+        builder.add_array("r.len", rle.lengths)
+    return stats
+
+
+def read_rle_sections(
+    reader: ArchiveReader,
+    n_symbols: int,
+    n_runs: int,
+    config: CompressorConfig,
+    quant_dtype=np.uint16,
+) -> np.ndarray:
+    """Invert :func:`emit_rle_sections` back to the flat quant stream."""
+    if reader.has("r.len"):
+        lengths = reader.get_array("r.len")
+    else:
+        lengths = read_huffman_sections(
+            reader, n_runs, config.huffman_chunk, prefix="rl",
+            out_dtype=np.dtype(config.rle_length_dtype), sparse_codebook=True,
+        )
+    if lengths.size != n_runs:
+        raise ArchiveError(
+            f"run-length metadata has {lengths.size} runs, header says {n_runs}"
+        )
+    if reader.has("r.val"):
+        values = reader.get_array("r.val")
+    else:
+        values = read_huffman_sections(
+            reader, n_runs, config.huffman_chunk, prefix="rv", out_dtype=quant_dtype
+        )
+    rle = RunLengthEncoded(values=values, lengths=lengths, n_symbols=n_symbols)
+    return rle_decode(rle, out_dtype=quant_dtype)

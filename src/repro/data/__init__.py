@@ -1,0 +1,14 @@
+"""Datasets: synthetic SDRBench stand-ins, field containers, flat binary I/O."""
+
+from .datasets import DATASETS, DatasetSpec, get_dataset
+from .fields import Field
+from .io import load_binary, save_binary
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "get_dataset",
+    "Field",
+    "load_binary",
+    "save_binary",
+]

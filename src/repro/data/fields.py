@@ -1,0 +1,52 @@
+"""Field container binding data to its dataset context.
+
+A :class:`Field` couples the actually-materialized (scaled-down) array with
+the *paper-scale* shape it stands in for.  Simulated kernel timings profile
+at ``paper_elements`` (see :mod:`repro.kernels.common`); compression-ratio
+measurements use the materialized data directly, since ratios are
+size-intensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Field"]
+
+
+@dataclass
+class Field:
+    """One named field of a dataset."""
+
+    name: str
+    dataset: str
+    data: np.ndarray
+    paper_shape: tuple[int, ...]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def paper_elements(self) -> int:
+        return int(np.prod(self.paper_shape))
+
+    @property
+    def paper_bytes(self) -> int:
+        return self.paper_elements * self.data.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Field({self.dataset}/{self.name}, shape={self.shape}, "
+            f"paper_shape={self.paper_shape})"
+        )

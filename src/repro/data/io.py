@@ -1,0 +1,53 @@
+"""SDRBench-style flat binary I/O.
+
+SDRBench distributes fields as headerless little-endian binaries (``.f32`` /
+``.f64``) with dimensions documented out of band.  These helpers read/write
+that format so real SDRBench downloads drop straight into the pipeline in
+place of the synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..core.errors import ConfigError
+
+__all__ = ["load_binary", "save_binary", "infer_dtype"]
+
+_SUFFIX_DTYPES = {".f32": np.float32, ".f64": np.float64, ".d64": np.float64}
+
+
+def infer_dtype(path: str | os.PathLike) -> np.dtype:
+    """Guess the element dtype from the SDRBench file suffix."""
+    suffix = Path(path).suffix.lower()
+    try:
+        return np.dtype(_SUFFIX_DTYPES[suffix])
+    except KeyError:
+        raise ConfigError(
+            f"cannot infer dtype from suffix {suffix!r}; pass dtype explicitly"
+        ) from None
+
+
+def load_binary(
+    path: str | os.PathLike,
+    shape: tuple[int, ...],
+    dtype=None,
+) -> np.ndarray:
+    """Load a headerless binary field and reshape to ``shape`` (C order)."""
+    dtype = np.dtype(dtype) if dtype is not None else infer_dtype(path)
+    raw = np.fromfile(path, dtype=dtype.newbyteorder("<"))
+    expected = int(np.prod(shape))
+    if raw.size != expected:
+        raise ConfigError(
+            f"{path}: file has {raw.size} elements, shape {shape} needs {expected}"
+        )
+    return raw.reshape(shape).astype(dtype)
+
+
+def save_binary(path: str | os.PathLike, data: np.ndarray) -> None:
+    """Write a field as a headerless little-endian binary (C order)."""
+    arr = np.ascontiguousarray(data)
+    arr.astype(arr.dtype.newbyteorder("<")).tofile(path)

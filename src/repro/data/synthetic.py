@@ -1,0 +1,191 @@
+"""Synthetic scientific-field generators.
+
+These stand in for the SDRBench datasets (see DESIGN.md Section 2).  Each
+generator controls the statistics that drive compressibility under the
+Lorenzo + quantization pipeline:
+
+* **feature scale** (``smooth_field``'s correlation length) sets the local
+  gradient magnitude, hence the quant-code zero fraction / run lengths;
+* **plateaus** (``plateau_field``) create the exactly-constant regions of
+  mask-like climate fields (LANDFRAC, ICEFRAC) that make RLE win;
+* **sparse plumes** (``plume_field``) mimic aerosol/optical-depth fields
+  (ODV_*) that are near-zero almost everywhere;
+* **particles** (``particle_positions``/``particle_velocities``) mimic HACC's
+  1-D coordinate/velocity streams;
+* **shock fronts** (``shock_field``) add the sharp features of hydrodynamics
+  and cosmology fields (Nyx, Miranda, RTM) that generate outliers.
+
+All generators take an explicit :class:`numpy.random.Generator` and are
+deterministic given its state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "smooth_field",
+    "plateau_field",
+    "plume_field",
+    "shock_field",
+    "particle_positions",
+    "particle_velocities",
+    "wave_snapshot",
+]
+
+
+def smooth_field(
+    shape: tuple[int, ...],
+    feature_scale: float,
+    rng: np.random.Generator,
+    detail_amp: float = 0.0,
+) -> np.ndarray:
+    """Gaussian-process-like field with a given correlation length.
+
+    White noise smoothed by a Gaussian kernel of width ``feature_scale``
+    (pixels), normalized to zero mean / unit std, plus optional fine-grained
+    ``detail_amp`` white noise (sub-quantization texture).
+    """
+    noise = rng.standard_normal(shape)
+    base = ndimage.gaussian_filter(noise, sigma=feature_scale, mode="wrap")
+    std = base.std()
+    if std > 0:
+        base /= std
+    if detail_amp > 0.0:
+        base = base + detail_amp * rng.standard_normal(shape)
+    return base.astype(np.float32)
+
+
+def plateau_field(
+    shape: tuple[int, ...],
+    n_regions: int,
+    levels: int,
+    rng: np.random.Generator,
+    background: float = 0.0,
+    detail_amp: float = 0.0,
+) -> np.ndarray:
+    """Piecewise-constant rectangles over a flat background.
+
+    Mimics categorical/mask-like climate fields: large exactly-constant
+    regions whose quant-codes are long zero runs.
+    """
+    out = np.full(shape, background, dtype=np.float32)
+    sizes = np.asarray(shape)
+    for _ in range(n_regions):
+        lo = [rng.integers(0, max(s - 1, 1)) for s in sizes]
+        extent = [max(int(s * rng.uniform(0.05, 0.5)), 1) for s in sizes]
+        slicer = tuple(slice(l, min(l + e, s)) for l, e, s in zip(lo, extent, sizes))
+        out[slicer] = float(rng.integers(0, levels)) / max(levels - 1, 1)
+    if detail_amp > 0.0:
+        out = out + detail_amp * rng.standard_normal(shape).astype(np.float32)
+    return out
+
+
+def plume_field(
+    shape: tuple[int, ...],
+    n_plumes: int,
+    plume_scale: float,
+    rng: np.random.Generator,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Sparse localized bumps on a zero background (aerosol/ODV-like).
+
+    Almost everywhere exactly zero after quantization -- the fields where
+    Workflow-RLE shines (Table IV's ODV rows).
+    """
+    out = np.zeros(shape, dtype=np.float64)
+    sizes = np.asarray(shape)
+    grids = np.meshgrid(*[np.arange(s, dtype=np.float64) for s in shape], indexing="ij")
+    for _ in range(n_plumes):
+        center = [rng.uniform(0, s) for s in sizes]
+        width = plume_scale * rng.uniform(0.5, 1.5)
+        d2 = sum((g - c) ** 2 for g, c in zip(grids, center))
+        out += amplitude * rng.uniform(0.2, 1.0) * np.exp(-d2 / (2 * width**2))
+    return out.astype(np.float32)
+
+
+def shock_field(
+    shape: tuple[int, ...],
+    feature_scale: float,
+    shock_sharpness: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Smooth field passed through tanh to create front-like jumps.
+
+    Mimics hydrodynamics densities (Miranda, Nyx): mostly smooth with sharp
+    interfaces that become quantization outliers at tight bounds.
+    """
+    base = smooth_field(shape, feature_scale, rng)
+    return np.tanh(shock_sharpness * base).astype(np.float32)
+
+
+def particle_positions(n: int, rng: np.random.Generator, box: float = 256.0) -> np.ndarray:
+    """HACC-like particle coordinates: clustered positions in a periodic box.
+
+    Particles are laid out in the code's memory order, which follows spatial
+    locality (nearby particles adjacent), so the 1-D Lorenzo predictor sees
+    small increments -- matching why HACC position fields compress at all.
+    """
+    n_clusters = max(n // 4096, 1)
+    centers = rng.uniform(0, box, n_clusters)
+    sizes = rng.multinomial(n, np.full(n_clusters, 1.0 / n_clusters))
+    chunks = [
+        np.sort(c + rng.normal(0, box / 64, s)) % box
+        for c, s in zip(centers, sizes)
+        if s > 0
+    ]
+    out = np.concatenate(chunks)[:n]
+    # Sub-percent positional jitter: invisible at coarse bounds, it provides
+    # the fine-scale texture that keeps tight-bound (1e-3/1e-4) entropy
+    # realistic (Table I's qg/qh columns).
+    out = out + rng.uniform(-1.0, 1.0, out.shape) * (0.005 * box)
+    return out.astype(np.float32)
+
+
+def particle_velocities(n: int, rng: np.random.Generator, sigma: float = 300.0) -> np.ndarray:
+    """HACC-like velocities: correlated bulk flow + thermal dispersion.
+
+    The bulk component is smooth along memory order (cluster-coherent), the
+    dispersion is white -- together they give the moderately-compressible
+    statistics of vx/vy/vz.
+    """
+    bulk = smooth_field((n,), feature_scale=2048.0, rng=rng) * sigma
+    thermal = rng.normal(0, sigma / 60, n)
+    return (bulk + thermal).astype(np.float32)
+
+
+def wave_snapshot(
+    shape: tuple[int, ...],
+    wavelength: float,
+    rng: np.random.Generator,
+    shell_radius: float = 0.45,
+    shell_width: float = 0.07,
+    cone_halfangle: float | None = None,
+) -> np.ndarray:
+    """RTM-like seismic wavefield: an expanding oscillatory wavefront shell.
+
+    A reverse-time-migration snapshot at a given timestep is a propagating
+    shell of oscillation around the source; the bulk of the volume is still
+    (near-)quiescent, which is why RTM snapshots are strongly RLE-friendly
+    at coarse bounds (Table V's 76x).  ``shell_radius``/``shell_width`` are
+    fractions of the domain diagonal.  ``cone_halfangle`` (radians)
+    restricts radiation to a directional beam -- at laptop-scale grids the
+    shell's surface/volume ratio is ~4x the paper's full grid, so a beam is
+    needed to reach the same quiescent fraction.
+    """
+    grids = np.meshgrid(*[np.arange(s, dtype=np.float64) for s in shape], indexing="ij")
+    center = [rng.uniform(0.35 * s, 0.65 * s) for s in shape]
+    offsets = [g - c for g, c in zip(grids, center)]
+    r = np.sqrt(sum(o**2 for o in offsets))
+    rmax = max(float(r.max()), 1.0)
+    envelope = np.exp(-(((r - shell_radius * rmax) / (shell_width * rmax)) ** 2))
+    if cone_halfangle is not None:
+        direction = rng.standard_normal(len(shape))
+        direction /= np.linalg.norm(direction)
+        safe_r = np.maximum(r, 1e-9)
+        cos_angle = sum(o * d for o, d in zip(offsets, direction)) / safe_r
+        angle = np.arccos(np.clip(cos_angle, -1.0, 1.0))
+        envelope = envelope * np.exp(-((angle / cone_halfangle) ** 2))
+    wave = np.sin(2 * np.pi * r / wavelength) * envelope
+    return wave.astype(np.float32)

@@ -1,0 +1,23 @@
+"""Lossless encodings: canonical Huffman, RLE, bit I/O, DEFLATE reference."""
+
+from .histogram import histogram
+from .huffman import CanonicalCodebook, build_codebook
+from .huffman_codec import HuffmanEncoded, decode, encode
+from .lz77 import lz_compress, lz_decompress
+from .parallel_huffman import build_codebook_parallel
+from .rle import RunLengthEncoded, rle_decode, rle_encode
+
+__all__ = [
+    "histogram",
+    "CanonicalCodebook",
+    "build_codebook",
+    "build_codebook_parallel",
+    "HuffmanEncoded",
+    "encode",
+    "decode",
+    "RunLengthEncoded",
+    "rle_encode",
+    "rle_decode",
+    "lz_compress",
+    "lz_decompress",
+]

@@ -1,0 +1,124 @@
+"""Vectorized variable-length bit packing and unpacking.
+
+GPU Huffman encoders write each symbol's codeword at a data-dependent bit
+offset computed with a prefix sum over the code lengths; this module does the
+same with NumPy.  Packing expands every codeword into its individual bits
+(``np.repeat`` over lengths gives each bit its owning symbol, a second prefix
+sum gives its position inside the codeword) and then ``np.packbits`` the
+result -- no Python-level loop over symbols.
+
+Bit order is MSB-first within each codeword and within each byte, matching
+the canonical-Huffman decode tables in :mod:`repro.encoding.huffman`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import EncodingError
+
+__all__ = [
+    "pack_codes",
+    "unpack_to_bits",
+    "peek_bits",
+    "bits_to_bytes",
+]
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
+    """Concatenate variable-length codewords into a dense bitstream.
+
+    Parameters
+    ----------
+    codes:
+        Per-symbol codewords, right-aligned in a ``uint64`` (the codeword's
+        most significant bit is bit ``length - 1``).
+    lengths:
+        Per-symbol codeword bit lengths (1..64).
+
+    Returns
+    -------
+    (packed, total_bits):
+        ``packed`` is a ``uint8`` array (MSB-first; final byte zero-padded),
+        ``total_bits`` the exact number of meaningful bits.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise EncodingError("codes and lengths must have identical shapes")
+    if codes.size == 0:
+        return np.zeros(0, dtype=np.uint8), 0
+    if lengths.min() < 1 or lengths.max() > 64:
+        raise EncodingError("code lengths must be in 1..64")
+    ends = np.cumsum(lengths)
+    total_bits = int(ends[-1])
+    starts = ends - lengths
+    # Each output bit knows its owning symbol and its index inside the code.
+    owner = np.repeat(np.arange(codes.size, dtype=np.int64), lengths)
+    pos_in_code = np.arange(total_bits, dtype=np.int64) - np.repeat(starts, lengths)
+    shift = (lengths[owner] - 1 - pos_in_code).astype(np.uint64)
+    bits = ((codes[owner] >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits), total_bits
+
+
+def unpack_to_bits(packed: np.ndarray, total_bits: int) -> np.ndarray:
+    """Expand a packed byte stream back to a 0/1 ``uint8`` bit array."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if total_bits < 0 or total_bits > packed.size * 8:
+        raise EncodingError(
+            f"total_bits {total_bits} inconsistent with {packed.size} packed bytes"
+        )
+    return np.unpackbits(packed, count=total_bits)
+
+
+def peek_bits(bits: np.ndarray, positions: np.ndarray, width: int) -> np.ndarray:
+    """Read ``width`` bits starting at each of ``positions``, as integers.
+
+    Reads past the end of the stream are zero-padded, mirroring how a GPU
+    decoder over-fetches its last word.  Vectorized over positions -- this is
+    the primitive behind the lockstep (one-cursor-per-chunk) decoder.
+    """
+    if not 1 <= width <= 63:
+        raise EncodingError(f"peek width must be 1..63, got {width}")
+    positions = np.asarray(positions, dtype=np.int64)
+    n = bits.shape[0]
+    idx = positions[:, None] + np.arange(width, dtype=np.int64)[None, :]
+    valid = idx < n
+    window = np.where(valid, bits[np.minimum(idx, n - 1)], 0).astype(np.int64)
+    weights = (np.int64(1) << np.arange(width - 1, -1, -1, dtype=np.int64))
+    return window @ weights
+
+
+def peek_bits_packed(packed: np.ndarray, positions: np.ndarray, width: int) -> np.ndarray:
+    """Read ``width`` bits at each bit ``position`` straight from packed bytes.
+
+    Faster than :func:`peek_bits` for repeated peeks: instead of gathering
+    ``width`` individual bits it gathers the 8 bytes covering the window and
+    shifts -- exactly the word-at-a-time read a GPU decoder performs.  Width
+    is limited to 56 so the window always fits the 64-bit accumulator
+    regardless of the position's bit phase.
+    """
+    if not 1 <= width <= 56:
+        raise EncodingError(f"packed peek width must be 1..56, got {width}")
+    padded = np.concatenate([np.asarray(packed, dtype=np.uint8),
+                             np.zeros(8, dtype=np.uint8)])
+    return peek_bits_prepadded(padded, positions, width)
+
+
+def peek_bits_prepadded(padded: np.ndarray, positions: np.ndarray, width: int) -> np.ndarray:
+    """:func:`peek_bits_packed` over a stream already padded with >= 8 zero
+    bytes -- the repeated-peek fast path (no per-call copy)."""
+    positions = np.asarray(positions, dtype=np.int64)
+    byte_idx = positions >> 3
+    acc = np.zeros(positions.shape, dtype=np.uint64)
+    for k in range(8):
+        acc = (acc << np.uint64(8)) | padded[byte_idx + k].astype(np.uint64)
+    phase = (positions & 7).astype(np.uint64)
+    shift = np.uint64(64 - width) - phase
+    mask = np.uint64((1 << width) - 1)
+    return ((acc >> shift) & mask).astype(np.int64)
+
+
+def bits_to_bytes(total_bits: int) -> int:
+    """Number of bytes needed to hold ``total_bits`` bits."""
+    return (int(total_bits) + 7) // 8

@@ -1,0 +1,232 @@
+"""Canonical Huffman codebooks over multi-byte quant-code symbols.
+
+cuSZ builds a *canonical* Huffman codebook (compression Step-6) so that the
+decoder needs only the code-length sequence, not the tree: canonical codes
+of the same length are consecutive integers, assigned in symbol order.  That
+property is what makes the GPU decoder a table lookup (and our vectorized
+decoder a ``searchsorted``): reading ``max_length`` bits ahead, the numeric
+value alone determines both the code length and the symbol index.
+
+The alphabet is the quant-code dictionary (typically 1024 symbols, i.e.
+"multi-byte symbols" -- wider than one byte), which is the paper's ``h``
+stage as opposed to byte-oriented gzip (``g``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import CodebookOverflowError, EncodingError
+
+__all__ = ["CanonicalCodebook", "build_code_lengths", "build_codebook"]
+
+
+def build_code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Huffman code lengths from symbol frequencies.
+
+    Standard two-queue/heap construction.  Symbols with zero frequency get
+    length 0 (absent from the codebook).  A degenerate one-symbol alphabet
+    gets length 1.  Ties are broken deterministically by symbol order so the
+    codebook is reproducible across runs.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    nonzero = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if nonzero.size == 0:
+        raise EncodingError("cannot build a codebook from an all-zero histogram")
+    if nonzero.size == 1:
+        lengths[nonzero[0]] = 1
+        return lengths
+    # Heap of (frequency, tiebreak, node).  Leaves are symbol ids; internal
+    # nodes are lists of their leaf symbols.
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(freqs[s]), int(s), [int(s)]) for s in nonzero
+    ]
+    heapq.heapify(heap)
+    tiebreak = int(freqs.size)
+    depth = np.zeros(freqs.size, dtype=np.int64)
+    while len(heap) > 1:
+        fa, _, leaves_a = heapq.heappop(heap)
+        fb, _, leaves_b = heapq.heappop(heap)
+        merged = leaves_a + leaves_b
+        depth[merged] += 1
+        heapq.heappush(heap, (fa + fb, tiebreak, merged))
+        tiebreak += 1
+    if depth.max() > 63:
+        # Astronomically skewed inputs could exceed the 64-bit codeword; the
+        # practical alphabets here (<= 64k symbols) cannot, but guard anyway.
+        raise EncodingError("Huffman code length exceeds 63 bits")
+    lengths[nonzero] = depth[nonzero]
+    return lengths
+
+
+@dataclass
+class CanonicalCodebook:
+    """A canonical Huffman codebook over a fixed-size alphabet.
+
+    Attributes
+    ----------
+    lengths:
+        Per-symbol code length (0 = symbol absent).  This array alone fully
+        determines the codebook and is what the archive serializes.
+    codes:
+        Per-symbol canonical codeword, right-aligned ``uint64``.
+    max_length:
+        Longest code length.
+    sorted_symbols:
+        Symbols sorted by (length, symbol) -- the canonical order; decoding
+        maps a codeword index straight into this array.
+    first_code:
+        ``first_code[L]`` = numeric value of the first (smallest) codeword of
+        length ``L``.
+    first_index:
+        ``first_index[L]`` = position in ``sorted_symbols`` of that codeword.
+    """
+
+    lengths: np.ndarray
+    codes: np.ndarray
+    max_length: int
+    sorted_symbols: np.ndarray
+    first_code: np.ndarray
+    first_index: np.ndarray
+
+    @property
+    def alphabet_size(self) -> int:
+        return int(self.lengths.size)
+
+    def average_bit_length(self, freqs: np.ndarray) -> float:
+        """Frequency-weighted mean codeword length ⟨b⟩ for this book."""
+        freqs = np.asarray(freqs, dtype=np.float64)
+        total = freqs.sum()
+        if total <= 0:
+            raise EncodingError("empty frequency vector")
+        return float((freqs * self.lengths).sum() / total)
+
+    def encoded_bits(self, freqs: np.ndarray) -> int:
+        """Exact payload size in bits for data with these frequencies."""
+        return int((np.asarray(freqs, dtype=np.int64) * self.lengths).sum())
+
+    def serialized(self) -> bytes:
+        """Serialize (just the length table -- canonical codes are implied)."""
+        return self.lengths.astype(np.uint8).tobytes()
+
+    @classmethod
+    def deserialized(cls, raw: bytes) -> "CanonicalCodebook":
+        lengths = np.frombuffer(raw, dtype=np.uint8)
+        return _from_lengths(lengths.copy())
+
+    def serialized_sparse(self) -> bytes:
+        """Sparse serialization: (alphabet u32, count u32, [symbol u32,
+        length u8] pairs).  Wins when few symbols of a large alphabet are
+        present -- e.g. Huffman over 16-bit RLE run lengths, where a dense
+        64 KiB table would dwarf the payload."""
+        symbols = np.flatnonzero(self.lengths > 0).astype(np.uint32)
+        header = np.array([self.alphabet_size, symbols.size], dtype=np.uint32)
+        return (
+            header.tobytes()
+            + symbols.tobytes()
+            + self.lengths[symbols].astype(np.uint8).tobytes()
+        )
+
+    @classmethod
+    def deserialized_sparse(cls, raw: bytes) -> "CanonicalCodebook":
+        if len(raw) < 8:
+            raise EncodingError("sparse codebook truncated")
+        alphabet, count = np.frombuffer(raw[:8], dtype=np.uint32)
+        expected = 8 + 4 * int(count) + int(count)
+        if len(raw) != expected:
+            raise EncodingError(
+                f"sparse codebook has {len(raw)} bytes, expected {expected}"
+            )
+        symbols = np.frombuffer(raw[8 : 8 + 4 * int(count)], dtype=np.uint32)
+        lens = np.frombuffer(raw[8 + 4 * int(count) :], dtype=np.uint8)
+        if int(alphabet) < 1 or int(alphabet) > 1 << 24:
+            raise EncodingError(f"sparse codebook: implausible alphabet {alphabet}")
+        if symbols.size and int(symbols.max()) >= int(alphabet):
+            raise EncodingError("sparse codebook: symbol outside its alphabet")
+        lengths = np.zeros(int(alphabet), dtype=np.uint8)
+        lengths[symbols.astype(np.int64)] = lens
+        return _from_lengths(lengths)
+
+    # -- decode-side helpers -------------------------------------------------
+
+    def decode_boundaries(self, peek_width: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Precomputed tables for value-based decoding at ``peek_width`` bits.
+
+        Returns ``(boundaries, lengths_per_bucket, index_bias)`` where a
+        peeked value ``v`` falls in bucket
+        ``searchsorted(boundaries, v, 'right') - 1``; the bucket gives the
+        code length ``L`` and ``sorted_symbols[(v >> (peek_width - L)) -
+        first_code[L] + first_index[L]]`` is the symbol.
+        """
+        if peek_width < self.max_length:
+            raise EncodingError("peek width shorter than the longest code")
+        present = np.flatnonzero(
+            np.bincount(self.lengths[self.lengths > 0], minlength=self.max_length + 1)
+        )
+        boundaries = np.array(
+            [int(self.first_code[L]) << (peek_width - int(L)) for L in present],
+            dtype=np.int64,
+        )
+        return boundaries, present.astype(np.int64), self.first_index[present].astype(np.int64)
+
+
+def _from_lengths(lengths: np.ndarray) -> CanonicalCodebook:
+    """Materialize canonical codes from a length table."""
+    lengths = np.asarray(lengths, dtype=np.uint8)
+    used = lengths > 0
+    if not used.any():
+        raise EncodingError("length table has no symbols")
+    max_len = int(lengths.max())
+    if max_len > 63:
+        raise EncodingError(f"invalid length table: {max_len}-bit codes exceed 63")
+    # Canonical order: by (length, symbol id).
+    symbols = np.flatnonzero(used)
+    order = np.lexsort((symbols, lengths[symbols]))
+    sorted_symbols = symbols[order].astype(np.int64)
+    sorted_lengths = lengths[sorted_symbols].astype(np.int64)
+    # first_code per length via the standard canonical recurrence:
+    #   code(L) starts at (code(L-1) + count(L-1)) << 1
+    counts = np.bincount(sorted_lengths, minlength=max_len + 1)
+    first_code = np.zeros(max_len + 1, dtype=np.int64)
+    first_index = np.zeros(max_len + 1, dtype=np.int64)
+    code = 0
+    index = 0
+    for L in range(1, max_len + 1):
+        first_code[L] = code
+        first_index[L] = index
+        code = (code + int(counts[L])) << 1
+        index += int(counts[L])
+    if (first_code[max_len] + counts[max_len]) > (1 << max_len):
+        raise EncodingError("invalid (over-full) canonical length table")
+    # Assign per-symbol codes.
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    within = np.arange(sorted_symbols.size, dtype=np.int64) - first_index[sorted_lengths]
+    codes[sorted_symbols] = (first_code[sorted_lengths] + within).astype(np.uint64)
+    return CanonicalCodebook(
+        lengths=lengths,
+        codes=codes,
+        max_length=max_len,
+        sorted_symbols=sorted_symbols,
+        first_code=first_code,
+        first_index=first_index,
+    )
+
+
+def build_codebook(freqs: np.ndarray) -> CanonicalCodebook:
+    """Build a canonical codebook straight from a frequency histogram."""
+    return _from_lengths(build_code_lengths(freqs))
+
+
+def lookup_codes(book: CanonicalCodebook, symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map a symbol stream to (codes, lengths); raises if a symbol is absent."""
+    symbols = np.asarray(symbols)
+    if symbols.size and (int(symbols.min()) < 0 or int(symbols.max()) >= book.alphabet_size):
+        raise CodebookOverflowError("symbol outside the codebook alphabet")
+    lengths = book.lengths[symbols]
+    if symbols.size and int(lengths.min()) == 0:
+        raise CodebookOverflowError("symbol with no assigned code in the stream")
+    return book.codes[symbols], lengths

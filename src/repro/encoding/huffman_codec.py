@@ -1,0 +1,181 @@
+"""Chunked Huffman encoding/decoding (cuSZ Steps 7-8 and their inverse).
+
+cuSZ Huffman-encodes quant-codes in fixed-size chunks and then "deflates"
+(densely concatenates) the per-chunk bitstreams, recording each chunk's bit
+length.  The chunk structure is not an implementation detail -- it is what
+makes GPU decoding parallel: each thread decodes one chunk independently.
+
+The decoder here mirrors that execution model exactly.  Instead of looping
+over symbols within a chunk, it runs *lockstep across chunks*: every chunk
+keeps a bit cursor, and at step ``k`` all active chunks decode their ``k``-th
+symbol simultaneously with vectorized peeks + ``searchsorted`` over the
+canonical code boundaries.  The number of Python-level iterations equals the
+chunk size, not the stream length -- the same work-depth as the GPU kernel.
+
+A plain sequential decoder is provided as the correctness reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import EncodingError
+from .bitio import pack_codes, peek_bits, peek_bits_prepadded, unpack_to_bits
+from .huffman import CanonicalCodebook, lookup_codes
+
+__all__ = ["HuffmanEncoded", "encode", "decode", "decode_sequential"]
+
+
+@dataclass
+class HuffmanEncoded:
+    """A deflated chunked Huffman stream.
+
+    Attributes
+    ----------
+    payload:
+        Dense bitstream bytes (chunks concatenated with no padding).
+    chunk_bits:
+        Bit length of each chunk's sub-stream (the deflate metadata).
+    n_symbols:
+        Total number of encoded symbols.
+    chunk_size:
+        Symbols per chunk (last chunk may be short).
+    """
+
+    payload: np.ndarray
+    chunk_bits: np.ndarray
+    n_symbols: int
+    chunk_size: int
+
+    @property
+    def total_bits(self) -> int:
+        return int(self.chunk_bits.sum())
+
+    @property
+    def payload_bytes(self) -> int:
+        return int(self.payload.size)
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Bytes of deflate metadata (per-chunk bit lengths as uint32)."""
+        return int(self.chunk_bits.size) * 4
+
+
+def encode(symbols: np.ndarray, book: CanonicalCodebook, chunk_size: int) -> HuffmanEncoded:
+    """Encode a symbol stream into a deflated chunked Huffman bitstream."""
+    symbols = np.asarray(symbols).reshape(-1)
+    if symbols.size == 0:
+        raise EncodingError("cannot Huffman-encode an empty stream")
+    if chunk_size < 1:
+        raise EncodingError(f"chunk_size must be >= 1, got {chunk_size}")
+    codes, lengths = lookup_codes(book, symbols)
+    packed, total_bits = pack_codes(codes, lengths)
+    # Per-chunk bit lengths: sum of code lengths within each chunk.
+    n_chunks = (symbols.size + chunk_size - 1) // chunk_size
+    ends = np.cumsum(lengths.astype(np.int64))
+    chunk_last = np.minimum(np.arange(1, n_chunks + 1) * chunk_size, symbols.size) - 1
+    chunk_end_bits = ends[chunk_last]
+    chunk_bits = np.diff(np.concatenate(([0], chunk_end_bits))).astype(np.uint32)
+    assert int(chunk_bits.sum()) == total_bits
+    return HuffmanEncoded(
+        payload=packed,
+        chunk_bits=chunk_bits,
+        n_symbols=int(symbols.size),
+        chunk_size=int(chunk_size),
+    )
+
+
+def decode(encoded: HuffmanEncoded, book: CanonicalCodebook, out_dtype=np.uint16) -> np.ndarray:
+    """Decode lockstep-across-chunks (the GPU execution model, vectorized).
+
+    Every chunk is an independent decode thread; step ``k`` advances all
+    cursors by one symbol using a single peek + ``searchsorted`` over the
+    canonical boundaries.
+    """
+    n = encoded.n_symbols
+    if n == 0:
+        return np.zeros(0, dtype=out_dtype)
+    width = book.max_length
+    # Word-at-a-time peeks straight from the packed stream when the longest
+    # code fits the 64-bit window; pathological (>56-bit) books fall back to
+    # the bit-array path.
+    if width <= 56:
+        padded = np.concatenate(
+            [np.asarray(encoded.payload, dtype=np.uint8), np.zeros(8, dtype=np.uint8)]
+        )
+
+        def peek(pos):
+            return peek_bits_prepadded(padded, pos, width)
+    else:
+        bits = unpack_to_bits(encoded.payload, encoded.total_bits)
+
+        def peek(pos):
+            return peek_bits(bits, pos, width)
+    boundaries, bucket_lengths, bucket_bias = book.decode_boundaries(width)
+    first_code = book.first_code
+    sorted_symbols = book.sorted_symbols
+
+    chunk_bits = encoded.chunk_bits.astype(np.int64)
+    cursors = np.concatenate(([0], np.cumsum(chunk_bits)[:-1]))
+    n_chunks = cursors.size
+    # Symbols each chunk must produce.
+    per_chunk = np.full(n_chunks, encoded.chunk_size, dtype=np.int64)
+    per_chunk[-1] = n - encoded.chunk_size * (n_chunks - 1)
+    out = np.empty(n, dtype=out_dtype)
+    out_base = np.arange(n_chunks, dtype=np.int64) * encoded.chunk_size
+
+    active = np.arange(n_chunks, dtype=np.int64)
+    step = 0
+    max_steps = int(per_chunk.max())
+    while step < max_steps:
+        if step > 0:
+            active = active[per_chunk[active] > step]
+        pos = cursors[active]
+        v = peek(pos)
+        bucket = np.searchsorted(boundaries, v, side="right") - 1
+        if bucket.size and int(bucket.min()) < 0:
+            raise EncodingError("corrupt Huffman stream: value below first code")
+        lens = bucket_lengths[bucket]
+        idx = (v >> (width - lens)) - first_code[lens] + bucket_bias[bucket]
+        if idx.size and (int(idx.max()) >= sorted_symbols.size or int(idx.min()) < 0):
+            raise EncodingError("corrupt Huffman stream: symbol index out of range")
+        out[out_base[active] + step] = sorted_symbols[idx].astype(out_dtype)
+        cursors[active] = pos + lens
+        step += 1
+    # Every cursor must land exactly on its chunk's end bit.
+    expected_ends = np.cumsum(chunk_bits)
+    if not np.array_equal(cursors, expected_ends):
+        raise EncodingError("corrupt Huffman stream: chunk length mismatch")
+    return out
+
+
+def decode_sequential(
+    encoded: HuffmanEncoded, book: CanonicalCodebook, out_dtype=np.uint16
+) -> np.ndarray:
+    """Bit-by-bit reference decoder (slow; for validation only)."""
+    bits = unpack_to_bits(encoded.payload, encoded.total_bits)
+    out = np.empty(encoded.n_symbols, dtype=out_dtype)
+    lengths = book.lengths
+    codes = book.codes
+    # Invert (code, length) -> symbol into a dict for the reference path.
+    table = {
+        (int(lengths[s]), int(codes[s])): int(s)
+        for s in np.flatnonzero(lengths > 0)
+    }
+    pos = 0
+    for i in range(encoded.n_symbols):
+        acc = 0
+        ln = 0
+        while True:
+            acc = (acc << 1) | int(bits[pos])
+            pos += 1
+            ln += 1
+            sym = table.get((ln, acc))
+            if sym is not None:
+                out[i] = sym
+                break
+            if ln > book.max_length:
+                raise EncodingError("corrupt Huffman stream (sequential decode)")
+    return out

@@ -1,0 +1,341 @@
+"""From-scratch LZ77/LZSS dictionary coder.
+
+The paper repeatedly leans on dictionary coding -- gzip's LZ77 in the qg/qhg
+reference columns, Zstd as cuSZ's Step-9 -- while arguing it is *hard to
+parallelize on GPUs* because of "the intrinsic dependency in its repeated
+sequence search".  This module implements the algorithm from scratch so that
+substrate is real rather than delegated to zlib, and its structure makes the
+paper's argument concrete:
+
+* match *candidates* are found fully vectorized (hash all 4-grams, group by
+  hash with a stable argsort, take each position's previous same-hash
+  occurrence) -- the data-parallel part a GPU could do;
+* match *lengths* are extended in lockstep across all positions (one
+  vectorized comparison per length step) -- also data-parallel;
+* the greedy *parse* -- deciding which tokens actually happen -- is the
+  irreducibly sequential step (each token's start depends on the previous
+  token's length), executed as a compact scalar walk.
+
+Token format: a flag bitstream (literal/match), raw literal bytes, and
+(offset, length) pairs with a 64 KiB window and 3..258-byte matches, i.e.
+DEFLATE-like economics.  The serialized container optionally Huffman-codes
+the literal stream when that wins.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import EncodingError
+from .bitio import pack_codes, unpack_to_bits
+from .huffman import build_codebook
+from .huffman_codec import HuffmanEncoded, decode as huff_decode, encode as huff_encode
+
+__all__ = ["LZTokens", "lz_parse", "lz_expand", "lz_compress", "lz_decompress"]
+
+#: Minimum profitable match (a match token costs ~3.1 bytes).
+MIN_MATCH = 4
+#: Maximum match length (fits length - MIN_MATCH in a byte).
+MAX_MATCH = MIN_MATCH + 255
+#: Search window (offset fits in u16).
+WINDOW = 1 << 16
+
+
+@dataclass
+class LZTokens:
+    """Parsed token streams."""
+
+    flags: np.ndarray  # uint8 0/1 per token: 0 = literal, 1 = match
+    literals: np.ndarray  # uint8, one per literal token
+    offsets: np.ndarray  # uint16, one per match token
+    lengths: np.ndarray  # uint8, (true length - MIN_MATCH) per match token
+    n_bytes: int  # decoded size
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.flags.size)
+
+    @property
+    def n_matches(self) -> int:
+        return int(self.offsets.size)
+
+
+def _hash_grams(data: np.ndarray) -> np.ndarray:
+    """32-bit mixing hash of every 4-byte window (positions 0..n-4)."""
+    a = data.astype(np.uint32)
+    grams = a[:-3] | (a[1:-2] << np.uint32(8)) | (a[2:-1] << np.uint32(16)) | (
+        a[3:] << np.uint32(24)
+    )
+    return (grams * np.uint32(2654435761)) >> np.uint32(8)
+
+
+def _previous_same_hash(hashes: np.ndarray) -> np.ndarray:
+    """For each position, the nearest earlier position with the same hash
+    (or -1).  Stable argsort groups equal hashes in position order, so each
+    element's predecessor within its group is exactly what we want."""
+    order = np.argsort(hashes, kind="stable")
+    prev = np.full(hashes.size, -1, dtype=np.int64)
+    same = hashes[order][1:] == hashes[order][:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _match_lengths(data: np.ndarray, cand: np.ndarray) -> np.ndarray:
+    """Lockstep match-length extension for every position with a candidate.
+
+    One vectorized comparison per length step; stops when every active pair
+    diverges or hits MAX_MATCH / the end of the data.
+    """
+    n = data.size
+    lengths = np.zeros(n, dtype=np.int64)
+    pos = np.flatnonzero(cand >= 0)
+    if pos.size == 0:
+        return lengths
+    src = cand[pos]
+    active = np.ones(pos.size, dtype=bool)
+    l = 0
+    while l < MAX_MATCH and active.any():
+        idx = np.flatnonzero(active)
+        p = pos[idx] + l
+        ok = p < n
+        ok[ok] = data[p[ok]] == data[src[idx[ok]] + l]
+        lengths[pos[idx[ok]]] += 1
+        active[idx[~ok]] = False
+        l += 1
+    return lengths
+
+
+def lz_parse(raw: bytes | np.ndarray) -> LZTokens:
+    """Greedy LZSS parse of a byte stream."""
+    data = np.frombuffer(raw, dtype=np.uint8) if isinstance(raw, (bytes, bytearray)) else np.asarray(raw, dtype=np.uint8)
+    n = int(data.size)
+    if n == 0:
+        return LZTokens(
+            flags=np.zeros(0, np.uint8), literals=np.zeros(0, np.uint8),
+            offsets=np.zeros(0, np.uint16), lengths=np.zeros(0, np.uint8), n_bytes=0,
+        )
+    if n < MIN_MATCH:
+        return LZTokens(
+            flags=np.zeros(n, np.uint8), literals=data.copy(),
+            offsets=np.zeros(0, np.uint16), lengths=np.zeros(0, np.uint8), n_bytes=n,
+        )
+    hashes = _hash_grams(data)
+    cand = _previous_same_hash(hashes)
+    # Window constraint + hash-collision verification happen on the measured
+    # lengths: collisions yield length < MIN_MATCH and are rejected below.
+    out_of_window = (np.arange(cand.size) - cand) > WINDOW - 1
+    cand[out_of_window] = -1
+    # Pad candidates to full length (tail positions cannot start a match).
+    cand = np.concatenate([cand, np.full(n - cand.size, -1, dtype=np.int64)])
+
+    # Periodicity shortcut: where the stream repeats with a small period p
+    # (byte runs p=1, constant uint16/uint32/float64 regions p=2/4/8), the
+    # offset-p match length is the length of the agreement run
+    # ``data[i+k] == data[i+k-p]`` -- computable analytically.  Resolving
+    # these up front keeps the lockstep extension off the pathological
+    # highly-repetitive case that dominates quant-code byte streams.
+    idx = np.arange(n)
+    shortcut = np.zeros(n, dtype=bool)
+    direct_len = np.zeros(n, dtype=np.int64)
+    direct_off = np.zeros(n, dtype=np.int64)
+    for p in (1, 2, 4, 8):
+        if n <= p:
+            break
+        agree = np.zeros(n, dtype=bool)
+        agree[p:] = data[p:] == data[:-p]
+        # Length of the True-run starting at each position.
+        boundaries = np.concatenate(([0], np.flatnonzero(agree[1:] != agree[:-1]) + 1))
+        seg_lengths = np.diff(np.append(boundaries, n))
+        seg_end = np.repeat(boundaries + seg_lengths, seg_lengths)
+        run_from_here = np.where(agree, seg_end - idx, 0)
+        hit = ~shortcut & (run_from_here >= MIN_MATCH)
+        shortcut |= hit
+        direct_len[hit] = np.minimum(run_from_here[hit], MAX_MATCH)
+        direct_off[hit] = p
+    cand[shortcut] = -1  # exclude from lockstep extension
+    match_len = _match_lengths(data, cand)
+    match_len[shortcut] = direct_len[shortcut]
+    cand[shortcut] = idx[shortcut] - direct_off[shortcut]
+    usable = match_len >= MIN_MATCH
+
+    # Sequential greedy parse (the inherently serial step).
+    flags: list[int] = []
+    lit_idx: list[int] = []
+    match_off: list[int] = []
+    match_len_out: list[int] = []
+    i = 0
+    while i < n:
+        if usable[i]:
+            flags.append(1)
+            match_off.append(i - int(cand[i]))
+            length = int(match_len[i])
+            match_len_out.append(length - MIN_MATCH)
+            i += length
+        else:
+            flags.append(0)
+            lit_idx.append(i)
+            i += 1
+    return LZTokens(
+        flags=np.array(flags, dtype=np.uint8),
+        literals=data[np.array(lit_idx, dtype=np.int64)] if lit_idx else np.zeros(0, np.uint8),
+        offsets=np.array(match_off, dtype=np.uint16),
+        lengths=np.array(match_len_out, dtype=np.uint8),
+        n_bytes=n,
+    )
+
+
+def lz_expand(tokens: LZTokens) -> np.ndarray:
+    """Invert :func:`lz_parse` (sequential over tokens; overlap-safe)."""
+    out = np.empty(tokens.n_bytes, dtype=np.uint8)
+    pos = 0
+    li = 0
+    mi = 0
+    for flag in tokens.flags:
+        if flag:
+            off = int(tokens.offsets[mi])
+            length = int(tokens.lengths[mi]) + MIN_MATCH
+            mi += 1
+            if off <= 0 or off > pos:
+                raise EncodingError(f"corrupt LZ stream: offset {off} at {pos}")
+            src = pos - off
+            if off >= length:
+                out[pos : pos + length] = out[src : src + length]
+            else:
+                # Overlapping match = periodic pattern with period `off`.
+                pattern = out[src:pos]
+                reps = -(-length // off)
+                out[pos : pos + length] = np.tile(pattern, reps)[:length]
+            pos += length
+        else:
+            out[pos] = tokens.literals[li]
+            li += 1
+            pos += 1
+    if pos != tokens.n_bytes:
+        raise EncodingError(f"LZ stream expanded to {pos} bytes, expected {tokens.n_bytes}")
+    return out
+
+
+# -- serialized container -----------------------------------------------------
+
+_HEAD = struct.Struct("<QQQQBBB")  # n_bytes, n_tokens, n_lits, n_matches, 3 modes
+_HUFF_CHUNK = 1 << 14
+
+
+def _pack_stream(values: np.ndarray, alphabet: int, sparse: bool) -> tuple[int, bytes]:
+    """Entropy-code one token stream; falls back to raw when Huffman loses.
+
+    Returns (mode, payload): mode 0 = raw native bytes, 1 = Huffman (dense
+    or sparse codebook per ``sparse``).  Small streams stay raw -- the
+    codebook would dominate.
+    """
+    raw_payload = values.tobytes()
+    if values.size < 512:
+        return 0, raw_payload
+    freqs = np.bincount(values.astype(np.int64), minlength=alphabet)
+    book = build_codebook(freqs)
+    encoded = huff_encode(values.astype(np.uint32), book, _HUFF_CHUNK)
+    raw_book = book.serialized_sparse() if sparse else book.serialized()
+    packed = (
+        struct.pack("<IQI", len(raw_book), encoded.total_bits, encoded.chunk_bits.size)
+        + raw_book
+        + encoded.chunk_bits.tobytes()
+        + encoded.payload.tobytes()
+    )
+    if len(packed) < len(raw_payload):
+        return 1, packed
+    return 0, raw_payload
+
+
+def _unpack_stream(
+    blob: bytes, off: int, mode: int, count: int, dtype, sparse: bool
+) -> tuple[np.ndarray, int]:
+    """Invert :func:`_pack_stream`; returns (values, new offset)."""
+    from .huffman import CanonicalCodebook
+
+    itemsize = np.dtype(dtype).itemsize
+    if mode == 0:
+        values = np.frombuffer(blob, dtype=dtype, count=count, offset=off)
+        return values, off + count * itemsize
+    if mode != 1:
+        raise EncodingError(f"unknown LZ stream mode {mode}")
+    if off + 16 > len(blob):
+        raise EncodingError("LZ stream header truncated")
+    book_len, total_bits, n_chunks = struct.unpack_from("<IQI", blob, off)
+    off += 16
+    raw_book = blob[off : off + book_len]
+    off += book_len
+    book = (
+        CanonicalCodebook.deserialized_sparse(raw_book)
+        if sparse
+        else CanonicalCodebook.deserialized(raw_book)
+    )
+    chunk_bits = np.frombuffer(blob, dtype=np.uint32, count=n_chunks, offset=off)
+    off += n_chunks * 4
+    payload_bytes = (int(chunk_bits.astype(np.int64).sum()) + 7) // 8
+    payload = np.frombuffer(blob, dtype=np.uint8, count=payload_bytes, offset=off)
+    off += payload_bytes
+    encoded = HuffmanEncoded(
+        payload=payload, chunk_bits=chunk_bits, n_symbols=count, chunk_size=_HUFF_CHUNK
+    )
+    return huff_decode(encoded, book).astype(dtype), off
+
+
+def lz_compress(raw: bytes | np.ndarray) -> bytes:
+    """Serialize an LZSS parse with entropy-coded token streams.
+
+    Literals, match lengths, and match offsets are each canonical-Huffman
+    coded when that shrinks them (offsets use the sparse codebook -- the
+    alphabet is 64Ki but few distinct offsets occur), which is what closes
+    most of the gap to DEFLATE-class coders.
+    """
+    tokens = lz_parse(raw)
+    flag_bits, _ = (
+        pack_codes(tokens.flags.astype(np.uint64), np.ones(tokens.n_tokens, dtype=np.int64))
+        if tokens.n_tokens
+        else (np.zeros(0, np.uint8), 0)
+    )
+    lit_mode, lit_payload = _pack_stream(tokens.literals, 256, sparse=False)
+    len_mode, len_payload = _pack_stream(tokens.lengths, 256, sparse=False)
+    off_mode, off_payload = _pack_stream(tokens.offsets, 1 << 16, sparse=True)
+    head = _HEAD.pack(
+        tokens.n_bytes, tokens.n_tokens, tokens.literals.size, tokens.n_matches,
+        lit_mode, len_mode, off_mode,
+    )
+    return (
+        head
+        + struct.pack("<I", flag_bits.size)
+        + flag_bits.tobytes()
+        + off_payload
+        + len_payload
+        + lit_payload
+    )
+
+
+def lz_decompress(blob: bytes) -> bytes:
+    """Invert :func:`lz_compress`."""
+    if len(blob) < _HEAD.size + 4:
+        raise EncodingError("LZ container truncated")
+    (n_bytes, n_tokens, n_literals, n_matches,
+     lit_mode, len_mode, off_mode) = _HEAD.unpack_from(blob, 0)
+    off = _HEAD.size
+    (flag_byte_count,) = struct.unpack_from("<I", blob, off)
+    off += 4
+    if off + flag_byte_count > len(blob):
+        raise EncodingError("LZ flag stream truncated")
+    flag_bytes = np.frombuffer(blob, dtype=np.uint8, count=flag_byte_count, offset=off)
+    off += flag_byte_count
+    flags = unpack_to_bits(flag_bytes, int(n_tokens))
+    offsets, off = _unpack_stream(blob, off, off_mode, int(n_matches), np.uint16, True)
+    lengths, off = _unpack_stream(blob, off, len_mode, int(n_matches), np.uint8, False)
+    literals, off = _unpack_stream(blob, off, lit_mode, int(n_literals), np.uint8, False)
+    tokens = LZTokens(
+        flags=flags.astype(np.uint8),
+        literals=literals.copy(),
+        offsets=offsets.copy(),
+        lengths=lengths.copy(),
+        n_bytes=int(n_bytes),
+    )
+    return lz_expand(tokens).tobytes()

@@ -1,0 +1,117 @@
+"""Codebook construction without a heap: the GPU-friendly path.
+
+cuSZ builds its Huffman tree "sequentially with a single GPU thread"
+(Section II-A) -- the paper names this a compression bottleneck, fixed in
+the authors' follow-up work [15] by generating codeword *lengths* directly
+from the sorted frequency array.  This module implements that scheme:
+
+1. sort the nonzero frequencies (data-parallel on a GPU);
+2. run the **Moffat-Katajainen in-place algorithm** over the sorted array --
+   O(alphabet) work with no tree and no heap, the only sequential step, and
+   it touches the (tiny) alphabet rather than the data;
+3. assign canonical codes with prefix sums (data-parallel again).
+
+The produced lengths are *optimal* (same weighted cost as true Huffman) but
+may differ from the heap construction in tie-breaking; since the decoder
+only ever sees canonical lengths, the two constructions interoperate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import EncodingError
+from .huffman import CanonicalCodebook, _from_lengths
+
+__all__ = ["mk_code_lengths_sorted", "build_codebook_parallel"]
+
+
+def mk_code_lengths_sorted(sorted_freqs: np.ndarray) -> np.ndarray:
+    """Optimal codeword lengths for frequencies sorted ascending.
+
+    The three-phase in-place Moffat-Katajainen algorithm: (1) pair merging
+    with parent pointers stored over the frequency array, (2) parent
+    pointers to depths, (3) depths to per-leaf lengths.  Returns lengths
+    aligned with the (ascending) input order, i.e. non-increasing.
+    """
+    a = np.asarray(sorted_freqs, dtype=np.int64).copy()
+    n = int(a.size)
+    if n == 0:
+        raise EncodingError("no symbols")
+    if np.any(a <= 0):
+        raise EncodingError("sorted_freqs must be strictly positive")
+    if np.any(a[1:] < a[:-1]):
+        raise EncodingError("frequencies must be sorted ascending")
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+    if n == 2:
+        return np.array([1, 1], dtype=np.int64)
+
+    # Phase 1: merge; a[j] becomes the parent index for merged nodes.
+    a[0] += a[1]
+    root, leaf = 0, 2
+    for nxt in range(1, n - 1):
+        # first child
+        if leaf >= n or a[root] < a[leaf]:
+            a[nxt] = a[root]
+            a[root] = nxt
+            root += 1
+        else:
+            a[nxt] = a[leaf]
+            leaf += 1
+        # second child
+        if leaf >= n or (root < nxt and a[root] < a[leaf]):
+            a[nxt] += a[root]
+            a[root] = nxt
+            root += 1
+        else:
+            a[nxt] += a[leaf]
+            leaf += 1
+
+    # Phase 2: parent pointers -> internal node depths.
+    a[n - 2] = 0
+    for j in range(n - 3, -1, -1):
+        a[j] = a[a[j]] + 1
+
+    # Phase 3: internal depths -> leaf counts -> per-leaf depths.
+    avail, used, depth = 1, 0, 0
+    root = n - 2
+    nxt = n - 1
+    while avail > 0:
+        while root >= 0 and a[root] == depth:
+            used += 1
+            root -= 1
+        while avail > used:
+            a[nxt] = depth
+            nxt -= 1
+            avail -= 1
+        avail = 2 * used
+        used = 0
+        depth += 1
+
+    # a[0..n-1] now holds leaf depths, non-increasing: a[i] is the length of
+    # the i-th smallest frequency (smallest frequency -> longest code).
+    return a.copy()
+
+
+def build_codebook_parallel(freqs: np.ndarray) -> CanonicalCodebook:
+    """Canonical codebook via sort + Moffat-Katajainen (no heap, no tree).
+
+    Produces the same interface as :func:`repro.encoding.huffman.
+    build_codebook`; lengths are optimal (equal weighted cost) though
+    tie-broken differently, and the canonical materialization is shared.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    symbols = np.flatnonzero(freqs)
+    if symbols.size == 0:
+        raise EncodingError("cannot build a codebook from an all-zero histogram")
+    order = np.argsort(freqs[symbols], kind="stable")
+    sorted_syms = symbols[order]
+    lengths_sorted = mk_code_lengths_sorted(freqs[sorted_syms])
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    # MK emits lengths aligned to ascending frequency: smallest freq gets
+    # the longest code.
+    lengths[sorted_syms] = lengths_sorted
+    if lengths.max() > 63:
+        raise EncodingError("code length exceeds 63 bits")
+    return _from_lengths(lengths)

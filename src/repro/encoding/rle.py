@@ -1,0 +1,103 @@
+"""Run-length encoding of quant-codes (the Workflow-RLE stage).
+
+The paper implements RLE with ``thrust::reduce_by_key``: consecutive equal
+values collapse into (value, count) pairs.  The vectorized equivalent finds
+run boundaries with one comparison against the shifted stream and recovers
+lengths from the boundary indices -- the same change-point decomposition a
+segmented GPU reduce performs.
+
+Run lengths are stored in a fixed-width integer ("the metadata of RLE
+output"); runs longer than the dtype maximum are split so any stream fits.
+By default the metadata is kept raw (the paper disables metadata compression
+in GPU processing); the workflow layer may optionally Huffman-encode the
+values and/or lengths afterwards (the "+VLE" stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import EncodingError
+
+__all__ = ["RunLengthEncoded", "rle_encode", "rle_decode", "expected_rle_bits"]
+
+
+@dataclass
+class RunLengthEncoded:
+    """(value, count) representation of a symbol stream."""
+
+    values: np.ndarray
+    lengths: np.ndarray
+    n_symbols: int
+
+    @property
+    def n_runs(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def mean_run_length(self) -> float:
+        return self.n_symbols / self.n_runs if self.n_runs else 0.0
+
+    def payload_bytes(self) -> int:
+        """Raw storage footprint: values + lengths at their native widths."""
+        return int(self.values.nbytes + self.lengths.nbytes)
+
+
+def rle_encode(symbols: np.ndarray, length_dtype=np.uint16) -> RunLengthEncoded:
+    """Collapse a stream into maximal runs, splitting overlong ones.
+
+    ``length_dtype`` bounds a single run's count; longer runs become several
+    back-to-back runs of the same value (decode concatenates them back, so
+    round-trip is exact even though such runs are no longer maximal).
+    """
+    symbols = np.asarray(symbols).reshape(-1)
+    if symbols.size == 0:
+        raise EncodingError("cannot RLE-encode an empty stream")
+    change = np.flatnonzero(symbols[1:] != symbols[:-1]) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [symbols.size]))
+    values = symbols[starts]
+    lengths = (ends - starts).astype(np.int64)
+
+    max_len = int(np.iinfo(length_dtype).max)
+    if int(lengths.max()) > max_len:
+        pieces = (lengths + max_len - 1) // max_len
+        values = np.repeat(values, pieces)
+        split_lengths = np.full(int(pieces.sum()), max_len, dtype=np.int64)
+        # The last piece of each original run carries the remainder.
+        last_piece = np.cumsum(pieces) - 1
+        remainder = lengths - (pieces - 1) * max_len
+        split_lengths[last_piece] = remainder
+        lengths = split_lengths
+    return RunLengthEncoded(
+        values=values.copy(),
+        lengths=lengths.astype(length_dtype),
+        n_symbols=int(symbols.size),
+    )
+
+
+def rle_decode(encoded: RunLengthEncoded, out_dtype=None) -> np.ndarray:
+    """Expand (value, count) pairs back into the symbol stream."""
+    if encoded.values.size != encoded.lengths.size:
+        raise EncodingError("values/lengths size mismatch")
+    out = np.repeat(encoded.values, encoded.lengths.astype(np.int64))
+    if out.size != encoded.n_symbols:
+        raise EncodingError(
+            f"RLE stream expands to {out.size} symbols, expected {encoded.n_symbols}"
+        )
+    return out.astype(out_dtype) if out_dtype is not None else out
+
+
+def expected_rle_bits(symbols: np.ndarray, value_bits: int, length_bits: int) -> int:
+    """Exact RLE output size in bits without materializing the encoding.
+
+    Used by the workflow selector to compare ⟨b⟩_RLE against the Huffman
+    bit-length estimate (Section III-B.1).
+    """
+    symbols = np.asarray(symbols).reshape(-1)
+    if symbols.size == 0:
+        return 0
+    n_runs = int(np.count_nonzero(symbols[1:] != symbols[:-1])) + 1
+    return n_runs * (value_bits + length_bits)

@@ -1,0 +1,21 @@
+"""Simulated GPU substrate: devices, cost model, primitives, pipeline runtime."""
+
+from .costmodel import CostModel, KernelTiming
+from .device import A100, V100, DeviceSpec, get_device
+from .kernel import KernelProfile, LaunchConfig, occupancy
+from .runtime import PipelineReport, run_compression, run_decompression
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "A100",
+    "get_device",
+    "CostModel",
+    "KernelTiming",
+    "KernelProfile",
+    "LaunchConfig",
+    "occupancy",
+    "PipelineReport",
+    "run_compression",
+    "run_decompression",
+]

@@ -1,0 +1,110 @@
+"""Roofline-with-latency cost model for simulated kernels.
+
+Time of one kernel invocation on a device:
+
+    time = launch_overhead + max(T_mem, T_compute, T_serial)
+
+* ``T_mem``     = effective DRAM traffic / (BW x mem_efficiency x occupancy'
+                  x saturation(payload)) -- the streaming roofline.  The
+                  saturation term models the small-field penalty the paper
+                  observes on CESM/RTM (Section V-C.2): a kernel needs
+                  enough in-flight data to fill the memory pipeline, and the
+                  A100 needs *more* (its ``ramp_bytes`` is larger), which is
+                  why small fields can run *slower* on the faster part.
+* ``T_compute`` = flops / peak FLOPS (rarely binding here; every cuSZ+
+                  kernel is O(n) with trivial arithmetic).
+* ``T_serial``  = dependent-chain time: ``waves x chain x cycles / clock``
+                  where ``waves`` is how many times the grid must be cycled
+                  through the device's resident-thread capacity.  This is
+                  what bounds Huffman decoding and the coarse-grained
+                  Lorenzo reconstruction, and it scales with ``SM x clock``
+                  (1.24x V100->A100) rather than bandwidth (1.73x) --
+                  reproducing the paper's "Huffman decode stagnates"
+                  scaling observation.
+
+Throughput is reported as ``payload_bytes / time`` (GB/s of field data),
+matching how the paper's tables are normalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .kernel import KernelProfile, occupancy
+
+__all__ = ["KernelTiming", "CostModel"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Cost-model output for one kernel invocation."""
+
+    name: str
+    seconds: float
+    payload_bytes: int
+    bound: str  # "memory" | "compute" | "serial" | "overhead"
+
+    @property
+    def throughput(self) -> float:
+        """Field-data throughput in bytes/second."""
+        return self.payload_bytes / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def gbps(self) -> float:
+        """Field-data throughput in GB/s (decimal, as the paper reports)."""
+        return self.throughput / 1e9
+
+
+class CostModel:
+    """Convert kernel profiles to simulated times on one device."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    def saturation(self, payload_bytes: int) -> float:
+        """Bandwidth ramp: fraction of peak BW reachable at this size."""
+        r = self.device.ramp_bytes
+        return payload_bytes / (payload_bytes + r) if payload_bytes > 0 else 0.0
+
+    def time(self, profile: KernelProfile) -> KernelTiming:
+        dev = self.device
+        occ = occupancy(dev, profile.launch)
+        # Memory term.  Occupancy below ~50% starts to starve the memory
+        # pipeline; above that, enough warps are in flight to saturate.
+        occ_factor = min(1.0, occ / 0.5) if occ > 0 else 1e-6
+        bw = dev.mem_bw * profile.mem_efficiency * occ_factor
+        bw *= self.saturation(profile.payload_bytes)
+        contention = 1.0 + profile.atomic_contention
+        t_mem = profile.effective_traffic * contention / bw if bw > 0 else float("inf")
+        # Compute term.
+        t_compute = profile.flops / dev.fp32_flops if profile.flops else 0.0
+        # Serial (latency) term.
+        t_serial = 0.0
+        if profile.serial_chain > 0 and profile.cycles_per_step > 0:
+            chains = max(profile.launch.total_threads // max(profile.concurrency_per_chain, 1), 1)
+            capacity = dev.max_resident_threads
+            waves = max(-(-chains * profile.concurrency_per_chain // capacity), 1)
+            t_serial = (
+                waves * profile.serial_chain * profile.cycles_per_step / dev.clock_hz
+            )
+        body = max(t_mem, t_compute, t_serial)
+        if body == t_serial and t_serial > 0 and t_serial >= t_mem:
+            bound = "serial"
+        elif body == t_mem and t_mem >= t_compute:
+            bound = "memory"
+        else:
+            bound = "compute"
+        total = dev.launch_overhead + body
+        if body < dev.launch_overhead:
+            bound = "overhead"
+        return KernelTiming(
+            name=profile.name,
+            seconds=total,
+            payload_bytes=profile.payload_bytes,
+            bound=bound,
+        )
+
+    def throughput_gbps(self, profile: KernelProfile) -> float:
+        """Convenience: simulated field throughput in GB/s."""
+        return self.time(profile).gbps

@@ -1,0 +1,132 @@
+"""Simulated GPU device specifications.
+
+The evaluation platforms of the paper (Section V-A.1):
+
+* **V100** (TACC Longhorn, SXM2): 16 GB HBM2 at 900 GB/s, 14.13 FP32 TFLOPS,
+  80 SMs, 1.53 GHz boost;
+* **A100** (ALCF ThetaGPU, SXM4): 40 GB HBM2e at 1555 GB/s, 19.5 FP32
+  TFLOPS, 108 SMs, 1.41 GHz boost.
+
+The paper's headline scaling observation -- cuSZ+ benefits more from memory
+bandwidth than from peak FLOPS -- falls directly out of these numbers: the
+bandwidth ratio is 1.73x while the clock*SM (latency/issue) ratio is only
+1.24x, and Table VII's per-kernel speedups cluster around one or the other
+depending on what bounds each kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import DeviceError
+
+__all__ = ["DeviceSpec", "V100", "A100", "get_device", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name ("V100", "A100").
+    mem_bw:
+        DRAM bandwidth in bytes/second.
+    fp32_flops:
+        Peak single-precision FLOP/s.
+    sm_count:
+        Number of streaming multiprocessors.
+    max_threads_per_sm:
+        Resident thread limit per SM.
+    max_warps_per_sm:
+        Resident warp limit per SM.
+    shared_mem_per_sm:
+        Shared memory per SM in bytes.
+    clock_hz:
+        Boost clock in Hz (drives latency-bound kernel time).
+    warp_size:
+        Threads per warp (32 on every NVIDIA part).
+    launch_overhead:
+        Fixed kernel launch cost in seconds.
+    saturation_latency:
+        Time scale over which a streaming kernel ramps to full bandwidth;
+        ``ramp_bytes = mem_bw * saturation_latency`` is the field size at
+        which a kernel reaches half its peak (small-field penalty).
+    """
+
+    name: str
+    mem_bw: float
+    fp32_flops: float
+    sm_count: int
+    max_threads_per_sm: int
+    max_warps_per_sm: int
+    shared_mem_per_sm: int
+    clock_hz: float
+    warp_size: int = 32
+    launch_overhead: float = 4e-6
+    saturation_latency: float = 8e-6
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Device-wide resident thread capacity (one 'wave')."""
+        return self.sm_count * self.max_threads_per_sm
+
+    @property
+    def ramp_bytes(self) -> float:
+        """Field size at which streaming kernels reach half of peak BW."""
+        return self.mem_bw * self.saturation_latency
+
+    @property
+    def issue_rate(self) -> float:
+        """Aggregate serial-issue capability (SM count x clock), the scaling
+        axis for latency-bound kernels."""
+        return self.sm_count * self.clock_hz
+
+
+V100 = DeviceSpec(
+    name="V100",
+    mem_bw=900e9,
+    fp32_flops=14.13e12,
+    sm_count=80,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    shared_mem_per_sm=96 * 1024,
+    clock_hz=1.53e9,
+)
+
+A100 = DeviceSpec(
+    name="A100",
+    mem_bw=1555e9,
+    fp32_flops=19.5e12,
+    sm_count=108,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    shared_mem_per_sm=164 * 1024,
+    clock_hz=1.41e9,
+)
+
+#: A post-paper device for the conclusion's extrapolation ("cuSZ+ can
+#: benefit more from the improvement of memory bandwidth"): H100-SXM5.
+H100 = DeviceSpec(
+    name="H100",
+    mem_bw=3350e9,
+    fp32_flops=67e12,
+    sm_count=132,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    shared_mem_per_sm=228 * 1024,
+    clock_hz=1.83e9,
+)
+
+DEVICES = {"V100": V100, "A100": A100, "H100": H100}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by name (case-insensitive)."""
+    try:
+        return DEVICES[name.upper()]
+    except KeyError:
+        raise DeviceError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from None

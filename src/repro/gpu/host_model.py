@@ -1,0 +1,53 @@
+"""Host-side stage costs: PCIe transfers and CPU dictionary coding.
+
+The paper's Section III-A.3 rejects appending gzip to the GPU pipeline
+because "it affects the throughput severely since gzip takes place on
+host": the payload must cross PCIe and then crawl through a ~100 MB/s
+single-core DEFLATE.  These models price that decision so the
+``ablation_host_stage`` experiment can show the collapse quantitatively.
+
+Numbers: PCIe 3.0 x16 sustains ~12 GB/s (V100 systems); PCIe 4.0 x16
+~24 GB/s (A100 systems).  zlib-class DEFLATE compresses at roughly
+60-120 MB/s per core; Zstd at ~400-700 MB/s.  All are per-stream host
+costs that do not scale with the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["HostLink", "PCIE3_HOST", "PCIE4_HOST", "host_stage_time"]
+
+
+@dataclass(frozen=True)
+class HostLink:
+    """Interconnect + host codec speeds for one platform."""
+
+    name: str
+    pcie_bw: float  # bytes/s, device -> host
+    gzip_bw: float  # bytes/s of *input* through the host DEFLATE stage
+    zstd_bw: float  # bytes/s through Zstd (cuSZ Step-9's actual codec)
+
+
+#: V100-era platform (PCIe 3.0 x16).
+PCIE3_HOST = HostLink(name="pcie3", pcie_bw=12e9, gzip_bw=90e6, zstd_bw=500e6)
+#: A100-era platform (PCIe 4.0 x16).
+PCIE4_HOST = HostLink(name="pcie4", pcie_bw=24e9, gzip_bw=90e6, zstd_bw=500e6)
+
+
+def host_link_for(device: DeviceSpec) -> HostLink:
+    """Platform link matching the device generation."""
+    return PCIE3_HOST if device.name == "V100" else PCIE4_HOST
+
+
+def host_stage_time(
+    payload_bytes: int, link: HostLink, codec: str = "zstd"
+) -> tuple[float, float]:
+    """(transfer_seconds, codec_seconds) for shipping a compressed payload
+    to the host and running the dictionary stage there."""
+    if payload_bytes < 0:
+        raise ValueError("negative payload")
+    bw = {"zstd": link.zstd_bw, "gzip": link.gzip_bw}[codec]
+    return payload_bytes / link.pcie_bw, payload_bytes / bw

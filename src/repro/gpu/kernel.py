@@ -1,0 +1,116 @@
+"""Kernel launch geometry and per-invocation cost profiles.
+
+A :class:`KernelProfile` is what every simulated kernel emits alongside its
+(numerically real) result: the memory traffic it actually generated, its
+launch geometry, its access-pattern efficiencies, and -- for kernels with
+dependent per-thread work -- the length of the serial chain each thread
+executes.  The cost model (:mod:`repro.gpu.costmodel`) converts a profile
+plus a :class:`~repro.gpu.device.DeviceSpec` into time and throughput.
+
+The profile's efficiency knobs are interpretable GPU quantities:
+
+* ``coalescing_read/write`` -- fraction of DRAM transaction bytes that are
+  useful (1.0 = perfectly coalesced; 1/32 = one float per 128-byte line,
+  the coarse-grained reconstruction's pathology);
+* ``serial_chain`` x ``cycles_per_step`` -- the dependent-instruction chain
+  each thread traverses (Huffman decode bit loop, coarse Lorenzo recursion);
+* occupancy -- resident-warp limit from block size and shared memory use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import DeviceError
+from .device import DeviceSpec
+
+__all__ = ["LaunchConfig", "KernelProfile", "occupancy"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid geometry of a kernel launch."""
+
+    grid_blocks: int
+    threads_per_block: int
+    shared_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 1 or self.threads_per_block < 1:
+            raise DeviceError("launch must have at least one block and one thread")
+        if self.threads_per_block > 1024:
+            raise DeviceError("threads_per_block exceeds the 1024 hardware limit")
+        if self.shared_per_block < 0:
+            raise DeviceError("negative shared memory request")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.threads_per_block
+
+
+def occupancy(device: DeviceSpec, launch: LaunchConfig) -> float:
+    """Fraction of the SM's resident-thread capacity this launch can fill.
+
+    Classic occupancy calculation limited by (a) resident threads, (b)
+    resident warps, and (c) shared memory per block.  Register pressure is
+    folded into the per-kernel efficiency constants instead of modeled
+    explicitly.
+    """
+    if launch.shared_per_block > device.shared_mem_per_sm:
+        raise DeviceError(
+            f"block requests {launch.shared_per_block} B shared memory; "
+            f"SM has {device.shared_mem_per_sm} B"
+        )
+    warps_per_block = -(-launch.threads_per_block // device.warp_size)
+    blocks_by_threads = device.max_threads_per_sm // launch.threads_per_block
+    blocks_by_warps = device.max_warps_per_sm // warps_per_block
+    if launch.shared_per_block > 0:
+        blocks_by_shared = device.shared_mem_per_sm // launch.shared_per_block
+    else:
+        blocks_by_shared = blocks_by_threads
+    resident_blocks = max(min(blocks_by_threads, blocks_by_warps, blocks_by_shared), 0)
+    if resident_blocks == 0:
+        return 0.0
+    resident_threads = resident_blocks * launch.threads_per_block
+    return min(resident_threads / device.max_threads_per_sm, 1.0)
+
+
+@dataclass
+class KernelProfile:
+    """Cost-relevant summary of one kernel invocation.
+
+    ``payload_bytes`` is the figure-of-merit denominator: reported
+    throughputs are ``payload_bytes / time`` (the paper reports GB/s of
+    *input field data*, not of raw DRAM traffic).
+    """
+
+    name: str
+    payload_bytes: int
+    bytes_read: int
+    bytes_written: int
+    launch: LaunchConfig
+    flops: int = 0
+    coalescing_read: float = 1.0
+    coalescing_write: float = 1.0
+    mem_efficiency: float = 1.0
+    serial_chain: int = 0
+    cycles_per_step: float = 0.0
+    concurrency_per_chain: int = 1
+    atomic_contention: float = 0.0
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for knob in ("coalescing_read", "coalescing_write", "mem_efficiency"):
+            v = getattr(self, knob)
+            if not 0.0 < v <= 1.0:
+                raise DeviceError(f"{knob} must be in (0, 1], got {v}")
+        if self.payload_bytes < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise DeviceError("byte counts must be non-negative")
+
+    @property
+    def effective_traffic(self) -> float:
+        """DRAM bytes after coalescing inflation."""
+        return (
+            self.bytes_read / self.coalescing_read
+            + self.bytes_written / self.coalescing_write
+        )

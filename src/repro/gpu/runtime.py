@@ -1,0 +1,240 @@
+"""Simulated pipeline runtime: compose kernels into full (de)compression runs.
+
+This is the machinery behind the paper's Table V/VI/VII rows: run the real
+computation kernel by kernel, feed each kernel's cost profile through the
+device cost model, and collect a per-stage throughput breakdown plus the
+"overall" aggregate (total payload / total time).
+
+Two implementations are runnable:
+
+* ``cuszplus`` -- optimized construction, store-reduced Huffman encoder,
+  fine-grained partial-sum reconstruction (and optionally Workflow-RLE);
+* ``cusz``     -- the original baseline: unoptimized kernels and the
+  coarse-grained sequential-per-chunk reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import CompressorConfig
+from ..core.dual_quant import Quantized
+from .costmodel import CostModel
+from .device import DeviceSpec
+
+
+def _kernels():
+    """Deferred kernel imports (repro.kernels modules import repro.gpu)."""
+    from ..kernels import (
+        gather_outlier_kernel,
+        histogram_kernel,
+        huffman_decode_kernel,
+        huffman_encode_kernel,
+        lorenzo_construct_kernel,
+        lorenzo_reconstruct_kernel,
+        rle_decode_kernel,
+        rle_kernel,
+        scatter_outlier_kernel,
+    )
+
+    return {
+        "gather_outlier_kernel": gather_outlier_kernel,
+        "histogram_kernel": histogram_kernel,
+        "huffman_decode_kernel": huffman_decode_kernel,
+        "huffman_encode_kernel": huffman_encode_kernel,
+        "lorenzo_construct_kernel": lorenzo_construct_kernel,
+        "lorenzo_reconstruct_kernel": lorenzo_reconstruct_kernel,
+        "rle_decode_kernel": rle_decode_kernel,
+        "rle_kernel": rle_kernel,
+        "scatter_outlier_kernel": scatter_outlier_kernel,
+    }
+
+__all__ = [
+    "StageTiming",
+    "PipelineReport",
+    "CompressionArtifacts",
+    "run_compression",
+    "run_decompression",
+]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One kernel's simulated timing within a pipeline."""
+
+    name: str
+    seconds: float
+    gbps: float
+    bound: str
+
+
+@dataclass
+class PipelineReport:
+    """Per-stage breakdown + overall aggregate for one pipeline run."""
+
+    device: str
+    impl: str
+    workflow: str
+    payload_bytes: int
+    stages: list[StageTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages)
+
+    @property
+    def overall_gbps(self) -> float:
+        t = self.total_seconds
+        return self.payload_bytes / t / 1e9 if t > 0 else float("inf")
+
+    def stage(self, name: str) -> StageTiming:
+        for s in self.stages:
+            if s.name == name or s.name.startswith(f"{name}["):
+                return s
+        raise KeyError(f"pipeline has no stage {name!r}; stages: {[s.name for s in self.stages]}")
+
+
+@dataclass
+class CompressionArtifacts:
+    """Everything decompression needs, passed between simulated pipelines."""
+
+    bundle: Quantized
+    eb_abs: float
+    workflow: str
+    book: object | None = None
+    encoded: object | None = None
+    rle: object | None = None
+    data_dtype: np.dtype = np.dtype(np.float32)
+
+
+def _time(model: CostModel, report: PipelineReport, profile) -> None:
+    timing = model.time(profile)
+    report.stages.append(
+        StageTiming(name=profile.name, seconds=timing.seconds, gbps=timing.gbps,
+                    bound=timing.bound)
+    )
+
+
+def run_compression(
+    data: np.ndarray,
+    config: CompressorConfig,
+    device: DeviceSpec,
+    impl: str = "cuszplus",
+    workflow: str = "huffman",
+    n_sim: int | None = None,
+) -> tuple[CompressionArtifacts, PipelineReport]:
+    """Run the full simulated compression pipeline on one field.
+
+    ``workflow`` is ``"huffman"`` (default path "a") or ``"rle"`` /
+    ``"rle+vle"`` (path "b"; only valid for ``impl="cuszplus"``).
+    ``n_sim`` sets the element count profiled (the paper-scale field size);
+    the actual ``data`` may be a scaled-down stand-in.
+    """
+    if impl == "cusz" and workflow != "huffman":
+        raise ValueError("original cuSZ supports only the Huffman workflow")
+    k = _kernels()
+    data = np.asarray(data)
+    n_sim = n_sim or int(data.size)
+    model = CostModel(device)
+    report = PipelineReport(
+        device=device.name, impl=impl, workflow=workflow,
+        payload_bytes=n_sim * data.dtype.itemsize,
+    )
+
+    bundle, eb_abs, prof = k["lorenzo_construct_kernel"](data, config, impl=impl, n_sim=n_sim)
+    _time(model, report, prof)
+
+    _, prof = k["gather_outlier_kernel"](bundle, n_sim=n_sim)
+    _time(model, report, prof)
+
+    art = CompressionArtifacts(
+        bundle=bundle, eb_abs=eb_abs, workflow=workflow, data_dtype=data.dtype
+    )
+    if workflow == "huffman":
+        freqs, prof = k["histogram_kernel"](bundle.quant, config.dict_size, n_sim=n_sim)
+        _time(model, report, prof)
+        book, encoded, prof = k["huffman_encode_kernel"](
+            bundle.quant, config, impl=impl, n_sim=n_sim
+        )
+        _time(model, report, prof)
+        art.book, art.encoded = book, encoded
+    else:
+        rle, prof = k["rle_kernel"](bundle.quant, config, n_sim=n_sim)
+        _time(model, report, prof)
+        art.rle = rle
+        if workflow == "rle+vle":
+            # VLE over run values: a much smaller stream (n_runs symbols).
+            runs_sim = max(int(rle.n_runs * (n_sim / data.size)), 1)
+            _, prof = k["histogram_kernel"](rle.values, config.dict_size, n_sim=runs_sim)
+            _time(model, report, prof)
+            book, encoded, prof = k["huffman_encode_kernel"](
+                rle.values, config, impl=impl, n_sim=runs_sim
+            )
+            _time(model, report, prof)
+            art.book, art.encoded = book, encoded
+    return art, report
+
+
+def run_decompression(
+    art: CompressionArtifacts,
+    config: CompressorConfig,
+    device: DeviceSpec,
+    impl: str = "cuszplus",
+    reconstruct_variant: str | None = None,
+    n_sim: int | None = None,
+) -> tuple[np.ndarray, PipelineReport]:
+    """Run the full simulated decompression pipeline.
+
+    ``reconstruct_variant`` defaults to ``"optimized"`` for cuSZ+ and
+    ``"coarse"`` for cuSZ (Table II's comparison points).
+    """
+    k = _kernels()
+    bundle = art.bundle
+    n = int(np.prod(bundle.shape))
+    n_sim = n_sim or n
+    if reconstruct_variant is None:
+        reconstruct_variant = "coarse" if impl == "cusz" else "optimized"
+    model = CostModel(device)
+    report = PipelineReport(
+        device=device.name, impl=impl, workflow=art.workflow,
+        payload_bytes=n_sim * art.data_dtype.itemsize,
+    )
+
+    if art.workflow == "huffman":
+        quant, prof = k["huffman_decode_kernel"](
+            art.encoded, art.book, out_dtype=bundle.quant.dtype, n_sim=n_sim
+        )
+        _time(model, report, prof)
+    else:
+        if art.workflow == "rle+vle":
+            runs_sim = max(int(art.rle.n_runs * (n_sim / n)), 1)
+            values, prof = k["huffman_decode_kernel"](
+                art.encoded, art.book, out_dtype=bundle.quant.dtype, n_sim=runs_sim
+            )
+            _time(model, report, prof)
+            art.rle.values = values
+        quant, prof = k["rle_decode_kernel"](art.rle, out_dtype=bundle.quant.dtype, n_sim=n_sim)
+        _time(model, report, prof)
+
+    fused, prof = k["scatter_outlier_kernel"](
+        quant, bundle.outlier_indices, bundle.outlier_values, bundle.radius, n_sim=n_sim
+    )
+    _time(model, report, prof)
+
+    fused_bundle = Quantized(
+        quant=quant.reshape(bundle.shape),
+        outlier_indices=bundle.outlier_indices,
+        outlier_values=bundle.outlier_values,
+        shape=bundle.shape,
+        chunks=bundle.chunks,
+        radius=bundle.radius,
+        eb_twice=bundle.eb_twice,
+    )
+    out, prof = k["lorenzo_reconstruct_kernel"](
+        fused_bundle, variant=reconstruct_variant,
+        out_dtype=art.data_dtype, n_sim=n_sim,
+    )
+    _time(model, report, prof)
+    return out, report

@@ -1,0 +1,21 @@
+"""Simulated cuSZ/cuSZ+ kernels: real computation + GPU cost profiles."""
+
+from .codebook_kernel import codebook_kernel
+from .histogram_kernel import histogram_kernel
+from .huffman_kernels import huffman_decode_kernel, huffman_encode_kernel
+from .lorenzo_kernels import lorenzo_construct_kernel, lorenzo_reconstruct_kernel
+from .outlier_kernels import gather_outlier_kernel, scatter_outlier_kernel
+from .rle_kernel import rle_decode_kernel, rle_kernel
+
+__all__ = [
+    "codebook_kernel",
+    "lorenzo_construct_kernel",
+    "lorenzo_reconstruct_kernel",
+    "huffman_encode_kernel",
+    "huffman_decode_kernel",
+    "gather_outlier_kernel",
+    "scatter_outlier_kernel",
+    "histogram_kernel",
+    "rle_kernel",
+    "rle_decode_kernel",
+]

@@ -1,0 +1,75 @@
+"""Simulated codebook-construction kernel (cuSZ compression Step-6).
+
+cuSZ executes the Huffman-tree build "sequentially with a single GPU
+thread" -- a pure clock-bound serial chain over the alphabet.  The
+cuSZ+-era replacement ([15], implemented in
+:mod:`repro.encoding.parallel_huffman`) sorts the histogram in parallel and
+runs only the O(alphabet) Moffat-Katajainen pass serially.
+
+Both profiles are tiny next to the data kernels (alphabet=1024 vs 10^8
+elements), which is why Table VII omits the stage; the kernel exists to
+quantify exactly that claim (see tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..encoding.huffman import CanonicalCodebook, build_codebook
+from ..encoding.parallel_huffman import build_codebook_parallel
+from ..gpu.kernel import KernelProfile
+from .common import standard_launch
+
+__all__ = ["codebook_kernel"]
+
+#: Dependent cycles per heap operation of the single-thread build
+#: (log-depth sift + global memory traffic per node).
+_SERIAL_CYCLES_PER_SYMBOL = 4500.0
+#: Cycles per symbol of the MK pass (register-resident linear scan).
+_MK_CYCLES_PER_SYMBOL = 220.0
+
+
+def codebook_kernel(
+    freqs: np.ndarray,
+    impl: str = "cuszplus",
+    payload_elements: int | None = None,
+) -> tuple[CanonicalCodebook, KernelProfile]:
+    """Build the canonical codebook and profile the construction.
+
+    ``payload_elements`` only normalizes the reported throughput (the field
+    the codebook serves); the cost itself depends on the alphabet.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    n_symbols = int(np.count_nonzero(freqs))
+    payload = (payload_elements or int(freqs.sum())) * 4
+    if impl == "cusz":
+        book = build_codebook(freqs)
+        # One thread, heap of n_symbols entries, ~n log n dependent steps.
+        chain = max(int(n_symbols * max(np.log2(max(n_symbols, 2)), 1)), 1)
+        profile = KernelProfile(
+            name="build_codebook[cusz]",
+            payload_bytes=payload,
+            bytes_read=int(freqs.nbytes),
+            bytes_written=int(freqs.size),
+            launch=standard_launch(1, threads_per_block=1),
+            serial_chain=chain,
+            cycles_per_step=_SERIAL_CYCLES_PER_SYMBOL,
+            concurrency_per_chain=1,
+            tags={"impl": impl, "alphabet": n_symbols},
+        )
+    else:
+        book = build_codebook_parallel(freqs)
+        # Parallel sort is absorbed by the device; the serial MK pass walks
+        # the alphabet once.
+        profile = KernelProfile(
+            name="build_codebook[cuszplus]",
+            payload_bytes=payload,
+            bytes_read=int(freqs.nbytes) * 2,  # sort passes
+            bytes_written=int(freqs.size),
+            launch=standard_launch(max(n_symbols, 1)),
+            serial_chain=max(n_symbols, 1),
+            cycles_per_step=_MK_CYCLES_PER_SYMBOL,
+            concurrency_per_chain=1,
+            tags={"impl": impl, "alphabet": n_symbols},
+        )
+    return book, profile

@@ -1,0 +1,44 @@
+"""Shared helpers for simulated kernels.
+
+Kernels in this package do two things at once:
+
+1. run the *real* computation (vectorized NumPy, reusing :mod:`repro.core`
+   and :mod:`repro.encoding`) on the data they are given, and
+2. emit a :class:`~repro.gpu.kernel.KernelProfile` describing the memory
+   traffic and serial work that computation would generate on a GPU.
+
+Because the paper's fields are GBs while this repo executes on MB-scale
+synthetic stand-ins, every kernel accepts ``n_sim``: the element count to
+*profile at* (the paper's full field size).  Per-element statistics --
+bytes moved, average bit length, outlier fraction -- are measured on the
+real data and scaled to ``n_sim``, which is sound because they are
+size-intensive quantities.
+"""
+
+from __future__ import annotations
+
+from ..gpu.kernel import LaunchConfig
+
+__all__ = ["standard_launch", "scale_count"]
+
+#: Default thread-block size used by all cuSZ/cuSZ+ kernels.
+BLOCK_THREADS = 256
+
+
+def standard_launch(n_threads: int, threads_per_block: int = BLOCK_THREADS,
+                    shared_per_block: int = 0) -> LaunchConfig:
+    """One thread per work item, 256-thread blocks."""
+    n_threads = max(int(n_threads), 1)
+    blocks = -(-n_threads // threads_per_block)
+    return LaunchConfig(
+        grid_blocks=blocks,
+        threads_per_block=threads_per_block,
+        shared_per_block=shared_per_block,
+    )
+
+
+def scale_count(count: int, n_actual: int, n_sim: int) -> int:
+    """Scale a measured count from the executed size to the simulated size."""
+    if n_actual <= 0:
+        return 0
+    return int(round(count * (n_sim / n_actual)))

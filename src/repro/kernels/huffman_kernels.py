@@ -1,0 +1,98 @@
+"""Simulated Huffman encode/decode kernels.
+
+Encode: cuSZ's unoptimized encoder issues one (uncoalesced) word store per
+symbol, making its write traffic independent of how well the data compresses
+-- which is why Table VI's cuSZ column is flat at ~55-60 GB/s.  cuSZ+
+"performs a DRAM store only when a new data unit needs to be written back",
+so its store traffic is proportional to the *payload* (i.e. inversely
+proportional to the compression ratio), plus a serial floor from the
+variable-length bit stitching.
+
+Decode: a dependent bit-walk per symbol (canonical table lookups), hence
+serial-bound: time scales with SM x clock across devices, reproducing the
+paper's observation that multi-byte Huffman decoding "exhibits a stagnation
+in scaling up" from V100 to A100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import CompressorConfig
+from ..encoding.histogram import histogram
+from ..encoding.huffman import CanonicalCodebook, build_codebook
+from ..encoding.huffman_codec import HuffmanEncoded, decode as huff_decode, encode as huff_encode
+from ..gpu.kernel import KernelProfile
+from .calibration import HUFFMAN_DECODE_CYCLES_PER_BIT, get_calibration
+from .common import standard_launch
+
+__all__ = ["huffman_encode_kernel", "huffman_decode_kernel"]
+
+
+def huffman_encode_kernel(
+    quant: np.ndarray,
+    config: CompressorConfig,
+    impl: str = "cuszplus",
+    n_sim: int | None = None,
+    book: CanonicalCodebook | None = None,
+) -> tuple[CanonicalCodebook, HuffmanEncoded, KernelProfile]:
+    """Chunked Huffman encode (cuSZ compression Steps 7-8) with cost profile."""
+    flat = np.asarray(quant).reshape(-1)
+    if book is None:
+        freqs = histogram(flat, config.dict_size)
+        book = build_codebook(freqs)
+    encoded = huff_encode(flat, book, config.huffman_chunk)
+    n = int(flat.size)
+    n_sim = n_sim or n
+    avg_bits = encoded.total_bits / n
+    cal = get_calibration("huffman_encode", impl, None)
+    # Field payload normalization uses fp32 element size (paper convention).
+    payload = n_sim * 4
+    if impl == "cusz":
+        # One 4-byte store per symbol; coalescing (from calibration) inflates
+        # it to a ~32-byte transaction.
+        write_bytes = n_sim * 4
+    else:
+        # Store-on-word-completion: write bytes equal the encoded payload.
+        write_bytes = int(n_sim * avg_bits / 8)
+    profile = KernelProfile(
+        name=f"huffman_encode[{impl}]",
+        payload_bytes=payload,
+        bytes_read=n_sim * flat.dtype.itemsize,
+        bytes_written=max(write_bytes, 1),
+        launch=standard_launch(n_sim),
+        coalescing_write=cal.coalescing_write,
+        mem_efficiency=cal.mem_efficiency,
+        serial_chain=1,
+        cycles_per_step=cal.serial_cycles,
+        tags={"impl": impl, "avg_bits": avg_bits},
+    )
+    return book, encoded, profile
+
+
+def huffman_decode_kernel(
+    encoded: HuffmanEncoded,
+    book: CanonicalCodebook,
+    out_dtype=np.uint16,
+    n_sim: int | None = None,
+) -> tuple[np.ndarray, KernelProfile]:
+    """Chunk-parallel Huffman decode with a serial-bound cost profile."""
+    out = huff_decode(encoded, book, out_dtype=out_dtype)
+    n = encoded.n_symbols
+    n_sim = n_sim or n
+    avg_bits = encoded.total_bits / max(n, 1)
+    cal = get_calibration("huffman_decode", "any", None)
+    payload = n_sim * 4
+    profile = KernelProfile(
+        name="huffman_decode",
+        payload_bytes=payload,
+        bytes_read=int(n_sim * avg_bits / 8) + 4 * (n_sim // encoded.chunk_size + 1),
+        bytes_written=n_sim * np.dtype(out_dtype).itemsize,
+        launch=standard_launch(n_sim),
+        mem_efficiency=cal.mem_efficiency,
+        serial_chain=1,
+        # Dependent cycles per symbol grow with the codeword length walked.
+        cycles_per_step=cal.serial_cycles + HUFFMAN_DECODE_CYCLES_PER_BIT * avg_bits,
+        tags={"avg_bits": avg_bits},
+    )
+    return out, profile

@@ -1,0 +1,88 @@
+"""Simulated outlier gather (dense->sparse) and scatter (sparse->dense).
+
+cuSZ+ uses cuSPARSE's dense-to-sparse conversion for the gather during
+compression (Section V-C.2) and a trivial scatter during decompression.
+The gather streams the whole dense delta array; the scatter touches only
+the sparse entries (uncoalesced writes into the dense quant field).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dual_quant import Quantized
+from ..gpu.kernel import KernelProfile
+from .calibration import get_calibration
+from .common import scale_count, standard_launch
+from .lorenzo_kernels import OUTLIER_ENTRY_BYTES
+
+__all__ = ["gather_outlier_kernel", "scatter_outlier_kernel"]
+
+
+def gather_outlier_kernel(
+    bundle: Quantized, n_sim: int | None = None
+) -> tuple[tuple[np.ndarray, np.ndarray], KernelProfile]:
+    """Compact the sparse outliers out of the dense delta field.
+
+    The numerical work already happened inside postquantization (the bundle
+    carries the indices/values); this kernel accounts for the dense scan the
+    cuSPARSE conversion performs.
+    """
+    n = int(np.prod(bundle.shape))
+    n_sim = n_sim or n
+    k_sim = scale_count(bundle.n_outliers, n, n_sim)
+    cal = get_calibration("gather_outlier", "any", None)
+    payload = n_sim * 4
+    profile = KernelProfile(
+        name="gather_outlier",
+        payload_bytes=payload,
+        bytes_read=payload,  # streams the dense fp delta array
+        bytes_written=k_sim * OUTLIER_ENTRY_BYTES,
+        launch=standard_launch(n_sim),
+        mem_efficiency=cal.mem_efficiency,
+        serial_chain=1,
+        cycles_per_step=cal.serial_cycles,
+        tags={"outliers": bundle.n_outliers},
+    )
+    return (bundle.outlier_indices, bundle.outlier_values), profile
+
+
+def scatter_outlier_kernel(
+    quant: np.ndarray,
+    outlier_indices: np.ndarray,
+    outlier_values: np.ndarray,
+    radius: int,
+    n_sim: int | None = None,
+) -> tuple[np.ndarray, KernelProfile]:
+    """Fuse quant-codes and outliers into the dense delta array (line 9).
+
+    Returns the fused int64 delta stream ready for partial-sum
+    reconstruction, plus the scatter's cost profile (sparse reads, scattered
+    writes at sector granularity).
+    """
+    fused = quant.astype(np.int64).reshape(-1) - radius
+    if outlier_indices.size:
+        fused[outlier_indices] = outlier_values
+    n = int(quant.size)
+    n_sim = n_sim or n
+    k_sim = scale_count(int(outlier_indices.size), n, n_sim)
+    cal = get_calibration("scatter_outlier", "any", None)
+    payload = n_sim * 4
+    # The cuSZ+ scatter is really the *fusion* q' = (q (+) outlier) - r: it
+    # streams the dense quant array once (read + write) and additionally
+    # performs the uncoalesced sparse writes.  Sparse traffic is modeled on
+    # the write side where the coalescing penalty applies.
+    dense_bytes = n_sim * quant.dtype.itemsize
+    sparse_bytes = k_sim * OUTLIER_ENTRY_BYTES
+    profile = KernelProfile(
+        name="scatter_outlier",
+        payload_bytes=payload,
+        bytes_read=dense_bytes + sparse_bytes,
+        # Fold the coalescing penalty into the byte count so the dense
+        # streaming part keeps its unit coalescing.
+        bytes_written=dense_bytes + int(sparse_bytes / cal.coalescing_write),
+        launch=standard_launch(n_sim),
+        mem_efficiency=cal.mem_efficiency,
+        tags={"outliers": int(outlier_indices.size)},
+    )
+    return fused, profile

@@ -1,0 +1,20 @@
+"""Parallel substrate: SPMD cluster, decomposition, PFS model, checkpoints."""
+
+from .checkpoint import read_checkpoint, read_rank_slab, write_checkpoint
+from .communicator import Comm, LocalCluster, run_spmd
+from .decomposition import slab_bounds, slab_for_rank
+from .io_model import MIRA_CLASS_PFS, MODERN_PFS, ParallelFileSystem
+
+__all__ = [
+    "Comm",
+    "LocalCluster",
+    "run_spmd",
+    "slab_bounds",
+    "slab_for_rank",
+    "ParallelFileSystem",
+    "MIRA_CLASS_PFS",
+    "MODERN_PFS",
+    "write_checkpoint",
+    "read_checkpoint",
+    "read_rank_slab",
+]

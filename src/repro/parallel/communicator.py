@@ -1,0 +1,170 @@
+"""In-process SPMD cluster with an mpi4py-like communicator.
+
+The paper's motivating workload is a 16,384-node HACC run dumping ~3 GB per
+node; reproducing the I/O arithmetic needs a rank abstraction but not a real
+MPI installation.  :class:`LocalCluster` runs one Python thread per rank
+(NumPy releases the GIL, so numeric work overlaps) and gives each rank a
+:class:`Comm` with the familiar verbs: ``send/recv``, ``bcast``, ``gather``,
+``allgather``, ``allreduce``, ``barrier``.
+
+Semantics follow mpi4py's lowercase (object) API: values are passed by
+reference within the process -- callers must not mutate received objects
+(documented, as with mpi4py's pickled objects the hazard does not arise;
+here it would).  Collectives synchronize all ranks like their MPI
+counterparts.  Swapping in real mpi4py requires only constructing the same
+calls on ``MPI.COMM_WORLD``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+from ..core.errors import ConfigError
+
+__all__ = ["Comm", "LocalCluster", "run_spmd"]
+
+
+class _Shared:
+    """State shared by all ranks of one cluster run."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.mailboxes = [
+            {src: queue.Queue() for src in range(size)} for _ in range(size)
+        ]
+        self.slots: list[Any] = [None] * size
+        self.lock = threading.Lock()
+
+
+class Comm:
+    """Per-rank communicator handle (mpi4py-flavoured)."""
+
+    def __init__(self, rank: int, shared: _Shared) -> None:
+        self._rank = rank
+        self._shared = shared
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._shared.size
+
+    # mpi4py spellings
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._shared.size
+
+    # -- point to point -------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send an object to ``dest`` (buffered, non-blocking here)."""
+        self._check_rank(dest)
+        self._shared.mailboxes[dest][self._rank].put((tag, obj))
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 30.0) -> Any:
+        """Receive the next object from ``source`` with matching tag."""
+        self._check_rank(source)
+        got_tag, obj = self._shared.mailboxes[self._rank][source].get(timeout=timeout)
+        if got_tag != tag:
+            raise ConfigError(
+                f"rank {self._rank}: expected tag {tag} from {source}, got {got_tag}"
+            )
+        return obj
+
+    # -- collectives ----------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._shared.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; everyone returns it."""
+        self._check_rank(root)
+        if self._rank == root:
+            self._shared.slots[root] = obj
+        self.barrier()
+        out = self._shared.slots[root]
+        self.barrier()
+        return out
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather everyone's object at ``root`` (None elsewhere)."""
+        self._check_rank(root)
+        self._shared.slots[self._rank] = obj
+        self.barrier()
+        out = list(self._shared.slots) if self._rank == root else None
+        self.barrier()
+        return out
+
+    def allgather(self, obj: Any) -> list[Any]:
+        self._shared.slots[self._rank] = obj
+        self.barrier()
+        out = list(self._shared.slots)
+        self.barrier()
+        return out
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce with ``op`` (default: sum) and return to everyone."""
+        values = self.allgather(value)
+        if op is None:
+            total = values[0]
+            for v in values[1:]:
+                total = total + v
+            return total
+        total = values[0]
+        for v in values[1:]:
+            total = op(total, v)
+        return total
+
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self._shared.size:
+            raise ConfigError(f"rank {r} outside communicator of size {self._shared.size}")
+
+
+class LocalCluster:
+    """Run an SPMD function across ``n_ranks`` in-process threads."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ConfigError(f"cluster needs at least one rank, got {n_ranks}")
+        self.n_ranks = n_ranks
+
+    def run(self, fn: Callable[..., Any], *args, **kwargs) -> list[Any]:
+        """Execute ``fn(comm, *args, **kwargs)`` on every rank; return the
+        per-rank results in rank order.  Any rank's exception is re-raised
+        (after all threads stop) with its rank attached."""
+        shared = _Shared(self.n_ranks)
+        results: list[Any] = [None] * self.n_ranks
+        errors: list[tuple[int, BaseException]] = []
+
+        def work(rank: int) -> None:
+            comm = Comm(rank, shared)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors.append((rank, exc))
+                shared.barrier.abort()
+
+        threads = [
+            threading.Thread(target=work, args=(r,), name=f"rank{r}")
+            for r in range(self.n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            rank, exc = errors[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+
+def run_spmd(n_ranks: int, fn: Callable[..., Any], *args, **kwargs) -> list[Any]:
+    """One-shot convenience wrapper around :class:`LocalCluster`."""
+    return LocalCluster(n_ranks).run(fn, *args, **kwargs)

@@ -1,0 +1,94 @@
+"""Domain decomposition: slab/block partitioning and halo exchange.
+
+Science codes dump per-rank sub-domains; these helpers carve a global field
+into per-rank pieces (contiguous slabs along axis 0, or near-cubic blocks on
+a process grid) and exchange one-deep halos between slab neighbours -- the
+communication skeleton a real simulation would already have, used here by
+the checkpoint example and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from .communicator import Comm
+
+__all__ = ["slab_bounds", "slab_for_rank", "process_grid", "block_bounds", "exchange_slab_halos"]
+
+
+def slab_bounds(n: int, size: int, rank: int) -> tuple[int, int]:
+    """Rows ``[start, stop)`` of axis 0 owned by ``rank`` (balanced split)."""
+    if not 0 <= rank < size:
+        raise ConfigError(f"rank {rank} outside 0..{size - 1}")
+    if size > n:
+        raise ConfigError(f"cannot split {n} rows across {size} ranks")
+    base, extra = divmod(n, size)
+    start = rank * base + min(rank, extra)
+    stop = start + base + (1 if rank < extra else 0)
+    return start, stop
+
+
+def slab_for_rank(global_field: np.ndarray, size: int, rank: int) -> np.ndarray:
+    """The slab of ``global_field`` owned by ``rank`` (a view)."""
+    start, stop = slab_bounds(global_field.shape[0], size, rank)
+    return global_field[start:stop]
+
+
+def process_grid(size: int, ndim: int) -> tuple[int, ...]:
+    """Near-balanced factorization of ``size`` into an ``ndim``-D grid."""
+    if size < 1 or not 1 <= ndim <= 4:
+        raise ConfigError("need size >= 1 and 1 <= ndim <= 4")
+    grid = [1] * ndim
+    remaining = size
+    # Greedy: repeatedly give the smallest axis the largest prime factor.
+    for p in _prime_factors(remaining)[::-1]:
+        axis = int(np.argmin(grid))
+        grid[axis] *= p
+    return tuple(sorted(grid, reverse=True))
+
+
+def _prime_factors(n: int) -> list[int]:
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out)
+
+
+def block_bounds(
+    shape: tuple[int, ...], grid: tuple[int, ...], coords: tuple[int, ...]
+) -> tuple[slice, ...]:
+    """The sub-block of a global ``shape`` at grid position ``coords``."""
+    if len(shape) != len(grid) or len(grid) != len(coords):
+        raise ConfigError("shape, grid and coords must have the same rank")
+    slices = []
+    for n, g, c in zip(shape, grid, coords):
+        if not 0 <= c < g:
+            raise ConfigError(f"grid coordinate {c} outside 0..{g - 1}")
+        start, stop = slab_bounds(n, g, c)
+        slices.append(slice(start, stop))
+    return tuple(slices)
+
+
+def exchange_slab_halos(comm: Comm, local: np.ndarray) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Exchange one-deep axis-0 halos with slab neighbours.
+
+    Returns ``(lower_halo, upper_halo)``: the neighbouring rank's boundary
+    row below/above this slab (None at the domain edges).  Demonstrates the
+    point-to-point layer; compression itself never needs halos (chunks are
+    independent by design).
+    """
+    rank, size = comm.rank, comm.size
+    if rank + 1 < size:
+        comm.send(np.ascontiguousarray(local[-1]), dest=rank + 1, tag=1)
+    if rank > 0:
+        comm.send(np.ascontiguousarray(local[0]), dest=rank - 1, tag=2)
+    lower = comm.recv(source=rank - 1, tag=1) if rank > 0 else None
+    upper = comm.recv(source=rank + 1, tag=2) if rank + 1 < size else None
+    return lower, upper

@@ -1,0 +1,74 @@
+"""Parallel file system cost model.
+
+The paper's introduction motivates compression by PFS pressure: petabyte
+dumps against limited aggregate bandwidth.  This model prices a collective
+write the standard way:
+
+    time = latency + max(total_bytes / aggregate_bw,
+                         max_rank_bytes / per_node_bw)
+
+i.e. the dump is bound either by the shared PFS backend or by the slowest
+node's injection link.  Presets approximate the paper's systems' Lustre/GPFS
+class storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import ConfigError
+
+__all__ = ["ParallelFileSystem", "MIRA_CLASS_PFS", "MODERN_PFS", "DumpCost"]
+
+
+@dataclass(frozen=True)
+class ParallelFileSystem:
+    """Aggregate + per-node bandwidth model of a PFS."""
+
+    name: str
+    aggregate_bw: float  # bytes/s across all ranks
+    per_node_bw: float  # bytes/s one rank can inject
+    latency: float = 1e-3  # seconds per collective open/commit
+
+    def write_time(self, per_rank_bytes: Sequence[int]) -> float:
+        """Seconds to collectively write the given per-rank byte counts."""
+        if any(b < 0 for b in per_rank_bytes):
+            raise ConfigError("negative byte count")
+        total = float(sum(per_rank_bytes))
+        worst = float(max(per_rank_bytes, default=0))
+        return self.latency + max(total / self.aggregate_bw, worst / self.per_node_bw)
+
+    def read_time(self, per_rank_bytes: Sequence[int]) -> float:
+        """Reads are modeled symmetrically."""
+        return self.write_time(per_rank_bytes)
+
+
+#: Mira/Theta-class PFS (the paper cites ALCF's I/O figures [2]): ~240 GB/s
+#: aggregate, a few GB/s per node.
+MIRA_CLASS_PFS = ParallelFileSystem(
+    name="mira-class", aggregate_bw=240e9, per_node_bw=2e9
+)
+
+#: A modern flash-heavy PFS.
+MODERN_PFS = ParallelFileSystem(
+    name="modern-flash", aggregate_bw=1.2e12, per_node_bw=10e9
+)
+
+
+@dataclass(frozen=True)
+class DumpCost:
+    """Cost breakdown of one checkpoint dump."""
+
+    raw_bytes: int
+    stored_bytes: int
+    compress_seconds: float
+    write_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compress_seconds + self.write_seconds
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_bytes / self.stored_bytes if self.stored_bytes else float("inf")

@@ -1,0 +1,48 @@
+"""Shared fixtures: representative small fields of each dimensionality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def field_1d(rng) -> np.ndarray:
+    """Smooth 1-D signal with noise (HACC-velocity-like)."""
+    t = np.linspace(0, 20 * np.pi, 4096)
+    return (np.sin(t) * 50 + rng.normal(0, 1.5, t.size)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def field_2d(rng) -> np.ndarray:
+    """Smooth 2-D field with noise (CESM-like)."""
+    x = np.linspace(0, 6 * np.pi, 200)
+    y = np.linspace(0, 4 * np.pi, 160)
+    base = np.sin(y)[:, None] * np.cos(x)[None, :]
+    return (base * 10 + rng.normal(0, 0.05, (160, 200))).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def field_3d(rng) -> np.ndarray:
+    """Smooth 3-D field (Nyx-like)."""
+    g = np.linspace(0, 2 * np.pi, 40)
+    base = (
+        np.sin(g)[:, None, None]
+        + np.cos(g)[None, :, None]
+        + np.sin(2 * g)[None, None, :]
+    )
+    return (base + rng.normal(0, 0.02, (40, 40, 40))).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def sparse_field_2d() -> np.ndarray:
+    """Mostly-constant field with plateaus (ODV/ICEFRAC-like, RLE-friendly)."""
+    f = np.zeros((300, 300), dtype=np.float32)
+    f[40:90, 50:220] = 3.5
+    f[150:260, 10:80] = -1.25
+    return f

@@ -1,0 +1,89 @@
+"""Tests for the sectioned archive container."""
+
+import numpy as np
+import pytest
+
+from repro.core.archive import ArchiveBuilder, ArchiveReader, MAGIC
+from repro.core.errors import ArchiveError
+
+
+class TestBuilderReader:
+    def test_bytes_roundtrip(self):
+        blob = ArchiveBuilder().add_bytes("meta", b"hello").to_bytes()
+        reader = ArchiveReader(blob)
+        assert reader.get_bytes("meta") == b"hello"
+
+    def test_array_roundtrip_preserves_dtype(self):
+        arr = np.arange(100, dtype=np.uint32)
+        blob = ArchiveBuilder().add_array("a", arr).to_bytes()
+        out = ArchiveReader(blob).get_array("a")
+        assert out.dtype == np.uint32
+        np.testing.assert_array_equal(out, arr)
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.int32, np.int64, np.float32, np.float64])
+    def test_all_dtypes(self, dtype):
+        arr = np.arange(17).astype(dtype)
+        blob = ArchiveBuilder().add_array("x", arr).to_bytes()
+        np.testing.assert_array_equal(ArchiveReader(blob).get_array("x"), arr)
+
+    def test_multiple_sections_keep_order_and_content(self):
+        b = ArchiveBuilder()
+        b.add_bytes("one", b"1" * 13)
+        b.add_array("two", np.arange(5, dtype=np.int64))
+        b.add_bytes("three", b"")
+        reader = ArchiveReader(b.to_bytes())
+        assert reader.names() == ["one", "two", "three"]
+        assert reader.get_bytes("one") == b"1" * 13
+        assert reader.get_bytes("three") == b""
+
+    def test_empty_array_section(self):
+        blob = ArchiveBuilder().add_array("e", np.zeros(0, dtype=np.uint32)).to_bytes()
+        assert ArchiveReader(blob).get_array("e").size == 0
+
+    def test_duplicate_name_rejected(self):
+        b = ArchiveBuilder().add_bytes("x", b"a")
+        with pytest.raises(ArchiveError):
+            b.add_bytes("x", b"b")
+
+    def test_long_name_rejected(self):
+        with pytest.raises(ArchiveError):
+            ArchiveBuilder().add_bytes("n" * 17, b"")
+
+    def test_missing_section(self):
+        blob = ArchiveBuilder().add_bytes("a", b"").to_bytes()
+        with pytest.raises(ArchiveError):
+            ArchiveReader(blob).get_bytes("b")
+
+    def test_raw_section_not_readable_as_array(self):
+        blob = ArchiveBuilder().add_bytes("raw", b"abcd").to_bytes()
+        with pytest.raises(ArchiveError):
+            ArchiveReader(blob).get_array("raw")
+
+    def test_has(self):
+        reader = ArchiveReader(ArchiveBuilder().add_bytes("a", b"").to_bytes())
+        assert reader.has("a") and not reader.has("z")
+
+    def test_section_sizes(self):
+        b = ArchiveBuilder().add_bytes("a", b"xy").add_array("b", np.zeros(3, np.uint16))
+        assert b.section_sizes() == {"a": 2, "b": 6}
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        blob = ArchiveBuilder().add_bytes("a", b"x").to_bytes()
+        with pytest.raises(ArchiveError):
+            ArchiveReader(b"WRONGMAG" + blob[len(MAGIC):])
+
+    def test_truncated_header(self):
+        with pytest.raises(ArchiveError):
+            ArchiveReader(b"abc")
+
+    def test_truncated_payload(self):
+        blob = ArchiveBuilder().add_bytes("a", b"0123456789").to_bytes()
+        with pytest.raises(ArchiveError):
+            ArchiveReader(blob[:-4])
+
+    def test_truncated_table(self):
+        blob = ArchiveBuilder().add_bytes("a", b"x").add_bytes("b", b"y").to_bytes()
+        with pytest.raises(ArchiveError):
+            ArchiveReader(blob[:16])

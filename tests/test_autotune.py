@@ -1,0 +1,68 @@
+"""Tests for error-bound autotuning."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.autotune import tune_for_psnr, tune_for_ratio
+from repro.analysis.metrics import psnr
+from repro.core.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 15, 256)
+    return (np.sin(x)[:, None] * np.cos(x)[None, :] * 3 + rng.normal(0, 0.02, (256, 256))).astype(
+        np.float32
+    )
+
+
+class TestTuneForPsnr:
+    @pytest.mark.parametrize("target", [60.0, 85.0, 100.0])
+    def test_meets_target(self, field, target):
+        result = tune_for_psnr(field, target)
+        assert result.satisfied
+        # Confirm independently.
+        res = repro.compress(field, eb=result.eb)
+        out = repro.decompress(res.archive)
+        assert psnr(field, out) >= target - 0.5
+
+    def test_few_evaluations(self, field):
+        """The closed-form seed should land within a couple of evals."""
+        result = tune_for_psnr(field, 85.0)
+        assert result.evaluations <= 4
+
+    def test_config_helper(self, field):
+        result = tune_for_psnr(field, 70.0)
+        config = result.config(workflow="huffman")
+        assert config.eb == result.eb
+        assert config.workflow == "huffman"
+
+    def test_invalid_target(self, field):
+        with pytest.raises(ConfigError):
+            tune_for_psnr(field, 5.0)
+
+
+class TestTuneForRatio:
+    @pytest.mark.parametrize("target", [5.0, 12.0, 20.0])
+    def test_meets_target(self, field, target):
+        result = tune_for_ratio(field, target)
+        assert result.satisfied
+        assert result.achieved >= target * 0.9
+
+    def test_prefers_tight_bounds(self, field):
+        """The returned bound should not be far looser than needed."""
+        result = tune_for_ratio(field, 8.0)
+        tighter = repro.compress(field, eb=result.eb / 4)
+        assert tighter.compression_ratio < 8.0 * 1.2
+
+    def test_unreachable_target_reported(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(size=(64, 64)).astype(np.float32)
+        result = tune_for_ratio(noise, 5000.0, eb_max=1e-2)
+        assert not result.satisfied
+
+    def test_invalid_target(self, field):
+        with pytest.raises(ConfigError):
+            tune_for_ratio(field, 0.5)

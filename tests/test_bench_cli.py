@@ -1,0 +1,55 @@
+"""Tests for the bench CLI and determinism of the core pipeline."""
+
+import numpy as np
+
+import repro
+from repro.bench.__main__ import main as bench_main
+
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        assert bench_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table7", "fig2a", "fidelity", "ablation_host"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert bench_main(["table99"]) == 1
+
+    def test_run_and_save(self, tmp_path, capsys):
+        assert bench_main(["fig3", "--out", str(tmp_path)]) == 0
+        saved = (tmp_path / "fig3.txt").read_text()
+        assert "partial-sum" in saved
+
+    def test_out_requires_dir(self, capsys):
+        assert bench_main(["fig3", "--out"]) == 1
+
+
+class TestDeterminism:
+    def test_identical_archives_for_identical_input(self):
+        """Compression is bit-reproducible (no hidden randomness)."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(120, 120)).astype(np.float32)
+        a = repro.compress(data, eb=1e-3).archive
+        b = repro.compress(data.copy(), eb=1e-3).archive
+        assert a == b
+
+    def test_dataset_fields_reproducible(self):
+        from repro.data.datasets import DATASETS, DatasetSpec
+
+        spec = DATASETS["CESM"]
+        fresh = DatasetSpec(
+            name=spec.name, description=spec.description,
+            paper_shape=spec.paper_shape, scaled_shape=spec.scaled_shape,
+            paper_size_mb=spec.paper_size_mb, makers=dict(spec.makers),
+        )
+        a = spec.field("PS").data
+        b = fresh.field("PS").data
+        np.testing.assert_array_equal(a, b)
+
+    def test_experiment_output_deterministic(self):
+        from repro.bench import get_experiment
+
+        out1 = get_experiment("fig3").func()
+        out2 = get_experiment("fig3").func()
+        assert out1 == out2

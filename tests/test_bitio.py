@@ -1,0 +1,116 @@
+"""Tests for vectorized bit packing/unpacking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import EncodingError
+from repro.encoding.bitio import bits_to_bytes, pack_codes, peek_bits, unpack_to_bits
+
+
+class TestPackCodes:
+    def test_single_code(self):
+        packed, total = pack_codes(np.array([0b101], dtype=np.uint64), np.array([3]))
+        assert total == 3
+        assert packed[0] == 0b10100000
+
+    def test_concatenation_order_msb_first(self):
+        # 0b1 then 0b01 then 0b0011 -> bits 1 01 0011 -> byte 1010011 0
+        packed, total = pack_codes(
+            np.array([1, 1, 3], dtype=np.uint64), np.array([1, 2, 4])
+        )
+        assert total == 7
+        assert packed[0] == 0b10100110
+
+    def test_empty(self):
+        packed, total = pack_codes(np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64))
+        assert total == 0 and packed.size == 0
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(EncodingError):
+            pack_codes(np.zeros(3, dtype=np.uint64), np.zeros(2, dtype=np.int64))
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(EncodingError):
+            pack_codes(np.array([1], dtype=np.uint64), np.array([0]))
+        with pytest.raises(EncodingError):
+            pack_codes(np.array([1], dtype=np.uint64), np.array([65]))
+
+    def test_unpack_inverts_pack(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(1, 20, 100)
+        codes = np.array(
+            [rng.integers(0, 1 << int(l)) for l in lengths], dtype=np.uint64
+        )
+        packed, total = pack_codes(codes, lengths)
+        bits = unpack_to_bits(packed, total)
+        # Re-read each code by its offset.
+        offsets = np.cumsum(lengths) - lengths
+        for code, length, off in zip(codes, lengths, offsets):
+            val = 0
+            for b in bits[off : off + length]:
+                val = (val << 1) | int(b)
+            assert val == int(code)
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_total_bits_property(self, data):
+        n = data.draw(st.integers(1, 60))
+        lengths = np.array(data.draw(st.lists(st.integers(1, 64), min_size=n, max_size=n)))
+        codes = np.zeros(n, dtype=np.uint64)
+        packed, total = pack_codes(codes, lengths)
+        assert total == lengths.sum()
+        assert packed.size == bits_to_bytes(total)
+
+
+class TestPeekBits:
+    def test_basic_peek(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+        vals = peek_bits(bits, np.array([0, 2, 4]), 3)
+        np.testing.assert_array_equal(vals, [0b101, 0b110, 0b001])
+
+    def test_peek_past_end_zero_pads(self):
+        bits = np.array([1, 1], dtype=np.uint8)
+        vals = peek_bits(bits, np.array([1]), 4)
+        assert vals[0] == 0b1000
+
+    def test_invalid_width(self):
+        bits = np.zeros(8, dtype=np.uint8)
+        with pytest.raises(EncodingError):
+            peek_bits(bits, np.array([0]), 0)
+        with pytest.raises(EncodingError):
+            peek_bits(bits, np.array([0]), 64)
+
+    def test_unpack_bounds_check(self):
+        with pytest.raises(EncodingError):
+            unpack_to_bits(np.zeros(1, dtype=np.uint8), 9)
+
+
+class TestPeekBitsPacked:
+    def test_matches_bit_array_peek(self):
+        from repro.encoding.bitio import peek_bits_packed
+
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 400).astype(np.uint8)
+        packed = np.packbits(bits)
+        positions = rng.integers(0, 360, 50)
+        for width in (1, 7, 13, 24, 56):
+            a = peek_bits(bits, positions, min(width, 63))
+            b = peek_bits_packed(packed, positions, width)
+            np.testing.assert_array_equal(a[: b.size], b)
+
+    def test_past_end_zero_padded(self):
+        from repro.encoding.bitio import peek_bits_packed
+
+        packed = np.array([0b10000000], dtype=np.uint8)
+        v = peek_bits_packed(packed, np.array([0]), 16)
+        assert v[0] == 0b1000000000000000
+
+    def test_width_limits(self):
+        from repro.encoding.bitio import peek_bits_packed
+
+        with pytest.raises(EncodingError):
+            peek_bits_packed(np.zeros(4, np.uint8), np.array([0]), 57)
+        with pytest.raises(EncodingError):
+            peek_bits_packed(np.zeros(4, np.uint8), np.array([0]), 0)

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.io import save_binary
+
+
+@pytest.fixture()
+def field_file(tmp_path):
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 10, 120)
+    data = (np.sin(x)[:, None] * np.cos(x)[None, :] * 4 + rng.normal(0, 0.01, (120, 120))).astype(
+        np.float32
+    )
+    path = tmp_path / "field.f32"
+    save_binary(path, data)
+    return path, data
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, field_file, tmp_path, capsys):
+        path, data = field_file
+        archive = tmp_path / "field.rpsz"
+        restored = tmp_path / "restored.f32"
+        assert main(["compress", str(path), "-o", str(archive),
+                     "--dims", "120", "120", "--eb", "1e-3"]) == 0
+        assert archive.exists()
+        out = capsys.readouterr().out
+        assert "workflow=" in out and "x)" in out
+        assert main(["decompress", str(archive), "-o", str(restored)]) == 0
+        back = np.fromfile(restored, dtype=np.float32).reshape(120, 120)
+        eb = 1e-3 * float(data.max() - data.min())
+        assert np.abs(data - back).max() <= eb
+
+    def test_compress_options(self, field_file, tmp_path):
+        path, _ = field_file
+        archive = tmp_path / "f.rpsz"
+        assert main([
+            "compress", str(path), "-o", str(archive), "--dims", "120", "120",
+            "--eb", "0.01", "--mode", "abs", "--workflow", "rle+vle",
+            "--predictor", "regression", "--dict-size", "512",
+        ]) == 0
+
+    def test_wrong_dims_fails_cleanly(self, field_file, tmp_path, capsys):
+        path, _ = field_file
+        rc = main(["compress", str(path), "-o", str(tmp_path / "x.rpsz"),
+                   "--dims", "64", "64"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["compress", str(tmp_path / "missing.f32"),
+                   "-o", str(tmp_path / "x.rpsz"), "--dims", "4"])
+        assert rc == 2
+
+
+class TestInfoVerify:
+    def test_info(self, field_file, tmp_path, capsys):
+        path, _ = field_file
+        archive = tmp_path / "f.rpsz"
+        main(["compress", str(path), "-o", str(archive), "--dims", "120", "120"])
+        capsys.readouterr()
+        assert main(["info", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "shape      : (120, 120)" in out
+        assert "sections" in out
+        assert "ratio" in out
+
+    def test_verify_pass(self, field_file, tmp_path, capsys):
+        path, _ = field_file
+        archive = tmp_path / "f.rpsz"
+        main(["compress", str(path), "-o", str(archive), "--dims", "120", "120",
+              "--eb", "1e-3"])
+        capsys.readouterr()
+        assert main(["verify", str(path), str(archive), "--dims", "120", "120"]) == 0
+        assert "satisfied=True" in capsys.readouterr().out
+
+    def test_verify_shape_mismatch(self, field_file, tmp_path, capsys):
+        path, data = field_file
+        archive = tmp_path / "f.rpsz"
+        main(["compress", str(path), "-o", str(archive), "--dims", "120", "120"])
+        other = tmp_path / "other.f32"
+        save_binary(other, data[:60].copy())
+        capsys.readouterr()
+        assert main(["verify", str(other), str(archive), "--dims", "60", "120"]) == 1
+
+    def test_info_garbage_archive(self, tmp_path):
+        bad = tmp_path / "bad.rpsz"
+        bad.write_bytes(b"definitely not an archive")
+        assert main(["info", str(bad)]) == 2

@@ -1,0 +1,95 @@
+"""Edge-case tests for configuration validation and bound resolution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import DEFAULT_CHUNKS, CompressorConfig
+from repro.core.errors import ConfigError, DimensionalityError
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = CompressorConfig()
+        assert config.radius == 512
+        assert config.rle_bitlen_threshold == 1.09
+
+    @pytest.mark.parametrize("eb", [0.0, -1e-3, float("nan"), float("inf")])
+    def test_bad_bounds_rejected(self, eb):
+        with pytest.raises(ConfigError):
+            CompressorConfig(eb=eb)
+
+    @pytest.mark.parametrize("dict_size", [0, 1, 3, 999])
+    def test_bad_dict_sizes_rejected(self, dict_size):
+        with pytest.raises(ConfigError):
+            CompressorConfig(dict_size=dict_size)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            CompressorConfig(eb_mode="psnr")
+
+    def test_bad_workflow_rejected(self):
+        with pytest.raises(ConfigError):
+            CompressorConfig(workflow="zstd")
+
+    def test_bad_chunk_counts(self):
+        with pytest.raises(DimensionalityError):
+            CompressorConfig(chunks=(2,) * 5)
+        with pytest.raises(ConfigError):
+            CompressorConfig(chunks=(0, 4))
+
+    def test_bad_huffman_chunk(self):
+        with pytest.raises(ConfigError):
+            CompressorConfig(huffman_chunk=0)
+
+    def test_with_replaces_and_revalidates(self):
+        config = CompressorConfig(eb=1e-3)
+        other = config.with_(eb=1e-2, workflow="rle")
+        assert other.eb == 1e-2 and other.workflow == "rle"
+        assert config.eb == 1e-3  # frozen original untouched
+        with pytest.raises(ConfigError):
+            config.with_(eb=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CompressorConfig().eb = 5.0
+
+
+class TestChunkResolution:
+    @pytest.mark.parametrize("ndim", [1, 2, 3, 4])
+    def test_defaults_per_dim(self, ndim):
+        assert CompressorConfig().chunks_for(ndim) == DEFAULT_CHUNKS[ndim]
+
+    def test_explicit_chunks_must_match_ndim(self):
+        config = CompressorConfig(chunks=(8, 8))
+        assert config.chunks_for(2) == (8, 8)
+        with pytest.raises(DimensionalityError):
+            config.chunks_for(3)
+
+    def test_unsupported_ndim(self):
+        with pytest.raises(DimensionalityError):
+            CompressorConfig().chunks_for(5)
+
+
+class TestBoundResolution:
+    def test_abs_ignores_range(self):
+        config = CompressorConfig(eb=0.5, eb_mode="abs")
+        assert config.absolute_bound(1000.0) == 0.5
+
+    def test_rel_scales_with_range(self):
+        config = CompressorConfig(eb=1e-2, eb_mode="rel")
+        assert config.absolute_bound(50.0) == pytest.approx(0.5)
+
+    def test_constant_field_degenerates_gracefully(self):
+        config = CompressorConfig(eb=1e-2, eb_mode="rel")
+        assert config.absolute_bound(0.0) == 1e-2
+        assert math.isfinite(config.absolute_bound(0.0))
+
+    def test_chunk_sizes_larger_than_data_ok(self):
+        import repro
+
+        data = np.ones((4, 4), dtype=np.float32) * 3
+        res = repro.compress(data, eb=1e-3, chunks=(64, 64))
+        out = repro.decompress(res.archive)
+        assert np.abs(data - out).max() <= res.eb_abs

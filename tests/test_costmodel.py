@@ -1,0 +1,100 @@
+"""Tests for the roofline-with-latency cost model."""
+
+import pytest
+
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import A100, V100
+from repro.gpu.kernel import KernelProfile, LaunchConfig
+
+
+def _profile(**kw):
+    defaults = dict(
+        name="k",
+        payload_bytes=1 << 30,
+        bytes_read=1 << 30,
+        bytes_written=0,
+        launch=LaunchConfig(grid_blocks=1 << 16, threads_per_block=256),
+    )
+    defaults.update(kw)
+    return KernelProfile(**defaults)
+
+
+class TestMemoryTerm:
+    def test_streaming_kernel_near_peak(self):
+        model = CostModel(V100)
+        t = model.time(_profile())
+        # 1 GiB at ~900 GB/s with saturation ~1 -> ~1.2 ms.
+        assert 0.8e-3 < t.seconds < 2e-3
+        assert t.bound == "memory"
+
+    def test_throughput_scales_with_bandwidth(self):
+        p = _profile()
+        v = CostModel(V100).time(p).gbps
+        a = CostModel(A100).time(p).gbps
+        assert a / v == pytest.approx(A100.mem_bw / V100.mem_bw, rel=0.05)
+
+    def test_efficiency_scales_linearly(self):
+        half = _profile(mem_efficiency=0.5)
+        full = _profile(mem_efficiency=1.0)
+        model = CostModel(V100)
+        assert model.time(half).seconds == pytest.approx(
+            2 * (model.time(full).seconds - V100.launch_overhead) + V100.launch_overhead
+        )
+
+    def test_small_payload_penalized(self):
+        """Saturation ramp: small fields see a fraction of peak bandwidth."""
+        model = CostModel(V100)
+        small = _profile(payload_bytes=1 << 20, bytes_read=1 << 20)
+        big = _profile()
+        assert model.time(small).gbps < 0.5 * model.time(big).gbps
+
+    def test_atomic_contention_slows(self):
+        model = CostModel(V100)
+        clean = model.time(_profile())
+        contended = model.time(_profile(atomic_contention=1.0))
+        assert contended.seconds > 1.5 * clean.seconds
+
+
+class TestSerialTerm:
+    def test_serial_dominates_when_large(self):
+        p = _profile(serial_chain=1, cycles_per_step=50_000)
+        t = CostModel(V100).time(p)
+        assert t.bound == "serial"
+
+    def test_serial_scales_with_issue_rate(self):
+        p = _profile(
+            bytes_read=0, payload_bytes=1 << 30,
+            launch=LaunchConfig(grid_blocks=1 << 14, threads_per_block=256),
+            serial_chain=1024, cycles_per_step=100.0,
+        )
+        v = CostModel(V100).time(p).seconds
+        a = CostModel(A100).time(p).seconds
+        assert v / a == pytest.approx(A100.issue_rate / V100.issue_rate, rel=0.15)
+
+    def test_compute_term(self):
+        p = _profile(bytes_read=1, flops=int(1e12))
+        t = CostModel(V100).time(p)
+        assert t.bound == "compute"
+        assert t.seconds == pytest.approx(1e12 / V100.fp32_flops + V100.launch_overhead)
+
+
+class TestReporting:
+    def test_tiny_kernels_pay_fixed_costs(self):
+        """A 64-byte kernel takes overhead+ramp time, not 64B/900GBps."""
+        p = _profile(payload_bytes=64, bytes_read=64)
+        t = CostModel(V100).time(p)
+        assert t.seconds >= V100.launch_overhead
+        assert t.seconds < 100e-6
+        assert t.bound in ("memory", "overhead")
+
+    def test_gbps_definition(self):
+        model = CostModel(V100)
+        t = model.time(_profile())
+        assert t.gbps == pytest.approx(t.payload_bytes / t.seconds / 1e9)
+
+    def test_saturation_monotone(self):
+        model = CostModel(V100)
+        sizes = [1 << 18, 1 << 22, 1 << 26, 1 << 30]
+        sats = [model.saturation(s) for s in sizes]
+        assert sats == sorted(sats)
+        assert 0 < sats[0] < sats[-1] <= 1.0

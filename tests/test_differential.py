@@ -1,0 +1,130 @@
+"""Differential validation: independent implementations must agree.
+
+Each test pits two code paths that compute the same quantity through
+different algorithms — the strongest correctness signal available without
+an external oracle.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import CpuSZ, OriginalCuSZ
+from repro.core.config import CompressorConfig
+from repro.core.dual_quant import quantize_field
+from repro.encoding.deflate import deflate_bytes, inflate_bytes
+
+
+@pytest.fixture(scope="module")
+def small_field():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 5, 20)
+    return (np.sin(x)[:, None] * np.cos(x)[None, :] * 3 + 0.05 * rng.normal(size=(20, 20))).astype(
+        np.float32
+    )
+
+
+class TestCrossImplementation:
+    def test_all_workflows_decode_identical_quant_streams(self, small_field):
+        """Huffman, RLE, RLE+VLE and huffman+lz are different losslesss
+        encodings of the SAME quant stream: decoded outputs must be
+        bit-identical across workflows, not merely within-bound."""
+        outs = [
+            repro.decompress(repro.compress(small_field, eb=1e-3, workflow=wf).archive)
+            for wf in ("huffman", "rle", "rle+vle", "huffman+lz")
+        ]
+        for other in outs[1:]:
+            np.testing.assert_array_equal(outs[0], other)
+
+    def test_old_and_new_outlier_schemes_agree(self, small_field):
+        """OriginalCuSZ's branchy reconstruction and the fused partial-sum
+        reconstruct the same prequantized integers."""
+        config = CompressorConfig(eb=1e-3)
+        old_out, eb = OriginalCuSZ(config).roundtrip(small_field)
+        new_out = repro.decompress(repro.compress(small_field, config).archive)
+        # Identical prequant grid (strictly: equal up to the shared step).
+        assert np.abs(old_out.astype(np.float64) - new_out.astype(np.float64)).max() <= 2 * eb
+
+    def test_cpu_sz_and_dual_quant_reconstructions_close(self, small_field):
+        """In-loop reconstruction (classic SZ) and dual-quant agree within
+        one quantization step everywhere."""
+        config = CompressorConfig(eb=1e-3)
+        _, cpu_recon, eb = CpuSZ(config).quantize(small_field)
+        dq_out = repro.decompress(repro.compress(small_field, config).archive)
+        diff = np.abs(cpu_recon - dq_out.astype(np.float64)).max()
+        assert diff <= 2 * eb
+
+    def test_parallel_and_heap_codebooks_on_real_histograms(self):
+        """Both codebook constructions are optimal on every dataset
+        histogram, not just synthetic frequency vectors."""
+        from repro.data import get_dataset
+        from repro.encoding.histogram import histogram
+        from repro.encoding.huffman import build_codebook
+        from repro.encoding.parallel_huffman import build_codebook_parallel
+
+        config = CompressorConfig(eb=1e-3)
+        for ds_name in ("CESM", "Nyx"):
+            f = get_dataset(ds_name).example_field()
+            bundle, _ = quantize_field(f.data, config)
+            freqs = histogram(bundle.quant, config.dict_size)
+            a = build_codebook(freqs).average_bit_length(freqs)
+            b = build_codebook_parallel(freqs).average_bit_length(freqs)
+            assert a == pytest.approx(b, abs=1e-12)
+
+    def test_lockstep_and_sequential_decoders_on_dataset_stream(self):
+        from repro.data import get_dataset
+        from repro.encoding.histogram import histogram
+        from repro.encoding.huffman import build_codebook
+        from repro.encoding.huffman_codec import decode, decode_sequential, encode
+
+        f = get_dataset("Hurricane").field("Wf48")
+        bundle, _ = quantize_field(f.data[:10], CompressorConfig(eb=1e-3))
+        syms = bundle.quant.reshape(-1)
+        book = build_codebook(histogram(syms, 1024))
+        enc = encode(syms, book, 512)
+        np.testing.assert_array_equal(decode(enc, book), decode_sequential(enc, book))
+
+    def test_our_lz_and_zlib_invert_each_other_semantically(self):
+        """Different dictionary coders, same identity contract."""
+        import zlib
+
+        from repro.encoding.lz77 import lz_compress, lz_decompress
+
+        rng = np.random.default_rng(1)
+        payload = np.repeat(rng.integers(0, 30, 500), rng.integers(1, 40, 500)).astype(
+            np.uint8
+        ).tobytes()
+        assert lz_decompress(lz_compress(payload)) == payload
+        assert zlib.decompress(zlib.compress(payload)) == payload
+
+    def test_deflate_wrapper_roundtrip(self):
+        raw = b"scientific data " * 1000
+        assert inflate_bytes(deflate_bytes(raw)) == raw
+        assert len(deflate_bytes(raw)) < len(raw) / 10
+
+
+class TestGlobalVsChunkedLorenzo:
+    def test_chunked_equals_global_when_chunk_covers(self):
+        from repro.core.lorenzo import lorenzo_construct
+
+        rng = np.random.default_rng(2)
+        x = rng.integers(-100, 100, (12, 14)).astype(np.int64)
+        chunked = lorenzo_construct(x, (12, 14))
+        global_ = np.diff(np.diff(x, axis=1, prepend=0), axis=0, prepend=0)
+        np.testing.assert_array_equal(chunked, global_)
+
+    def test_chunk_boundaries_localize_damage(self):
+        """Corrupting one chunk's quant codes cannot perturb other chunks --
+        the independence property coarse-grained decompression relies on."""
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(64, 64)).astype(np.float32)
+        config = CompressorConfig(eb=1e-3, workflow="huffman")
+        bundle, _ = quantize_field(data, config)
+        from repro.core.dual_quant import reconstruct_field
+
+        clean = reconstruct_field(bundle)
+        bundle.quant = bundle.quant.copy()
+        bundle.quant[0:16, 0:16] = 512  # zero out one chunk's deltas
+        dirty = reconstruct_field(bundle)
+        np.testing.assert_array_equal(clean[16:, :], dirty[16:, :])
+        np.testing.assert_array_equal(clean[:16, 16:], dirty[:16, 16:])

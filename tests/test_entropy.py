@@ -1,0 +1,87 @@
+"""Tests for entropy and Huffman-redundancy bounds (Section III-B.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.entropy import (
+    GALLAGER_CONSTANT,
+    binary_entropy,
+    bitlen_bounds,
+    redundancy_lower,
+    redundancy_upper,
+    shannon_entropy,
+)
+from repro.core.errors import EncodingError
+from repro.encoding.huffman import build_codebook
+
+
+class TestEntropy:
+    def test_uniform(self):
+        assert shannon_entropy(np.full(8, 10)) == pytest.approx(3.0)
+
+    def test_single_symbol_zero_entropy(self):
+        assert shannon_entropy(np.array([0, 100, 0])) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(EncodingError):
+            shannon_entropy(np.zeros(4))
+
+    def test_binary_entropy_symmetry_and_peak(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+        assert binary_entropy(0.1) == pytest.approx(binary_entropy(0.9))
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_binary_entropy_domain(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.5)
+
+
+class TestRedundancyBounds:
+    def test_upper_is_gallager(self):
+        assert redundancy_upper(0.3) == pytest.approx(0.3 + GALLAGER_CONSTANT)
+
+    def test_lower_zero_below_threshold(self):
+        assert redundancy_lower(0.3) == 0.0
+        assert redundancy_lower(0.4) == 0.0
+
+    def test_lower_positive_above_threshold(self):
+        assert redundancy_lower(0.9) > 0.0
+
+    def test_bounds_bracket_true_huffman_redundancy(self):
+        """H + R- <= ⟨b⟩ <= H + R+ on many skewed histograms."""
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            skew = rng.uniform(0.5, 3.0)
+            freqs = np.maximum((1e6 / np.arange(1, 65) ** skew).astype(np.int64), 1)
+            rng.shuffle(freqs)
+            h, p1, lower, upper = bitlen_bounds(freqs)
+            book = build_codebook(freqs)
+            avg = book.average_bit_length(freqs)
+            assert lower - 1e-9 <= avg <= upper + 1e-9, (trial, p1, avg, lower, upper)
+
+    def test_bounds_with_dominant_symbol(self):
+        """Extreme p1: the regime where the RLE rule fires."""
+        freqs = np.array([10_000_000, 10, 10, 10])
+        h, p1, lower, upper = bitlen_bounds(freqs)
+        assert p1 > 0.99
+        book = build_codebook(freqs)
+        avg = book.average_bit_length(freqs)
+        assert lower - 1e-9 <= avg <= upper + 1e-9
+        assert lower <= 1.09  # would select RLE
+
+    def test_one_bit_floor(self):
+        """⟨b⟩ lower bound never drops below 1 bit (prefix-code floor)."""
+        freqs = np.array([1_000_000, 1])
+        _, _, lower, _ = bitlen_bounds(freqs)
+        assert lower >= 1.0
+
+    @given(st.lists(st.integers(1, 10**6), min_size=2, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_bracket_property(self, freq_list):
+        freqs = np.array(freq_list, dtype=np.int64)
+        _, _, lower, upper = bitlen_bounds(freqs)
+        avg = build_codebook(freqs).average_bit_length(freqs)
+        assert lower - 1e-9 <= avg <= upper + 1e-9

@@ -1,0 +1,48 @@
+"""Smoke tests: the example scripts run to completion.
+
+Examples are documentation that executes; these tests keep them green.
+Each script is run in-process via runpy with a fresh __main__ namespace.
+Only the fast ones run here (the GPU-model and dataset-heavy examples are
+exercised indirectly through the bench tests).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.skipif(not EXAMPLES.exists(), reason="examples directory missing")
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "OK: pointwise error bound verified." in out
+
+    def test_insitu_simulation(self, capsys):
+        out = _run("insitu_simulation.py", capsys)
+        assert "snapshots:" in out
+        assert "bound ok: True" in out
+
+    def test_parallel_checkpoint(self, capsys):
+        out = _run("parallel_checkpoint.py", capsys)
+        assert "full restore verified" in out
+        assert "partial restore" in out
+
+    def test_rate_distortion_study(self, capsys):
+        out = _run("rate_distortion_study.py", capsys)
+        assert "cuSZ+ (error-bounded):" in out
+        assert "ZFP-like" in out
+
+    def test_example_scripts_have_docstrings(self):
+        for script in EXAMPLES.glob("*.py"):
+            head = script.read_text().split('"""')
+            assert len(head) >= 3, f"{script.name} lacks a module docstring"
+            assert "Run:" in head[1], f"{script.name} docstring lacks a Run: line"

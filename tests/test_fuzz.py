@@ -1,0 +1,120 @@
+"""Failure injection: corrupted inputs must fail *controlledly*.
+
+The contract: any corrupted archive either decodes (possibly to wrong
+values -- lossy data has no checksum by design) or raises a
+:class:`repro.ReproError` subclass.  It must never escape with an
+``IndexError``/``ValueError``/segfault-shaped failure from deep inside
+NumPy, because downstream tooling dispatches on the exception type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def archives():
+    """One archive per workflow/predictor family."""
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 8, 150)
+    smooth = (np.sin(x)[:, None] * np.cos(x)[None, :] + 0.01 * rng.normal(size=(150, 150))).astype(
+        np.float32
+    )
+    sparse = np.zeros((150, 150), dtype=np.float32)
+    sparse[30:60, 40:100] = 3.0
+    out = {
+        "huffman": repro.compress(smooth, eb=1e-3, workflow="huffman").archive,
+        "rle": repro.compress(sparse, eb=1e-2, workflow="rle").archive,
+        "rle+vle": repro.compress(sparse, eb=1e-2, workflow="rle+vle").archive,
+        "huffman+lz": repro.compress(smooth, eb=1e-2, workflow="huffman+lz").archive,
+        "regression": repro.compress(smooth, eb=1e-3, predictor="regression").archive,
+    }
+    return out
+
+
+def _attempt(blob: bytes) -> str:
+    """Decode and classify the outcome."""
+    try:
+        repro.decompress(blob)
+        return "decoded"
+    except ReproError:
+        return "repro-error"
+    except (struct_error := __import__("struct").error):  # noqa: F841
+        return "struct-error"
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("workflow", ["huffman", "rle", "rle+vle", "huffman+lz", "regression"])
+    def test_every_truncation_point_controlled(self, archives, workflow):
+        blob = archives[workflow]
+        points = np.linspace(1, len(blob) - 1, 40, dtype=int)
+        for cut in points:
+            outcome = _attempt(blob[:cut])
+            assert outcome in ("repro-error",), (workflow, cut, outcome)
+
+    def test_empty_blob(self):
+        assert _attempt(b"") == "repro-error"
+
+
+class TestBitflips:
+    @pytest.mark.parametrize("workflow", ["huffman", "rle", "rle+vle"])
+    def test_random_single_byte_corruption(self, archives, workflow):
+        rng = np.random.default_rng(42)
+        blob = bytearray(archives[workflow])
+        for _ in range(60):
+            pos = int(rng.integers(0, len(blob)))
+            old = blob[pos]
+            blob[pos] = int(rng.integers(0, 256))
+            outcome = _attempt(bytes(blob))
+            # Wrong values are acceptable; uncontrolled exceptions are not.
+            assert outcome in ("decoded", "repro-error"), (workflow, pos, outcome)
+            blob[pos] = old
+
+    def test_zeroed_section_table(self, archives):
+        blob = bytearray(archives["huffman"])
+        blob[16:40] = b"\x00" * 24
+        assert _attempt(bytes(blob)) == "repro-error"
+
+    @given(st.binary(min_size=0, max_size=400))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, blob):
+        assert _attempt(blob) in ("decoded", "repro-error")
+
+
+class TestHostileMetadata:
+    def test_shape_overflow_rejected(self, archives):
+        """Inflating the shape in the meta section must not allocate wild."""
+        from repro.core.archive import ArchiveBuilder, ArchiveReader
+
+        reader = ArchiveReader(archives["huffman"])
+        builder = ArchiveBuilder()
+        for name in reader.names():
+            raw = reader.get_bytes(name)
+            if name == "meta":
+                raw = bytearray(raw)
+                # shape starts after 4 u8 + 3 u32 = 16 bytes; blow up dim 0
+                raw[16:24] = (2**60).to_bytes(8, "little")
+                raw = bytes(raw)
+            builder.add_bytes(name, raw)
+        assert _attempt(builder.to_bytes()) == "repro-error"
+
+    def test_wrong_outlier_count_rejected(self, archives):
+        from repro.core.archive import ArchiveBuilder, ArchiveReader
+
+        reader = ArchiveReader(archives["huffman"])
+        builder = ArchiveBuilder()
+        for name in reader.names():
+            raw = reader.get_bytes(name)
+            if name == "meta":
+                raw = bytearray(raw)
+                # n_outliers is the third-from-last u64 block (before eb_abs).
+                raw[-16:-8] = (12345).to_bytes(8, "little")
+                raw = bytes(raw)
+            builder.add_bytes(name, raw)
+        assert _attempt(builder.to_bytes()) == "repro-error"

@@ -1,0 +1,99 @@
+"""Tests for device specs, launch geometry and occupancy."""
+
+import pytest
+
+from repro.core.errors import DeviceError
+from repro.gpu.device import A100, V100, get_device
+from repro.gpu.kernel import KernelProfile, LaunchConfig, occupancy
+
+
+class TestDeviceSpecs:
+    def test_presets_match_published_specs(self):
+        assert V100.mem_bw == 900e9
+        assert A100.mem_bw == 1555e9
+        assert V100.sm_count == 80
+        assert A100.sm_count == 108
+
+    def test_bandwidth_ratio_is_paper_scaling_axis(self):
+        assert A100.mem_bw / V100.mem_bw == pytest.approx(1.728, abs=0.01)
+
+    def test_issue_rate_ratio(self):
+        """SM x clock ratio ~1.24: the 'decode stagnates' axis."""
+        assert A100.issue_rate / V100.issue_rate == pytest.approx(1.244, abs=0.01)
+
+    def test_lookup(self):
+        assert get_device("v100") is V100
+        assert get_device("A100") is A100
+        with pytest.raises(DeviceError):
+            get_device("TPUv7")
+
+    def test_ramp_bytes_larger_on_a100(self):
+        """The faster part needs more in-flight data to saturate."""
+        assert A100.ramp_bytes > V100.ramp_bytes
+
+
+class TestLaunchConfig:
+    def test_total_threads(self):
+        lc = LaunchConfig(grid_blocks=10, threads_per_block=256)
+        assert lc.total_threads == 2560
+
+    def test_rejects_empty_launch(self):
+        with pytest.raises(DeviceError):
+            LaunchConfig(grid_blocks=0, threads_per_block=256)
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(DeviceError):
+            LaunchConfig(grid_blocks=1, threads_per_block=2048)
+
+    def test_rejects_negative_shared(self):
+        with pytest.raises(DeviceError):
+            LaunchConfig(grid_blocks=1, threads_per_block=32, shared_per_block=-1)
+
+
+class TestOccupancy:
+    def test_full_occupancy_small_blocks(self):
+        lc = LaunchConfig(grid_blocks=1000, threads_per_block=256)
+        assert occupancy(V100, lc) == 1.0
+
+    def test_shared_memory_limits_occupancy(self):
+        # 48 KB per block on a 96 KB SM -> 2 blocks -> 512 threads of 2048.
+        lc = LaunchConfig(grid_blocks=1000, threads_per_block=256,
+                          shared_per_block=48 * 1024)
+        assert occupancy(V100, lc) == pytest.approx(512 / 2048)
+
+    def test_oversized_shared_raises(self):
+        lc = LaunchConfig(grid_blocks=1, threads_per_block=32,
+                          shared_per_block=200 * 1024)
+        with pytest.raises(DeviceError):
+            occupancy(V100, lc)
+
+    def test_warp_limit(self):
+        # 1024-thread blocks = 32 warps; warp limit 64 -> 2 blocks resident.
+        lc = LaunchConfig(grid_blocks=10, threads_per_block=1024)
+        assert occupancy(V100, lc) == 1.0
+
+
+class TestKernelProfile:
+    def _launch(self):
+        return LaunchConfig(grid_blocks=100, threads_per_block=256)
+
+    def test_effective_traffic_inflates_uncoalesced(self):
+        p = KernelProfile(
+            name="k", payload_bytes=100, bytes_read=100, bytes_written=100,
+            launch=self._launch(), coalescing_read=0.5, coalescing_write=0.25,
+        )
+        assert p.effective_traffic == pytest.approx(100 / 0.5 + 100 / 0.25)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(DeviceError):
+            KernelProfile(
+                name="k", payload_bytes=1, bytes_read=1, bytes_written=1,
+                launch=self._launch(), mem_efficiency=0.0,
+            )
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(DeviceError):
+            KernelProfile(
+                name="k", payload_bytes=-1, bytes_read=1, bytes_written=1,
+                launch=self._launch(),
+            )

@@ -1,0 +1,38 @@
+"""Tests for the host-stage (PCIe + CPU codec) cost model."""
+
+import pytest
+
+from repro.gpu.device import A100, V100
+from repro.gpu.host_model import (
+    PCIE3_HOST,
+    PCIE4_HOST,
+    host_link_for,
+    host_stage_time,
+)
+
+
+class TestHostModel:
+    def test_transfer_plus_codec(self):
+        xfer, codec = host_stage_time(12_000_000_000, PCIE3_HOST, codec="zstd")
+        assert xfer == pytest.approx(1.0)  # 12 GB over 12 GB/s
+        assert codec == pytest.approx(24.0)  # over 500 MB/s
+
+    def test_gzip_much_slower_than_zstd(self):
+        _, zstd = host_stage_time(10**9, PCIE3_HOST, codec="zstd")
+        _, gzip = host_stage_time(10**9, PCIE3_HOST, codec="gzip")
+        assert gzip > 4 * zstd
+
+    def test_link_matches_device_generation(self):
+        assert host_link_for(V100) is PCIE3_HOST
+        assert host_link_for(A100) is PCIE4_HOST
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            host_stage_time(-1, PCIE3_HOST)
+
+    def test_host_stage_dwarfs_gpu_kernels(self):
+        """The Section III-A.3 argument: for a 1 GB payload the host stage
+        costs seconds while the GPU pipeline costs tens of milliseconds."""
+        xfer, codec = host_stage_time(10**9, PCIE3_HOST, codec="zstd")
+        gpu_time = 4 * 10**9 / (50e9)  # 4 GB field at ~50 GB/s overall
+        assert xfer + codec > 10 * gpu_time

@@ -1,0 +1,180 @@
+"""Tests for canonical Huffman codebooks and the chunked codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.entropy import shannon_entropy
+from repro.core.errors import CodebookOverflowError, EncodingError
+from repro.encoding.huffman import (
+    CanonicalCodebook,
+    build_code_lengths,
+    build_codebook,
+    lookup_codes,
+)
+from repro.encoding.huffman_codec import decode, decode_sequential, encode
+
+
+def random_symbols(rng, n, alphabet, skew=1.5):
+    """Zipf-ish symbol stream over [0, alphabet)."""
+    p = 1.0 / np.arange(1, alphabet + 1) ** skew
+    p /= p.sum()
+    return rng.choice(alphabet, size=n, p=p).astype(np.uint16)
+
+
+class TestCodeLengths:
+    def test_kraft_equality(self):
+        """Huffman codes are complete: sum 2^-L == 1."""
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(1, 1000, 64)
+        lengths = build_code_lengths(freqs)
+        assert abs(sum(2.0 ** -int(l) for l in lengths if l > 0) - 1.0) < 1e-12
+
+    def test_single_symbol(self):
+        lengths = build_code_lengths(np.array([0, 5, 0]))
+        np.testing.assert_array_equal(lengths, [0, 1, 0])
+
+    def test_two_symbols(self):
+        lengths = build_code_lengths(np.array([3, 7]))
+        np.testing.assert_array_equal(lengths, [1, 1])
+
+    def test_zero_histogram_raises(self):
+        with pytest.raises(EncodingError):
+            build_code_lengths(np.zeros(8, dtype=np.int64))
+
+    def test_rarer_symbols_get_longer_codes(self):
+        freqs = np.array([1000, 100, 10, 1])
+        lengths = build_code_lengths(freqs)
+        assert lengths[0] <= lengths[1] <= lengths[2] <= lengths[3]
+
+    def test_optimality_vs_entropy(self):
+        """Average length within [H, H+1) (Huffman's classical guarantee)."""
+        rng = np.random.default_rng(1)
+        freqs = rng.integers(1, 10_000, 256)
+        book = build_codebook(freqs)
+        h = shannon_entropy(freqs)
+        avg = book.average_bit_length(freqs)
+        assert h - 1e-9 <= avg < h + 1.0
+
+    def test_deterministic(self):
+        freqs = np.array([5, 5, 5, 5, 2, 2])
+        a = build_code_lengths(freqs)
+        b = build_code_lengths(freqs)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCanonicalCodebook:
+    def test_prefix_free(self):
+        rng = np.random.default_rng(2)
+        freqs = rng.integers(0, 500, 128)
+        freqs[::7] = 0
+        book = build_codebook(freqs)
+        entries = [
+            (int(book.lengths[s]), int(book.codes[s]))
+            for s in np.flatnonzero(book.lengths > 0)
+        ]
+        for la, ca in entries:
+            for lb, cb in entries:
+                if (la, ca) == (lb, cb):
+                    continue
+                if la <= lb:
+                    assert (cb >> (lb - la)) != ca, "prefix violation"
+
+    def test_canonical_same_length_consecutive(self):
+        freqs = np.array([10, 10, 10, 10])
+        book = build_codebook(freqs)
+        codes = sorted(int(c) for c in book.codes)
+        assert codes == [0, 1, 2, 3]
+
+    def test_serialization_roundtrip(self):
+        rng = np.random.default_rng(3)
+        freqs = rng.integers(0, 100, 1024)
+        book = build_codebook(freqs)
+        restored = CanonicalCodebook.deserialized(book.serialized())
+        np.testing.assert_array_equal(restored.lengths, book.lengths)
+        np.testing.assert_array_equal(restored.codes, book.codes)
+        assert restored.max_length == book.max_length
+
+    def test_serialized_size_is_alphabet_bytes(self):
+        book = build_codebook(np.ones(1024, dtype=np.int64))
+        assert len(book.serialized()) == 1024
+
+    def test_lookup_rejects_unknown_symbol(self):
+        book = build_codebook(np.array([1, 1, 0, 0]))
+        with pytest.raises(CodebookOverflowError):
+            lookup_codes(book, np.array([2], dtype=np.uint16))
+
+    def test_lookup_rejects_out_of_alphabet(self):
+        book = build_codebook(np.array([1, 1]))
+        with pytest.raises(CodebookOverflowError):
+            lookup_codes(book, np.array([17], dtype=np.uint16))
+
+
+class TestCodecRoundtrip:
+    @pytest.mark.parametrize("n,alphabet,chunk", [
+        (1, 4, 8),
+        (100, 16, 32),
+        (10_000, 1024, 1024),
+        (5_000, 1024, 4096),   # single partial chunk
+        (4096, 8, 4096),       # exactly one chunk
+        (4097, 8, 4096),       # one full + one singleton chunk
+    ])
+    def test_roundtrip(self, n, alphabet, chunk):
+        rng = np.random.default_rng(n)
+        syms = random_symbols(rng, n, alphabet)
+        freqs = np.bincount(syms, minlength=alphabet)
+        book = build_codebook(freqs)
+        enc = encode(syms, book, chunk)
+        np.testing.assert_array_equal(decode(enc, book), syms)
+
+    def test_lockstep_matches_sequential(self):
+        rng = np.random.default_rng(9)
+        syms = random_symbols(rng, 3000, 64)
+        book = build_codebook(np.bincount(syms, minlength=64))
+        enc = encode(syms, book, 256)
+        np.testing.assert_array_equal(decode(enc, book), decode_sequential(enc, book))
+
+    def test_payload_bits_match_codebook_estimate(self):
+        rng = np.random.default_rng(4)
+        syms = random_symbols(rng, 2000, 32)
+        freqs = np.bincount(syms, minlength=32)
+        book = build_codebook(freqs)
+        enc = encode(syms, book, 512)
+        assert enc.total_bits == book.encoded_bits(freqs)
+
+    def test_single_symbol_stream(self):
+        syms = np.full(500, 3, dtype=np.uint16)
+        book = build_codebook(np.bincount(syms, minlength=8))
+        enc = encode(syms, book, 64)
+        assert enc.total_bits == 500  # 1 bit per symbol
+        np.testing.assert_array_equal(decode(enc, book), syms)
+
+    def test_empty_stream_raises(self):
+        book = build_codebook(np.array([1, 1]))
+        with pytest.raises(EncodingError):
+            encode(np.zeros(0, dtype=np.uint16), book, 8)
+
+    def test_corrupt_chunk_bits_detected(self):
+        rng = np.random.default_rng(5)
+        syms = random_symbols(rng, 1000, 16)
+        book = build_codebook(np.bincount(syms, minlength=16))
+        enc = encode(syms, book, 128)
+        enc.chunk_bits = enc.chunk_bits.copy()
+        enc.chunk_bits[0] += 3
+        with pytest.raises(EncodingError):
+            decode(enc, book)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        n = data.draw(st.integers(1, 800))
+        alphabet = data.draw(st.integers(2, 64))
+        chunk = data.draw(st.integers(1, 900))
+        syms = data.draw(
+            st.lists(st.integers(0, alphabet - 1), min_size=n, max_size=n)
+        )
+        syms = np.array(syms, dtype=np.uint16)
+        book = build_codebook(np.bincount(syms, minlength=alphabet))
+        enc = encode(syms, book, chunk)
+        np.testing.assert_array_equal(decode(enc, book), syms)

@@ -1,0 +1,78 @@
+"""Tests for archive inspection."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.errors import ArchiveError
+from repro.core.inspect import inspect_archive
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 9, 200)
+    return (np.sin(x)[:, None] * np.cos(x)[None, :] * 2 + rng.normal(0, 0.01, (200, 200))).astype(
+        np.float32
+    )
+
+
+class TestInspect:
+    def test_basic_fields(self, field):
+        res = repro.compress(field, eb=1e-3)
+        stats = inspect_archive(res.archive)
+        assert stats.total_bytes == len(res.archive)
+        assert stats.original_bytes == field.nbytes
+        assert stats.compression_ratio == pytest.approx(res.compression_ratio)
+        assert stats.shape == (200, 200)
+        assert stats.workflow == res.workflow
+        assert stats.eb_abs == pytest.approx(res.eb_abs)
+
+    def test_quant_stats_match_selector(self, field):
+        res = repro.compress(field, eb=1e-3)
+        stats = inspect_archive(res.archive)
+        # The selector's p1/entropy are recomputable from the archive alone.
+        assert stats.p1 == pytest.approx(res.diagnostics.p1, rel=1e-9)
+        assert stats.entropy == pytest.approx(res.diagnostics.entropy, rel=1e-9)
+
+    def test_payload_near_entropy(self, field):
+        """Huffman payload within ~15% of the entropy bound (multi-byte VLE
+        is near-optimal at realistic entropies)."""
+        res = repro.compress(field, eb=1e-3, workflow="huffman")
+        stats = inspect_archive(res.archive)
+        assert -1.0 < stats.entropy_gap_percent < 15.0
+
+    @pytest.mark.parametrize("wf", ["huffman", "rle", "rle+vle", "huffman+lz"])
+    def test_all_workflows_inspectable(self, wf):
+        data = np.zeros((200, 200), dtype=np.float32)
+        data[50:90, 20:160] = 4.0
+        res = repro.compress(data, eb=1e-2, workflow=wf)
+        stats = inspect_archive(res.archive)
+        assert stats.workflow == wf
+        assert stats.p1 > 0.9  # sparse field
+
+    def test_breakdown_sums_to_total(self, field):
+        res = repro.compress(field, eb=1e-3)
+        stats = inspect_archive(res.archive)
+        total = sum(size for _, size, _ in stats.breakdown())
+        assert total == stats.total_bytes
+
+    def test_report_renders(self, field):
+        res = repro.compress(field, eb=1e-3)
+        text = inspect_archive(res.archive).report()
+        assert "sections" in text and "p1=" in text
+
+    def test_container_rejected(self, field):
+        from repro.core.streaming import compress_blocks
+
+        blob = compress_blocks(field, eb=1e-3, max_block_bytes=40_000)
+        with pytest.raises(ArchiveError):
+            inspect_archive(blob)
+
+    def test_cli_stats(self, field, tmp_path, capsys):
+        from repro.cli import main
+
+        archive = tmp_path / "f.rpsz"
+        archive.write_bytes(repro.compress(field, eb=1e-3).archive)
+        assert main(["stats", str(archive)]) == 0
+        assert "payload" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Cross-feature integration: every feature pair that can combine, does.
+
+Each cell of the matrix is a full compress -> decompress round trip with
+the bound verified; the point is that orthogonal features (predictors,
+workflows, dtypes, dimensionalities, block containers, dictionary stage)
+compose without hidden coupling.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import CompressorConfig
+from repro.core.streaming import compress_blocks, decompress_blocks
+
+
+def _field(shape, kind, rng):
+    if kind == "smooth":
+        base = rng.normal(size=shape)
+        from scipy import ndimage
+
+        f = ndimage.gaussian_filter(base, sigma=3.0)
+        return (f / max(f.std(), 1e-9)).astype(np.float32)
+    if kind == "sparse":
+        f = np.zeros(shape, dtype=np.float32)
+        sl = tuple(slice(s // 4, s // 2) for s in shape)
+        f[sl] = 5.0
+        return f
+    if kind == "gradient":
+        grids = np.meshgrid(*[np.arange(s, dtype=np.float64) for s in shape], indexing="ij")
+        g = sum((i + 1) * 0.37 * x for i, x in enumerate(grids))
+        return (g + rng.normal(0, 0.8, shape)).astype(np.float32)
+    raise AssertionError(kind)
+
+
+@pytest.mark.parametrize("workflow", ["huffman", "rle", "rle+vle", "huffman+lz"])
+@pytest.mark.parametrize("predictor", ["lorenzo", "regression"])
+@pytest.mark.parametrize("kind", ["smooth", "sparse", "gradient"])
+def test_workflow_x_predictor_x_content(workflow, predictor, kind):
+    rng = np.random.default_rng(hash((workflow, predictor, kind)) % 2**31)
+    data = _field((60, 80), kind, rng)
+    res = repro.compress(data, eb=1e-3, workflow=workflow, predictor=predictor)
+    out = repro.decompress(res.archive)
+    assert np.abs(data.astype(np.float64) - out.astype(np.float64)).max() <= res.eb_abs
+    assert res.workflow == workflow and res.predictor == predictor
+
+
+@pytest.mark.parametrize("ndim", [1, 2, 3, 4])
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_ndim_x_dtype(ndim, dtype):
+    rng = np.random.default_rng(ndim * 10 + (dtype == np.float64))
+    shape = {1: (4000,), 2: (60, 70), 3: (18, 20, 22), 4: (6, 8, 10, 12)}[ndim]
+    data = rng.normal(size=shape).astype(dtype)
+    res = repro.compress(data, eb=1e-4)
+    out = repro.decompress(res.archive)
+    assert out.dtype == dtype
+    assert np.abs(data.astype(np.float64) - out.astype(np.float64)).max() <= res.eb_abs
+
+
+@pytest.mark.parametrize("workflow", ["huffman", "rle+vle"])
+def test_blocks_x_workflow(workflow):
+    rng = np.random.default_rng(5)
+    data = np.zeros((300, 120), dtype=np.float32)
+    data[40:200, 30:90] = 2.5
+    data += rng.normal(0, 1e-4, data.shape).astype(np.float32)
+    blob = compress_blocks(data, CompressorConfig(eb=1e-2, workflow=workflow),
+                           max_block_bytes=40_000)
+    out = decompress_blocks(blob)
+    assert np.abs(data - out).max() <= 1e-2 * float(data.max() - data.min())
+
+
+def test_blocks_x_regression():
+    rng = np.random.default_rng(6)
+    xx, yy = np.meshgrid(np.arange(200), np.arange(90), indexing="ij")
+    data = (0.4 * xx - 0.2 * yy + rng.normal(0, 1.0, (200, 90))).astype(np.float32)
+    blob = compress_blocks(
+        data, CompressorConfig(eb=1e-3, predictor="regression"), max_block_bytes=30_000
+    )
+    out = decompress_blocks(blob)
+    assert np.abs(data - out).max() <= 1e-3 * float(data.max() - data.min())
+
+
+def test_pwrel_x_workflow_forced():
+    rng = np.random.default_rng(7)
+    data = (10.0 ** rng.uniform(-4, 4, (100, 100))).astype(np.float32)
+    for wf in ("huffman", "rle+vle"):
+        res = repro.compress_pwrel(data, 1e-2, CompressorConfig(workflow=wf))
+        out = repro.decompress(res.archive)
+        rel = np.abs(out.astype(np.float64) - data) / np.abs(data)
+        assert float(rel.max()) <= 1e-2
+
+
+def test_custom_chunks_x_predictors():
+    rng = np.random.default_rng(8)
+    data = rng.normal(size=(64, 64)).astype(np.float32)
+    for predictor in ("lorenzo", "regression"):
+        res = repro.compress(
+            data, eb=1e-3, chunks=(32, 32), predictor=predictor
+        )
+        out = repro.decompress(res.archive)
+        assert np.abs(data - out).max() <= res.eb_abs
+
+
+def test_dict_size_x_workflows():
+    rng = np.random.default_rng(9)
+    data = rng.normal(size=(5000,)).astype(np.float32)
+    for dict_size in (64, 256, 4096):
+        for wf in ("huffman", "rle"):
+            res = repro.compress(data, eb=1e-3, dict_size=dict_size, workflow=wf)
+            out = repro.decompress(res.archive)
+            assert np.abs(data - out).max() <= res.eb_abs
+
+
+def test_autotune_x_pwrel_interplay():
+    """Tuned rel bound and pwrel bound coexist on the same field."""
+    from repro.analysis.autotune import tune_for_psnr
+
+    rng = np.random.default_rng(10)
+    data = (1.0 + np.abs(rng.normal(0, 2, (120, 120)))).astype(np.float32)
+    tuned = tune_for_psnr(data, 70.0)
+    assert tuned.satisfied
+    res = repro.compress_pwrel(data, max(tuned.eb, 1e-5))
+    out = repro.decompress(res.archive)
+    rel = np.abs(out.astype(np.float64) - data) / np.abs(data)
+    assert float(rel.max()) <= max(tuned.eb, 1e-5)

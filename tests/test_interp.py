@@ -1,0 +1,104 @@
+"""Tests for the SZ3-style multi-level interpolation predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+import repro
+from repro.core.errors import ConfigError, DimensionalityError
+from repro.core.interp import interp_construct, interp_reconstruct
+from repro.data.synthetic import smooth_field
+
+
+class TestInterpRoundtrip:
+    @pytest.mark.parametrize("shape", [
+        (1,), (2,), (7,), (64,), (100,),
+        (16, 16), (33, 47), (1, 50),
+        (8, 9, 10), (32, 32, 32), (5, 1, 7),
+    ])
+    @pytest.mark.parametrize("cubic", [False, True])
+    def test_exact_inverse(self, shape, cubic):
+        rng = np.random.default_rng(hash(shape) % 2**31)
+        x = rng.integers(-10_000, 10_000, shape).astype(np.int64)
+        d = interp_construct(x, cubic=cubic)
+        np.testing.assert_array_equal(interp_reconstruct(d, cubic=cubic), x)
+
+    def test_rejects_4d(self):
+        with pytest.raises(DimensionalityError):
+            interp_construct(np.zeros((2, 2, 2, 2), dtype=np.int64))
+
+    def test_anchor_points_carry_raw_values(self):
+        x = np.arange(64, dtype=np.int64) * 7
+        d = interp_construct(x)
+        assert d[0] == x[0]  # the coarse anchor
+
+    def test_linear_ramp_perfectly_predicted(self):
+        """A linear ramp has zero residual everywhere but the anchors."""
+        x = (np.arange(65, dtype=np.int64)) * 4
+        d = interp_construct(x, cubic=False)
+        nonzero = np.count_nonzero(d)
+        assert nonzero <= 4  # anchors + parity rounding
+
+    @given(
+        hnp.arrays(np.int64, st.tuples(st.integers(1, 20), st.integers(1, 20)),
+                   elements=st.integers(-10**6, 10**6))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property_2d(self, x):
+        for cubic in (False, True):
+            d = interp_construct(x, cubic=cubic)
+            np.testing.assert_array_equal(interp_reconstruct(d, cubic=cubic), x)
+
+
+class TestInterpPipeline:
+    def test_bound_holds(self):
+        f = (smooth_field((128, 128), 10.0, np.random.default_rng(0)) * 5).astype(np.float32)
+        res = repro.compress(f, eb=1e-3, predictor="interp")
+        assert res.predictor == "interp"
+        out = repro.decompress(res.archive)
+        assert np.abs(f.astype(np.float64) - out.astype(np.float64)).max() <= res.eb_abs
+
+    def test_interp_beats_lorenzo_on_smooth(self):
+        f = (smooth_field((256, 256), 20.0, np.random.default_rng(1)) * 5).astype(np.float32)
+        cr = {
+            p: repro.compress(f, eb=1e-3, predictor=p).compression_ratio
+            for p in ("lorenzo", "interp")
+        }
+        assert cr["interp"] > 1.2 * cr["lorenzo"]
+
+    def test_lorenzo_beats_interp_on_random_walk(self):
+        """Brownian-like data: increments are white, so the one-step Lorenzo
+        stencil is optimal while coarse-level interpolation residuals grow
+        like the bridge variance (~stride)."""
+        rng = np.random.default_rng(2)
+        f = np.cumsum(rng.normal(size=8192)).astype(np.float32)
+        cr = {
+            p: repro.compress(f, eb=1e-4, predictor=p).compression_ratio
+            for p in ("lorenzo", "interp")
+        }
+        assert cr["lorenzo"] > cr["interp"]
+
+    def test_auto_considers_interp(self):
+        f = (smooth_field((256, 256), 20.0, np.random.default_rng(3)) * 5).astype(np.float32)
+        res = repro.compress(f, eb=1e-3, predictor="auto")
+        assert res.predictor == "interp"
+
+    def test_interp_3d(self):
+        f = (smooth_field((32, 32, 32), 5.0, np.random.default_rng(4)) * 2).astype(np.float32)
+        res = repro.compress(f, eb=1e-3, predictor="interp")
+        out = repro.decompress(res.archive)
+        assert np.abs(f.astype(np.float64) - out.astype(np.float64)).max() <= res.eb_abs
+
+    def test_interp_rejects_4d_field(self):
+        rng = np.random.default_rng(5)
+        f = rng.normal(size=(4, 4, 4, 4)).astype(np.float32)
+        with pytest.raises(ConfigError):
+            repro.compress(f, eb=1e-3, predictor="interp")
+
+    def test_auto_4d_falls_back(self):
+        rng = np.random.default_rng(6)
+        f = rng.normal(size=(6, 6, 6, 6)).astype(np.float32)
+        res = repro.compress(f, eb=1e-3, predictor="auto")
+        assert res.predictor in ("lorenzo", "regression")

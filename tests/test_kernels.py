@@ -1,0 +1,209 @@
+"""Tests for the simulated kernels: correctness of results + sane profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CompressorConfig
+from repro.core.dual_quant import quantize_field, reconstruct_field
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import A100, V100
+from repro.kernels import (
+    gather_outlier_kernel,
+    histogram_kernel,
+    huffman_decode_kernel,
+    huffman_encode_kernel,
+    lorenzo_construct_kernel,
+    lorenzo_reconstruct_kernel,
+    rle_decode_kernel,
+    rle_kernel,
+    scatter_outlier_kernel,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CompressorConfig(eb=1e-3)
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 10, 256)
+    return (np.sin(x)[:, None] * np.cos(x)[None, :] + 0.005 * rng.normal(size=(256, 256))).astype(
+        np.float32
+    )
+
+
+@pytest.fixture(scope="module")
+def bundle(field, config):
+    b, _, _ = lorenzo_construct_kernel(field, config)
+    return b
+
+
+class TestConstructKernel:
+    def test_matches_core_quantize(self, field, config):
+        b_kernel, eb1, _ = lorenzo_construct_kernel(field, config)
+        b_core, eb2 = quantize_field(field, config)
+        assert eb1 == eb2
+        np.testing.assert_array_equal(b_kernel.quant, b_core.quant)
+
+    def test_profile_traffic_matches_sizes(self, field, config):
+        _, _, prof = lorenzo_construct_kernel(field, config)
+        assert prof.payload_bytes == field.nbytes
+        assert prof.bytes_read == field.nbytes
+        assert prof.bytes_written >= field.size * 2
+
+    def test_n_sim_scales_profile(self, field, config):
+        _, _, small = lorenzo_construct_kernel(field, config)
+        _, _, big = lorenzo_construct_kernel(field, config, n_sim=field.size * 10)
+        assert big.payload_bytes == 10 * small.payload_bytes
+
+    def test_cusz_slower_than_ours(self, field, config):
+        model = CostModel(V100)
+        _, _, ours = lorenzo_construct_kernel(field, config, impl="cuszplus", n_sim=10**8)
+        _, _, base = lorenzo_construct_kernel(field, config, impl="cusz", n_sim=10**8)
+        assert model.time(ours).gbps > model.time(base).gbps
+
+
+class TestReconstructKernel:
+    @pytest.mark.parametrize("variant", ["coarse", "naive", "optimized"])
+    def test_all_variants_identical_output(self, bundle, field, config, variant):
+        out, _ = lorenzo_reconstruct_kernel(bundle, variant=variant)
+        assert np.abs(field.astype(np.float64) - out.astype(np.float64)).max() <= config.eb * (
+            field.max() - field.min()
+        )
+
+    def test_variants_agree_bitwise(self, bundle):
+        outs = [
+            lorenzo_reconstruct_kernel(bundle, variant=v)[0]
+            for v in ("coarse", "naive", "optimized")
+        ]
+        np.testing.assert_array_equal(outs[0], outs[1])
+        np.testing.assert_array_equal(outs[0], outs[2])
+
+    def test_unknown_variant(self, bundle):
+        with pytest.raises(ValueError):
+            lorenzo_reconstruct_kernel(bundle, variant="quantum")
+
+    def test_coarse_much_slower(self, bundle):
+        model = CostModel(V100)
+        _, coarse = lorenzo_reconstruct_kernel(bundle, variant="coarse", n_sim=10**8)
+        _, opt = lorenzo_reconstruct_kernel(bundle, variant="optimized", n_sim=10**8)
+        assert model.time(opt).gbps > 3 * model.time(coarse).gbps
+
+
+class TestHuffmanKernels:
+    def test_encode_decode_roundtrip(self, bundle, config):
+        book, encoded, _ = huffman_encode_kernel(bundle.quant, config)
+        out, _ = huffman_decode_kernel(encoded, book)
+        np.testing.assert_array_equal(out, bundle.quant.reshape(-1))
+
+    def test_cusz_encode_flat_ours_varies(self, config):
+        """cuSZ encode throughput ~independent of data; ours tracks payload."""
+        model = CostModel(V100)
+        rng = np.random.default_rng(1)
+        smooth = np.full(1 << 16, 512, dtype=np.uint16)
+        smooth[::97] = 513
+        rough = rng.integers(0, 1024, 1 << 16).astype(np.uint16)
+        gbps = {}
+        for name, q in (("smooth", smooth), ("rough", rough)):
+            for impl in ("cusz", "cuszplus"):
+                _, _, prof = huffman_encode_kernel(q, config, impl=impl, n_sim=10**8)
+                gbps[(name, impl)] = model.time(prof).gbps
+        flat_ratio = gbps[("smooth", "cusz")] / gbps[("rough", "cusz")]
+        ours_ratio = gbps[("smooth", "cuszplus")] / gbps[("rough", "cuszplus")]
+        assert 0.9 < flat_ratio < 1.1
+        assert ours_ratio > 1.5
+
+    def test_decode_serial_bound_scaling(self, bundle, config):
+        book, encoded, _ = huffman_encode_kernel(bundle.quant, config, n_sim=10**8)
+        _, prof = huffman_decode_kernel(encoded, book, n_sim=10**8)
+        v = CostModel(V100).time(prof)
+        a = CostModel(A100).time(prof)
+        assert v.bound == "serial"
+        assert 1.1 < a.gbps / v.gbps < 1.35
+
+
+class TestOutlierKernels:
+    def test_gather_returns_bundle_outliers(self, bundle):
+        (idx, vals), prof = gather_outlier_kernel(bundle)
+        np.testing.assert_array_equal(idx, bundle.outlier_indices)
+        assert prof.bytes_read == int(np.prod(bundle.shape)) * 4
+
+    def test_scatter_fuses_correctly(self, bundle, field):
+        fused, _ = scatter_outlier_kernel(
+            bundle.quant, bundle.outlier_indices, bundle.outlier_values, bundle.radius
+        )
+        from repro.core.dual_quant import fuse_quant_and_outliers
+
+        expected = fuse_quant_and_outliers(
+            bundle.quant, bundle.outlier_indices, bundle.outlier_values, bundle.radius
+        )
+        np.testing.assert_array_equal(fused, expected.reshape(-1))
+
+    def test_scatter_memory_bound_scaling(self, bundle):
+        _, prof = scatter_outlier_kernel(
+            bundle.quant, bundle.outlier_indices, bundle.outlier_values,
+            bundle.radius, n_sim=10**8,
+        )
+        v = CostModel(V100).time(prof).gbps
+        a = CostModel(A100).time(prof).gbps
+        assert a > 1.3 * v
+
+
+class TestHistogramRleKernels:
+    def test_histogram_counts_match(self, bundle, config):
+        freqs, prof = histogram_kernel(bundle.quant, config.dict_size)
+        np.testing.assert_array_equal(
+            freqs, np.bincount(bundle.quant.reshape(-1), minlength=config.dict_size)
+        )
+        assert 0.0 <= prof.atomic_contention <= 0.6
+
+    def test_rle_roundtrip(self, bundle, config):
+        rle, _ = rle_kernel(bundle.quant, config)
+        out, _ = rle_decode_kernel(rle, out_dtype=np.uint16)
+        np.testing.assert_array_equal(out, bundle.quant.reshape(-1))
+
+    def test_rle_throughput_in_paper_band(self, bundle, config):
+        rle, prof = rle_kernel(bundle.quant, config, n_sim=5 * 10**8)
+        v = CostModel(V100).time(prof).gbps
+        a = CostModel(A100).time(prof).gbps
+        assert 80 < v < 220
+        assert 1.2 < a / v < 1.8  # "slightly higher on A100"
+
+
+class TestCodebookKernel:
+    def test_single_thread_build_much_slower(self, bundle, config):
+        """Step-6's single-thread bottleneck vs the sort+MK replacement."""
+        from repro.encoding.histogram import histogram
+        from repro.kernels.codebook_kernel import codebook_kernel
+
+        freqs = histogram(bundle.quant, config.dict_size)
+        model = CostModel(V100)
+        _, p_old = codebook_kernel(freqs, impl="cusz")
+        _, p_new = codebook_kernel(freqs, impl="cuszplus")
+        t_old = model.time(p_old).seconds
+        t_new = model.time(p_new).seconds
+        assert t_old > 5 * t_new
+
+    def test_both_books_optimal(self, bundle, config):
+        from repro.encoding.histogram import histogram
+        from repro.kernels.codebook_kernel import codebook_kernel
+
+        freqs = histogram(bundle.quant, config.dict_size)
+        book_old, _ = codebook_kernel(freqs, impl="cusz")
+        book_new, _ = codebook_kernel(freqs, impl="cuszplus")
+        assert book_old.average_bit_length(freqs) == pytest.approx(
+            book_new.average_bit_length(freqs), abs=1e-12
+        )
+
+    def test_negligible_vs_data_kernels(self, bundle, config):
+        """Why Table VII omits the stage: alphabet << data."""
+        from repro.encoding.histogram import histogram
+        from repro.kernels.codebook_kernel import codebook_kernel
+
+        freqs = histogram(bundle.quant, config.dict_size)
+        model = CostModel(V100)
+        _, p_book = codebook_kernel(freqs, impl="cuszplus", payload_elements=10**8)
+        _, _, p_enc = huffman_encode_kernel(bundle.quant, config, n_sim=10**8)
+        assert model.time(p_book).seconds < 0.05 * model.time(p_enc).seconds

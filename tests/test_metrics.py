@@ -1,0 +1,80 @@
+"""Tests for quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    compression_ratio,
+    evaluate_quality,
+    max_abs_error,
+    nrmse,
+    psnr,
+    verify_error_bound,
+)
+
+
+class TestMetrics:
+    def test_identical_arrays(self):
+        a = np.linspace(0, 1, 100)
+        assert max_abs_error(a, a) == 0.0
+        assert nrmse(a, a) == 0.0
+        assert psnr(a, a) == float("inf")
+
+    def test_max_error(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.1, 1.0, 1.7])
+        assert max_abs_error(a, b) == pytest.approx(0.3)
+
+    def test_nrmse_normalization(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        # rmse = sqrt(0.5); range = 10
+        assert nrmse(a, b) == pytest.approx(np.sqrt(0.5) / 10)
+
+    def test_psnr_formula(self):
+        a = np.array([0.0, 100.0])
+        b = a + 1.0
+        # nrmse = 1/100 -> psnr = 40 dB
+        assert psnr(a, b) == pytest.approx(40.0)
+
+    def test_constant_field_nrmse(self):
+        a = np.full(10, 5.0)
+        assert nrmse(a, a) == 0.0
+        assert nrmse(a, a + 1) == float("inf")
+
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == 10.0
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+
+    def test_verify_bound(self):
+        a = np.zeros(5)
+        b = np.full(5, 0.01)
+        assert verify_error_bound(a, b, 0.01)
+        assert not verify_error_bound(a, b, 0.005)
+
+    def test_evaluate_quality_bundle(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=1000)
+        b = a + rng.uniform(-1e-3, 1e-3, 1000)
+        q = evaluate_quality(a, b, 1e-3)
+        assert q.bound_satisfied
+        assert q.max_error <= 1e-3 * (1 + 1e-6)
+        assert q.psnr_db > 40
+        assert q.eb_abs == 1e-3
+
+    def test_paper_psnr_claim(self):
+        """Table VII note: eb=1e-4 (relative) gives PSNR > 85 dB.
+
+        Uniform quantization error at eb=1e-4 has an analytic PSNR floor of
+        -20*log10(1e-4/sqrt(3)) = 84.77 dB; real fields sit above it.  Pure
+        noise is the worst case, so assert the floor here (the dataset-level
+        claim is checked in the Table VII benchmark).
+        """
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=100_000)
+        import repro
+
+        res = repro.compress(a.astype(np.float32), eb=1e-4)
+        out = repro.decompress(res.archive)
+        assert psnr(a.astype(np.float32), out) > 84.5

@@ -1,0 +1,90 @@
+"""Tests for transparent NaN-mask handling."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.errors import ConfigError
+
+
+@pytest.fixture()
+def masked_field():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 8, 180)
+    data = (np.sin(x)[:, None] * np.cos(x)[None, :] * 3 + rng.normal(0, 0.01, (180, 180))).astype(
+        np.float32
+    )
+    mask = rng.random((180, 180)) < 0.03
+    data[mask] = np.nan
+    return data, mask
+
+
+class TestNanMask:
+    def test_roundtrip_restores_nans_exactly(self, masked_field):
+        data, mask = masked_field
+        res = repro.compress(data, eb=1e-3)
+        out = repro.decompress(res.archive)
+        np.testing.assert_array_equal(np.isnan(out), mask)
+        finite = ~mask
+        err = np.abs(data[finite].astype(np.float64) - out[finite].astype(np.float64))
+        assert err.max() <= res.eb_abs
+
+    def test_sparse_mask_stored_as_indices(self, masked_field):
+        data, _ = masked_field
+        res = repro.compress(data, eb=1e-3)
+        # 3% density -> index list smaller than bitmask.
+        assert res.section_sizes["nan"] < data.size // 8
+
+    def test_dense_mask_stored_as_bitmask(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(100, 100)).astype(np.float32)
+        data[rng.random((100, 100)) < 0.5] = np.nan
+        res = repro.compress(data, eb=1e-2)
+        assert res.section_sizes["nan"] <= data.size // 8 + 1
+        out = repro.decompress(res.archive)
+        np.testing.assert_array_equal(np.isnan(out), np.isnan(data))
+
+    def test_land_sea_mask_pattern(self):
+        """Contiguous masked regions (the climate land/sea case)."""
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(120, 200)).astype(np.float32)
+        data[:, :80] = np.nan  # "land"
+        res = repro.compress(data, eb=1e-3)
+        out = repro.decompress(res.archive)
+        assert np.isnan(out[:, :80]).all()
+        assert not np.isnan(out[:, 80:]).any()
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ConfigError):
+            repro.compress(np.full((10, 10), np.nan, dtype=np.float32), eb=1e-3)
+
+    def test_inf_still_rejected(self):
+        data = np.ones((10,), dtype=np.float32)
+        data[3] = np.inf
+        with pytest.raises(ConfigError):
+            repro.compress(data, eb=1e-3)
+
+    def test_mask_does_not_distort_bound_resolution(self):
+        """The relative bound uses the finite range only."""
+        data = np.linspace(0, 10, 1000).astype(np.float32)
+        data[::100] = np.nan
+        res = repro.compress(data, eb=1e-3)
+        assert res.eb_abs == pytest.approx(1e-3 * 10.0, rel=0.01)
+
+    def test_nan_with_rle_workflow(self):
+        data = np.zeros((150, 150), dtype=np.float32)
+        data[30:60] = 2.0
+        data[100:110, 50:70] = np.nan
+        res = repro.compress(data, eb=1e-2, workflow="rle+vle")
+        out = repro.decompress(res.archive)
+        np.testing.assert_array_equal(np.isnan(out), np.isnan(data))
+
+    def test_nan_with_blocks(self):
+        from repro.core.streaming import compress_blocks, decompress_blocks
+
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(200, 100)).astype(np.float32)
+        data[40:50] = np.nan
+        blob = compress_blocks(data, eb=1e-3, max_block_bytes=30_000)
+        out = decompress_blocks(blob)
+        np.testing.assert_array_equal(np.isnan(out), np.isnan(data))

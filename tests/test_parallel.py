@@ -1,0 +1,228 @@
+"""Tests for the SPMD cluster, decomposition, PFS model and checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CompressorConfig
+from repro.core.errors import ConfigError
+from repro.parallel import (
+    MIRA_CLASS_PFS,
+    LocalCluster,
+    ParallelFileSystem,
+    read_checkpoint,
+    read_rank_slab,
+    run_spmd,
+    slab_bounds,
+    slab_for_rank,
+    write_checkpoint,
+)
+from repro.parallel.checkpoint import estimate_dump_cost
+from repro.parallel.decomposition import (
+    block_bounds,
+    exchange_slab_halos,
+    process_grid,
+)
+
+
+class TestCommunicator:
+    def test_rank_and_size(self):
+        out = run_spmd(4, lambda comm: (comm.rank, comm.size))
+        assert out == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_bcast(self):
+        def fn(comm):
+            return comm.bcast("payload" if comm.rank == 0 else None, root=0)
+
+        assert run_spmd(3, fn) == ["payload"] * 3
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank * 10, root=0)
+
+        out = run_spmd(3, fn)
+        assert out[0] == [0, 10, 20]
+        assert out[1] is None and out[2] is None
+
+    def test_allgather(self):
+        out = run_spmd(3, lambda comm: comm.allgather(comm.rank))
+        assert out == [[0, 1, 2]] * 3
+
+    def test_allreduce_sum_and_max(self):
+        assert run_spmd(4, lambda c: c.allreduce(c.rank + 1)) == [10] * 4
+        assert run_spmd(4, lambda c: c.allreduce(c.rank, op=max)) == [3] * 4
+
+    def test_point_to_point_ring(self):
+        def fn(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, dest=right, tag=7)
+            return comm.recv(source=left, tag=7)
+
+        assert run_spmd(4, fn) == [3, 0, 1, 2]
+
+    def test_numpy_payloads(self):
+        def fn(comm):
+            return comm.allreduce(np.full(3, comm.rank, dtype=np.int64))
+
+        out = run_spmd(3, fn)
+        np.testing.assert_array_equal(out[0], [3, 3, 3])
+
+    def test_rank_error_propagates(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="rank 1"):
+            run_spmd(2, fn)
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ConfigError):
+            LocalCluster(0)
+
+    def test_invalid_peer(self):
+        with pytest.raises(RuntimeError):
+            run_spmd(2, lambda c: c.send(1, dest=5))
+
+
+class TestDecomposition:
+    def test_slab_bounds_cover_exactly(self):
+        n, size = 103, 8
+        covered = []
+        for r in range(size):
+            start, stop = slab_bounds(n, size, r)
+            covered.extend(range(start, stop))
+        assert covered == list(range(n))
+
+    def test_slab_balance(self):
+        sizes = [slab_bounds(103, 8, r) for r in range(8)]
+        extents = [b - a for a, b in sizes]
+        assert max(extents) - min(extents) <= 1
+
+    def test_slab_for_rank_view(self):
+        field = np.arange(40).reshape(10, 4)
+        slab = slab_for_rank(field, 5, 2)
+        np.testing.assert_array_equal(slab, field[4:6])
+
+    def test_too_many_ranks(self):
+        with pytest.raises(ConfigError):
+            slab_bounds(3, 8, 0)
+
+    def test_process_grid_product(self):
+        for size in (1, 4, 6, 12, 16, 30):
+            for ndim in (1, 2, 3):
+                grid = process_grid(size, ndim)
+                assert int(np.prod(grid)) == size
+                assert len(grid) == ndim
+
+    def test_block_bounds_tile(self):
+        shape, grid = (10, 12), (2, 3)
+        seen = np.zeros(shape, dtype=int)
+        for cx in range(2):
+            for cy in range(3):
+                seen[block_bounds(shape, grid, (cx, cy))] += 1
+        assert (seen == 1).all()
+
+    def test_halo_exchange(self):
+        field = np.arange(12, dtype=np.float32).reshape(6, 2)
+
+        def fn(comm):
+            local = slab_for_rank(field, comm.size, comm.rank).copy()
+            lower, upper = exchange_slab_halos(comm, local)
+            return lower, upper
+
+        out = run_spmd(3, fn)
+        assert out[0][0] is None
+        np.testing.assert_array_equal(out[0][1], field[2])  # rank1's first row
+        np.testing.assert_array_equal(out[1][0], field[1])  # rank0's last row
+        np.testing.assert_array_equal(out[2][0], field[3])
+        assert out[2][1] is None
+
+
+class TestPfsModel:
+    def test_aggregate_bound(self):
+        pfs = ParallelFileSystem("t", aggregate_bw=100.0, per_node_bw=1000.0, latency=0.0)
+        # 10 ranks x 100 B = 1000 B at 100 B/s aggregate -> 10 s
+        assert pfs.write_time([100] * 10) == pytest.approx(10.0)
+
+    def test_per_node_bound(self):
+        pfs = ParallelFileSystem("t", aggregate_bw=1e9, per_node_bw=10.0, latency=0.0)
+        assert pfs.write_time([100, 1]) == pytest.approx(10.0)
+
+    def test_latency_floor(self):
+        assert MIRA_CLASS_PFS.write_time([0]) == pytest.approx(MIRA_CLASS_PFS.latency)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            MIRA_CLASS_PFS.write_time([-1])
+
+    def test_dump_cost_comparison(self):
+        raw, packed = estimate_dump_cost(
+            per_rank_raw_bytes=[10**9] * 16,
+            per_rank_stored_bytes=[10**8] * 16,
+            pfs=MIRA_CLASS_PFS,
+            compress_gbps_per_rank=50.0,
+        )
+        assert packed.compression_ratio == pytest.approx(10.0)
+        assert packed.total_seconds < raw.total_seconds
+        assert packed.compress_seconds > 0
+
+
+class TestCheckpoint:
+    @pytest.fixture(scope="class")
+    def field(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 12, 240)
+        return (np.sin(x)[:, None] * np.cos(x)[None, :] * 4 + rng.normal(0, 0.01, (240, 240))).astype(
+            np.float32
+        )
+
+    def test_collective_roundtrip(self, field):
+        config = CompressorConfig(eb=1e-3)
+
+        def fn(comm):
+            slab = slab_for_rank(field, comm.size, comm.rank).copy()
+            return write_checkpoint(comm, slab, config, global_rows=field.shape[0])
+
+        blobs = run_spmd(4, fn)
+        assert blobs[0] is not None and all(b is None for b in blobs[1:])
+        restored = read_checkpoint(blobs[0])
+        assert restored.shape == field.shape
+        eb_abs = 1e-3 * float(field.max() - field.min())
+        assert np.abs(field.astype(np.float64) - restored.astype(np.float64)).max() <= eb_abs
+
+    def test_global_bound_across_disjoint_ranges(self):
+        """Rank value ranges differ wildly; the bound must stay global."""
+        field = np.concatenate(
+            [np.zeros((30, 16), np.float32), np.full((30, 16), 1000.0, np.float32)]
+        )
+        config = CompressorConfig(eb=1e-4)
+
+        def fn(comm):
+            slab = slab_for_rank(field, comm.size, comm.rank).copy()
+            return write_checkpoint(comm, slab, config)
+
+        blob = run_spmd(2, fn)[0]
+        restored = read_checkpoint(blob)
+        assert np.abs(field - restored).max() <= 1e-4 * 1000.0
+
+    def test_single_rank_restore(self, field):
+        config = CompressorConfig(eb=1e-3)
+
+        def fn(comm):
+            slab = slab_for_rank(field, comm.size, comm.rank).copy()
+            return write_checkpoint(comm, slab, config)
+
+        blob = run_spmd(3, fn)[0]
+        slab1 = read_rank_slab(blob, 1)
+        start, stop = slab_bounds(field.shape[0], 3, 1)
+        eb_abs = 1e-3 * float(field.max() - field.min())
+        assert np.abs(field[start:stop] - slab1).max() <= eb_abs
+
+    def test_bad_rank_rejected(self, field):
+        config = CompressorConfig(eb=1e-3)
+        blob = run_spmd(
+            2, lambda c: write_checkpoint(c, slab_for_rank(field, 2, c.rank).copy(), config)
+        )[0]
+        with pytest.raises(ConfigError):
+            read_rank_slab(blob, 5)

@@ -1,0 +1,92 @@
+"""Tests for the heap-free (Moffat-Katajainen) codebook construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import EncodingError
+from repro.encoding.huffman import build_codebook
+from repro.encoding.huffman_codec import decode, encode
+from repro.encoding.parallel_huffman import build_codebook_parallel, mk_code_lengths_sorted
+
+
+class TestMkLengths:
+    def test_worked_example(self):
+        lengths = mk_code_lengths_sorted(np.array([1, 1, 2, 3, 5]))
+        np.testing.assert_array_equal(lengths, [4, 4, 3, 2, 1])
+
+    def test_degenerate_sizes(self):
+        np.testing.assert_array_equal(mk_code_lengths_sorted(np.array([7])), [1])
+        np.testing.assert_array_equal(mk_code_lengths_sorted(np.array([3, 9])), [1, 1])
+
+    def test_uniform_frequencies_balanced(self):
+        lengths = mk_code_lengths_sorted(np.full(8, 10))
+        np.testing.assert_array_equal(lengths, [3] * 8)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(EncodingError):
+            mk_code_lengths_sorted(np.array([5, 1]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(EncodingError):
+            mk_code_lengths_sorted(np.array([0, 1]))
+        with pytest.raises(EncodingError):
+            mk_code_lengths_sorted(np.zeros(0))
+
+    @given(st.lists(st.integers(1, 10**6), min_size=2, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_and_kraft_complete(self, freq_list):
+        """MK lengths cost exactly what heap-Huffman costs, with a complete
+        Kraft sum -- i.e. they are optimal prefix-code lengths."""
+        freqs = np.array(freq_list, dtype=np.int64)
+        sf = np.sort(freqs)
+        lengths = mk_code_lengths_sorted(sf)
+        cost_mk = int((lengths * sf).sum())
+        heap = build_codebook(freqs)
+        cost_heap = int((heap.lengths.astype(np.int64) * freqs).sum())
+        assert cost_mk == cost_heap
+        assert abs(sum(2.0 ** -int(l) for l in lengths) - 1.0) < 1e-9
+        assert np.all(lengths[1:] <= lengths[:-1])
+
+
+class TestParallelCodebook:
+    def test_interoperates_with_codec(self):
+        rng = np.random.default_rng(0)
+        syms = rng.integers(0, 128, 30_000).astype(np.uint16)
+        freqs = np.bincount(syms, minlength=128)
+        book = build_codebook_parallel(freqs)
+        np.testing.assert_array_equal(decode(encode(syms, book, 2048), book), syms)
+
+    def test_same_average_bitlength_as_heap(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            freqs = rng.integers(0, 5000, 256)
+            freqs[freqs.argmax()] += 100_000  # skew
+            if freqs.sum() == 0:
+                continue
+            a = build_codebook_parallel(freqs).average_bit_length(freqs)
+            b = build_codebook(freqs).average_bit_length(freqs)
+            assert a == pytest.approx(b, abs=1e-12)
+
+    def test_zero_frequency_symbols_excluded(self):
+        freqs = np.array([0, 10, 0, 5, 0])
+        book = build_codebook_parallel(freqs)
+        assert book.lengths[0] == 0 and book.lengths[2] == 0 and book.lengths[4] == 0
+        assert book.lengths[1] > 0 and book.lengths[3] > 0
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(EncodingError):
+            build_codebook_parallel(np.zeros(16, dtype=np.int64))
+
+    def test_heap_archive_decodable_with_parallel_lengths(self):
+        """Archives never record which construction made the lengths --
+        canonical materialization is the interoperability point."""
+        from repro.encoding.huffman import CanonicalCodebook
+
+        rng = np.random.default_rng(2)
+        syms = rng.integers(0, 32, 5000).astype(np.uint16)
+        freqs = np.bincount(syms, minlength=32)
+        book_p = build_codebook_parallel(freqs)
+        restored = CanonicalCodebook.deserialized(book_p.serialized())
+        np.testing.assert_array_equal(decode(encode(syms, book_p, 512), restored), syms)

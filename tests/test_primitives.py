@@ -1,0 +1,129 @@
+"""Tests for the cub/thrust-style parallel primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.primitives import (
+    block_exclusive_scan,
+    block_inclusive_scan,
+    dense_to_sparse,
+    reduce_by_key,
+    sparse_to_dense,
+    warp_shuffle_up,
+)
+
+
+class TestBlockScan:
+    def test_inclusive_matches_cumsum_single_block(self):
+        x = np.arange(10, dtype=np.int64)
+        np.testing.assert_array_equal(block_inclusive_scan(x, 100), np.cumsum(x))
+
+    def test_inclusive_resets_per_block(self):
+        x = np.ones(8, dtype=np.int64)
+        np.testing.assert_array_equal(
+            block_inclusive_scan(x, 4), [1, 2, 3, 4, 1, 2, 3, 4]
+        )
+
+    def test_exclusive_shifts(self):
+        x = np.ones(8, dtype=np.int64)
+        np.testing.assert_array_equal(
+            block_exclusive_scan(x, 4), [0, 1, 2, 3, 0, 1, 2, 3]
+        )
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            block_inclusive_scan(np.ones((2, 2)), 2)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=200), st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_exclusive_plus_self_is_inclusive(self, vals, block):
+        x = np.array(vals, dtype=np.int64)
+        np.testing.assert_array_equal(
+            block_exclusive_scan(x, block) + x, block_inclusive_scan(x, block)
+        )
+
+
+class TestReduceByKey:
+    def test_basic(self):
+        keys = np.array([1, 1, 2, 2, 2, 1])
+        vals = np.array([10, 20, 1, 2, 3, 5])
+        k, s = reduce_by_key(keys, vals)
+        np.testing.assert_array_equal(k, [1, 2, 1])
+        np.testing.assert_array_equal(s, [30, 6, 5])
+
+    def test_empty(self):
+        k, s = reduce_by_key(np.array([]), np.array([]))
+        assert k.size == 0 and s.size == 0
+
+    def test_all_unique(self):
+        keys = np.arange(5)
+        vals = np.arange(5) * 2
+        k, s = reduce_by_key(keys, vals)
+        np.testing.assert_array_equal(k, keys)
+        np.testing.assert_array_equal(s, vals)
+
+    def test_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            reduce_by_key(np.arange(3), np.arange(2))
+
+    def test_rle_via_reduce_by_key(self):
+        """RLE = reduce_by_key(keys, ones) -- the paper's implementation."""
+        stream = np.array([7, 7, 3, 3, 3, 7])
+        values, counts = reduce_by_key(stream, np.ones_like(stream))
+        np.testing.assert_array_equal(values, [7, 3, 7])
+        np.testing.assert_array_equal(counts, [2, 3, 1])
+
+
+class TestSparseConversions:
+    def test_roundtrip(self):
+        dense = np.array([0, 5, 0, 0, -2, 0], dtype=np.int64)
+        idx, vals = dense_to_sparse(dense)
+        np.testing.assert_array_equal(idx, [1, 4])
+        restored = sparse_to_dense(idx, vals, dense.size, dtype=np.int64)
+        np.testing.assert_array_equal(restored, dense)
+
+    def test_custom_fill(self):
+        dense = np.array([9, 9, 1], dtype=np.int64)
+        idx, vals = dense_to_sparse(dense, fill=9)
+        np.testing.assert_array_equal(idx, [2])
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(IndexError):
+            sparse_to_dense(np.array([5]), np.array([1]), 3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sparse_to_dense(np.array([0, 1]), np.array([1]), 4)
+
+
+class TestWarpShuffle:
+    def test_shift_within_warp(self):
+        x = np.arange(64, dtype=np.int64)
+        out = warp_shuffle_up(x, 1)
+        # lane 0 of each warp keeps its value, others read lane-1
+        assert out[0] == 0 and out[32] == 32
+        np.testing.assert_array_equal(out[1:32], x[0:31])
+        np.testing.assert_array_equal(out[33:64], x[32:63])
+
+    def test_delta_zero_identity(self):
+        x = np.arange(40, dtype=np.int64)
+        np.testing.assert_array_equal(warp_shuffle_up(x, 0), x)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            warp_shuffle_up(np.arange(4), 32)
+
+    def test_prefix_sum_via_shuffles(self):
+        """Kogge-Stone in-warp scan -- how the 2D kernel avoids shared memory."""
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 10, 32).astype(np.int64)
+        acc = x.copy()
+        delta = 1
+        while delta < 32:
+            shifted = warp_shuffle_up(acc, delta)
+            lanes = np.arange(32)
+            acc = np.where(lanes >= delta, acc + shifted, acc)
+            delta *= 2
+        np.testing.assert_array_equal(acc, np.cumsum(x))

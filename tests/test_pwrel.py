@@ -1,0 +1,104 @@
+"""Tests for point-wise relative error bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.errors import ConfigError
+from repro.core.pwrel import compress_pwrel, decompress_pwrel, is_pwrel_archive
+
+
+def rel_errors(original: np.ndarray, restored: np.ndarray) -> np.ndarray:
+    o = original.astype(np.float64)
+    r = restored.astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        e = np.abs(r - o) / np.abs(o)
+    e[o == 0] = np.where(r.reshape(-1)[o.reshape(-1) == 0] == 0, 0.0, np.inf)
+    return e
+
+
+class TestPwrelRoundtrip:
+    @pytest.mark.parametrize("r", [1e-2, 1e-3, 1e-4])
+    def test_bound_holds_wide_dynamic_range(self, r):
+        """The signature pwrel use case: values spanning many decades."""
+        rng = np.random.default_rng(0)
+        data = (10.0 ** rng.uniform(-8, 8, (200, 200))).astype(np.float32)
+        res = compress_pwrel(data, r)
+        out = repro.decompress(res.archive)
+        assert float(rel_errors(data, out).max()) <= r
+
+    def test_signs_preserved(self):
+        rng = np.random.default_rng(1)
+        data = (rng.normal(0, 1, 5000) * 10 ** rng.uniform(-3, 3, 5000)).astype(np.float32)
+        res = compress_pwrel(data, 1e-3)
+        out = repro.decompress(res.archive)
+        assert np.array_equal(np.sign(out), np.sign(data))
+
+    def test_zeros_lossless(self):
+        data = np.array([0.0, 1.0, 0.0, -2.0, 0.0], dtype=np.float32)
+        res = compress_pwrel(data, 1e-2)
+        out = repro.decompress(res.archive)
+        assert out[0] == 0.0 and out[2] == 0.0 and out[4] == 0.0
+        assert float(rel_errors(data, out).max()) <= 1e-2
+
+    def test_all_zero_field(self):
+        data = np.zeros((64,), dtype=np.float32)
+        out = repro.decompress(compress_pwrel(data, 1e-3).archive)
+        np.testing.assert_array_equal(out, data)
+
+    def test_float64(self):
+        rng = np.random.default_rng(2)
+        data = 10.0 ** rng.uniform(-5, 5, (100,))
+        res = compress_pwrel(data, 1e-4)
+        out = repro.decompress(res.archive)
+        assert out.dtype == np.float64
+        assert float(rel_errors(data, out).max()) <= 1e-4
+
+    def test_dispatch_is_transparent(self):
+        data = np.linspace(1, 100, 256).astype(np.float32)
+        blob = compress_pwrel(data, 1e-3).archive
+        assert is_pwrel_archive(blob)
+        assert not is_pwrel_archive(repro.compress(data, eb=1e-3).archive)
+        np.testing.assert_array_equal(
+            repro.decompress(blob), decompress_pwrel(blob)
+        )
+
+    def test_beats_abs_mode_on_wide_range(self):
+        """On high-dynamic-range data, pwrel at r keeps small values
+        meaningful where a range-relative bound destroys them."""
+        rng = np.random.default_rng(3)
+        data = (10.0 ** rng.uniform(-6, 6, (300, 300))).astype(np.float32)
+        pw = repro.decompress(compress_pwrel(data, 1e-2).archive)
+        ab = repro.decompress(repro.compress(data, eb=1e-2).archive)
+        small = data < 1.0
+        pw_err = float(rel_errors(data, pw)[small].max())
+        ab_err = float(rel_errors(data, ab)[small].max())
+        assert pw_err <= 1e-2
+        # Range-bound quantization annihilates small values (rel err -> 1).
+        assert ab_err >= 0.99
+
+    def test_invalid_bounds(self):
+        data = np.ones(16, dtype=np.float32)
+        with pytest.raises(ConfigError):
+            compress_pwrel(data, 1.5)
+        with pytest.raises(ConfigError):
+            compress_pwrel(data, 1e-9)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ConfigError):
+            compress_pwrel(np.array([1.0, np.inf], dtype=np.float32), 1e-2)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+            min_size=1, max_size=400,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bound_property(self, vals):
+        data = np.array(vals, dtype=np.float32)
+        res = compress_pwrel(data, 1e-2)
+        out = repro.decompress(res.archive)
+        assert float(rel_errors(data, out).max()) <= 1e-2

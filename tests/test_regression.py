@@ -1,0 +1,144 @@
+"""Tests for the linear-regression block predictor (future-work extension)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import CompressorConfig
+from repro.core.errors import ConfigError
+from repro.core.regression import (
+    RegressionCoefficients,
+    fit_predict_chunks,
+    predict_from_coefficients,
+)
+
+
+def ramp_2d(shape=(64, 96), a=0.7, b=-0.3, c=5.0, noise=0.0, seed=0):
+    xx, yy = np.meshgrid(np.arange(shape[0]), np.arange(shape[1]), indexing="ij")
+    data = a * xx + b * yy + c
+    if noise:
+        data = data + np.random.default_rng(seed).normal(0, noise, shape)
+    return np.rint(data).astype(np.int64)
+
+
+class TestFitPredict:
+    def test_exact_plane_perfectly_predicted(self):
+        dq = ramp_2d(a=1.0, b=2.0, c=3.0)
+        pred, coeffs = fit_predict_chunks(dq, (16, 16))
+        residual = dq - pred
+        assert np.abs(residual).max() <= 1  # coefficient rounding only
+
+    def test_decompressor_recomputes_identically(self):
+        rng = np.random.default_rng(1)
+        dq = rng.integers(-500, 500, (48, 32)).astype(np.int64)
+        pred, coeffs = fit_predict_chunks(dq, (16, 16))
+        restored = RegressionCoefficients.deserialized(
+            coeffs.serialized(), coeffs.grid, coeffs.chunks
+        )
+        pred2 = predict_from_coefficients(restored, dq.shape)
+        np.testing.assert_array_equal(pred, pred2)
+
+    @pytest.mark.parametrize("shape,chunks", [
+        ((100,), (16,)),           # ragged 1D
+        ((64,), (16,)),            # aligned 1D
+        ((30, 50), (16, 16)),      # ragged 2D
+        ((24, 24, 24), (8, 8, 8)), # aligned 3D
+        ((10, 11, 12), (8, 8, 8)), # ragged 3D
+    ])
+    def test_roundtrip_determinism_all_shapes(self, shape, chunks):
+        rng = np.random.default_rng(2)
+        dq = rng.integers(-100, 100, shape).astype(np.int64)
+        pred, coeffs = fit_predict_chunks(dq, chunks)
+        pred2 = predict_from_coefficients(coeffs, shape)
+        np.testing.assert_array_equal(pred, pred2)
+
+    def test_aligned_batched_matches_ragged_loop(self):
+        """The batched pinv path equals the per-chunk lstsq path."""
+        rng = np.random.default_rng(3)
+        dq = rng.integers(-50, 50, (32, 32)).astype(np.int64)
+        pred_fast, _ = fit_predict_chunks(dq, (16, 16))
+        # Force the loop path with a ragged-looking same computation: pad by
+        # nothing but call through slices.
+        pred_slow = np.empty_like(dq)
+        from repro.core.regression import _iter_chunk_slices, _local_coords, \
+            _quantize_coeffs, _dequantize_coeffs
+
+        for slicer in _iter_chunk_slices(dq.shape, (16, 16)):
+            block = dq[slicer].astype(np.float64)
+            design = _local_coords(block.shape)
+            coeffs, *_ = np.linalg.lstsq(design, block.reshape(-1), rcond=None)
+            fixed = _quantize_coeffs(coeffs)
+            pred_slow[slicer] = np.rint(design @ _dequantize_coeffs(fixed)).astype(
+                np.int64
+            ).reshape(block.shape)
+        np.testing.assert_array_equal(pred_fast, pred_slow)
+
+    def test_grid_mismatch_raises(self):
+        dq = np.zeros((32, 32), dtype=np.int64)
+        _, coeffs = fit_predict_chunks(dq, (16, 16))
+        with pytest.raises(ConfigError):
+            predict_from_coefficients(coeffs, (64, 64))
+
+    def test_deserialize_validates_count(self):
+        with pytest.raises(ConfigError):
+            RegressionCoefficients.deserialized(b"\x00" * 24, (2, 2), (16, 16))
+
+
+class TestEndToEnd:
+    def test_bound_holds_with_regression(self):
+        rng = np.random.default_rng(4)
+        xx, yy = np.meshgrid(np.arange(80), np.arange(120), indexing="ij")
+        data = (0.3 * xx - 0.1 * yy + rng.normal(0, 1.0, (80, 120))).astype(np.float32)
+        res = repro.compress(data, eb=1e-3, predictor="regression")
+        assert res.predictor == "regression"
+        out = repro.decompress(res.archive)
+        assert np.abs(data.astype(np.float64) - out.astype(np.float64)).max() <= res.eb_abs
+
+    def test_regression_beats_lorenzo_on_noisy_gradient(self):
+        rng = np.random.default_rng(5)
+        xx, yy = np.meshgrid(np.arange(128), np.arange(128), indexing="ij")
+        data = (xx * 0.9 + yy * 0.4 + rng.normal(0, 3.0, (128, 128))).astype(np.float32)
+        cr = {
+            p: repro.compress(data, eb=1e-3, predictor=p).compression_ratio
+            for p in ("lorenzo", "regression")
+        }
+        assert cr["regression"] > cr["lorenzo"]
+
+    def test_lorenzo_beats_regression_on_local_structure(self, field_2d):
+        cr = {
+            p: repro.compress(field_2d, eb=1e-3, predictor=p).compression_ratio
+            for p in ("lorenzo", "regression")
+        }
+        assert cr["lorenzo"] > cr["regression"]
+
+    def test_auto_matches_best(self, field_2d):
+        best = max(
+            repro.compress(field_2d, eb=1e-3, predictor=p).compression_ratio
+            for p in ("lorenzo", "regression", "interp")
+        )
+        auto = repro.compress(field_2d, eb=1e-3, predictor="auto")
+        # The selector estimates entropy cost, not the exact archive size,
+        # so allow a small deviation from the literal best.
+        assert auto.compression_ratio >= 0.93 * best
+
+    def test_archive_records_predictor(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=(40, 40)).astype(np.float32)
+        res = repro.compress(data, eb=1e-2, predictor="regression")
+        assert "reg" in res.section_sizes
+        out = repro.decompress(res.archive)
+        assert out.shape == data.shape
+
+    def test_regression_3d(self):
+        rng = np.random.default_rng(7)
+        g = np.meshgrid(*[np.arange(24)] * 3, indexing="ij")
+        data = (g[0] * 0.5 + g[1] * 0.2 - g[2] * 0.3 + rng.normal(0, 0.5, (24, 24, 24))).astype(
+            np.float32
+        )
+        res = repro.compress(data, eb=1e-3, predictor="regression")
+        out = repro.decompress(res.archive)
+        assert np.abs(data.astype(np.float64) - out.astype(np.float64)).max() <= res.eb_abs
+
+    def test_invalid_predictor_rejected(self):
+        with pytest.raises(ConfigError):
+            CompressorConfig(predictor="spline")

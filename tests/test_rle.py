@@ -1,0 +1,87 @@
+"""Tests for run-length encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import EncodingError
+from repro.encoding.rle import expected_rle_bits, rle_decode, rle_encode
+
+
+class TestRleEncode:
+    def test_textbook_example(self):
+        # "aabcccccaa" from the paper -> (a,2)(b,1)(c,5)(a,2)
+        stream = np.array([0, 0, 1, 2, 2, 2, 2, 2, 0, 0], dtype=np.uint16)
+        enc = rle_encode(stream)
+        np.testing.assert_array_equal(enc.values, [0, 1, 2, 0])
+        np.testing.assert_array_equal(enc.lengths, [2, 1, 5, 2])
+
+    def test_runs_are_maximal(self):
+        enc = rle_encode(np.array([7, 7, 7, 7], dtype=np.uint16))
+        assert enc.n_runs == 1
+
+    def test_alternating_worst_case(self):
+        stream = np.tile([0, 1], 50).astype(np.uint16)
+        enc = rle_encode(stream)
+        assert enc.n_runs == 100
+        assert enc.mean_run_length == 1.0
+
+    def test_single_element(self):
+        enc = rle_encode(np.array([42], dtype=np.uint16))
+        assert enc.n_runs == 1 and enc.n_symbols == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(EncodingError):
+            rle_encode(np.zeros(0, dtype=np.uint16))
+
+    def test_overlong_run_splits(self):
+        stream = np.zeros(300, dtype=np.uint16)
+        enc = rle_encode(stream, length_dtype=np.uint8)
+        assert enc.lengths.dtype == np.uint8
+        assert int(enc.lengths.astype(np.int64).sum()) == 300
+        np.testing.assert_array_equal(rle_decode(enc), stream)
+
+    def test_overlong_run_split_boundary_exact_multiple(self):
+        stream = np.zeros(510, dtype=np.uint16)  # exactly 2 * 255
+        enc = rle_encode(stream, length_dtype=np.uint8)
+        np.testing.assert_array_equal(enc.lengths, [255, 255])
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 4, 5000).astype(np.uint16)
+        enc = rle_encode(stream)
+        np.testing.assert_array_equal(rle_decode(enc), stream)
+
+    def test_decode_validates_total(self):
+        enc = rle_encode(np.array([1, 1, 2], dtype=np.uint16))
+        enc.n_symbols = 5  # corrupt
+        with pytest.raises(EncodingError):
+            rle_decode(enc)
+
+    def test_decode_validates_shapes(self):
+        enc = rle_encode(np.array([1, 2], dtype=np.uint16))
+        enc.lengths = enc.lengths[:1]
+        with pytest.raises(EncodingError):
+            rle_decode(enc)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=500))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, vals):
+        stream = np.array(vals, dtype=np.uint16)
+        enc = rle_encode(stream)
+        np.testing.assert_array_equal(rle_decode(enc), stream)
+        # runs are maximal: adjacent run values differ
+        assert not np.any(enc.values[1:] == enc.values[:-1]) or enc.lengths.max() == np.iinfo(np.uint16).max
+
+
+class TestExpectedBits:
+    def test_matches_actual_encoding(self):
+        rng = np.random.default_rng(1)
+        stream = np.repeat(rng.integers(0, 8, 100), rng.integers(1, 30, 100)).astype(np.uint16)
+        expected = expected_rle_bits(stream, 16, 16)
+        enc = rle_encode(stream)
+        assert expected == enc.n_runs * 32
+
+    def test_empty_stream(self):
+        assert expected_rle_bits(np.zeros(0, dtype=np.uint16), 16, 16) == 0

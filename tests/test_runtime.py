@@ -1,0 +1,98 @@
+"""Tests for the simulated pipeline runtime (compress/decompress runs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CompressorConfig
+from repro.gpu import get_device, run_compression, run_decompression
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(3)
+    x = np.linspace(0, 12, 300)
+    return (np.sin(x)[:, None] * np.sin(x)[None, :] * 4 + 0.01 * rng.normal(size=(300, 300))).astype(
+        np.float32
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CompressorConfig(eb=1e-3)
+
+
+class TestCompressionPipeline:
+    def test_huffman_pipeline_stages(self, field, config):
+        _, rep = run_compression(field, config, get_device("V100"))
+        names = [s.name.split("[")[0] for s in rep.stages]
+        assert names == [
+            "lorenzo_construct", "gather_outlier", "histogram", "huffman_encode",
+        ]
+
+    def test_rle_pipeline_stages(self, field, config):
+        _, rep = run_compression(field, config, get_device("V100"), workflow="rle")
+        names = [s.name.split("[")[0] for s in rep.stages]
+        assert names == ["lorenzo_construct", "gather_outlier", "rle"]
+
+    def test_rle_vle_pipeline_adds_stages(self, field, config):
+        _, rep = run_compression(field, config, get_device("V100"), workflow="rle+vle")
+        names = [s.name.split("[")[0] for s in rep.stages]
+        assert "rle" in names and "huffman_encode" in names
+
+    def test_cusz_rejects_rle(self, field, config):
+        with pytest.raises(ValueError):
+            run_compression(field, config, get_device("V100"), impl="cusz", workflow="rle")
+
+    def test_overall_slower_than_any_stage(self, field, config):
+        _, rep = run_compression(field, config, get_device("V100"))
+        assert rep.overall_gbps <= min(s.gbps for s in rep.stages)
+
+    def test_stage_lookup(self, field, config):
+        _, rep = run_compression(field, config, get_device("V100"))
+        assert rep.stage("huffman_encode").gbps > 0
+        with pytest.raises(KeyError):
+            rep.stage("nonexistent")
+
+
+class TestDecompressionPipeline:
+    @pytest.mark.parametrize("workflow", ["huffman", "rle", "rle+vle"])
+    def test_roundtrip_within_bound(self, field, config, workflow):
+        device = get_device("V100")
+        art, _ = run_compression(field, config, device, workflow=workflow)
+        out, rep = run_decompression(art, config, device)
+        assert np.abs(field.astype(np.float64) - out.astype(np.float64)).max() <= art.eb_abs
+        assert rep.overall_gbps > 0
+
+    def test_cusz_uses_coarse_by_default(self, field, config):
+        device = get_device("V100")
+        art, _ = run_compression(field, config, device, impl="cusz")
+        _, rep = run_decompression(art, config, device, impl="cusz")
+        assert any("coarse" in s.name for s in rep.stages)
+
+    def test_cuszplus_decompress_faster_than_cusz(self, field, config):
+        device = get_device("V100")
+        n_sim = 10**8
+        art, _ = run_compression(field, config, device, n_sim=n_sim)
+        _, rep_plus = run_decompression(art, config, device, impl="cuszplus", n_sim=n_sim)
+        _, rep_base = run_decompression(art, config, device, impl="cusz", n_sim=n_sim)
+        assert rep_plus.overall_gbps > rep_base.overall_gbps
+
+    def test_a100_faster_overall(self, field, config):
+        n_sim = 5 * 10**8
+        reports = {}
+        for dev in ("V100", "A100"):
+            device = get_device(dev)
+            art, crep = run_compression(field, config, device, n_sim=n_sim)
+            _, drep = run_decompression(art, config, device, n_sim=n_sim)
+            reports[dev] = (crep.overall_gbps, drep.overall_gbps)
+        assert reports["A100"][0] > reports["V100"][0]
+        assert reports["A100"][1] > reports["V100"][1]
+
+    def test_1d_and_3d_pipelines(self, config):
+        rng = np.random.default_rng(4)
+        for shape in ((4096,), (24, 24, 24)):
+            data = rng.normal(size=shape).astype(np.float32)
+            device = get_device("V100")
+            art, _ = run_compression(data, config, device)
+            out, _ = run_decompression(art, config, device)
+            assert np.abs(data - out).max() <= art.eb_abs

@@ -1,0 +1,88 @@
+"""Tests for the compressibility-aware workflow selector."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CompressorConfig
+from repro.core.selector import estimate_rle_bits_per_symbol, select_workflow
+from repro.encoding.histogram import histogram
+
+
+def make_quant(p_zero: float, n: int = 100_000, alphabet: int = 1024, seed: int = 0):
+    """Quant-code stream with a dominant symbol at the radius."""
+    rng = np.random.default_rng(seed)
+    radius = alphabet // 2
+    q = np.full(n, radius, dtype=np.uint16)
+    n_other = int(n * (1 - p_zero))
+    pos = rng.choice(n, n_other, replace=False)
+    q[pos] = radius + rng.integers(-20, 21, n_other)
+    return q
+
+
+class TestRleBitsEstimate:
+    def test_constant_stream_tiny(self):
+        q = np.full(10000, 512, dtype=np.uint16)
+        est = estimate_rle_bits_per_symbol(q, 16, 16)
+        assert est < 0.01
+
+    def test_alternating_stream_huge(self):
+        q = np.tile([1, 2], 5000).astype(np.uint16)
+        est = estimate_rle_bits_per_symbol(q, 16, 16)
+        assert est == pytest.approx(32.0, rel=0.01)
+
+    def test_empty(self):
+        assert estimate_rle_bits_per_symbol(np.zeros(0, np.uint16), 16, 16) == float("inf")
+
+
+class TestSelection:
+    def test_dominant_symbol_selects_rle(self):
+        q = make_quant(0.995)
+        diag = select_workflow(q, histogram(q, 1024), CompressorConfig())
+        assert diag.decision == "rle+vle"
+        assert diag.p1 > 0.99
+
+    def test_flat_histogram_selects_huffman(self):
+        rng = np.random.default_rng(1)
+        q = rng.integers(400, 624, 100_000).astype(np.uint16)
+        diag = select_workflow(q, histogram(q, 1024), CompressorConfig())
+        assert diag.decision == "huffman"
+
+    def test_threshold_rule_boundary(self):
+        """Paper rule: estimated ⟨b⟩ <= 1.09 selects RLE."""
+        q = make_quant(0.97)
+        diag = select_workflow(q, histogram(q, 1024), CompressorConfig())
+        if diag.bitlen_lower <= 1.09:
+            assert diag.decision == "rle+vle"
+
+    def test_forced_workflow_bypasses_rule(self):
+        q = make_quant(0.999)
+        cfg = CompressorConfig(workflow="huffman")
+        diag = select_workflow(q, histogram(q, 1024), cfg)
+        assert diag.decision == "huffman"
+        assert diag.reason == "forced by configuration"
+
+    def test_diagnostics_consistent(self):
+        q = make_quant(0.9)
+        diag = select_workflow(q, histogram(q, 1024), CompressorConfig())
+        assert 0 < diag.p1 <= 1
+        assert diag.entropy >= 0
+        assert diag.bitlen_lower <= diag.bitlen_upper
+        assert diag.rle_bitlen_estimate > 0
+        assert diag.reason
+
+    def test_custom_threshold(self):
+        """A very high threshold makes everything pick RLE."""
+        rng = np.random.default_rng(2)
+        q = rng.integers(500, 524, 50_000).astype(np.uint16)
+        cfg = CompressorConfig(rle_bitlen_threshold=100.0)
+        diag = select_workflow(q, histogram(q, 1024), cfg)
+        assert diag.decision == "rle+vle"
+
+    def test_rle_wins_criterion(self):
+        """Even above the 1.09 threshold, RLE is picked when its estimated
+        bits-per-symbol beats Huffman's (the paper's primary criterion)."""
+        # Long runs of a few distinct values: entropy ~2 bits but RLE tiny.
+        q = np.repeat(np.arange(500, 516), 40_000).astype(np.uint16)
+        diag = select_workflow(q, histogram(q, 1024), CompressorConfig())
+        assert diag.rle_bitlen_estimate < diag.bitlen_lower
+        assert diag.decision == "rle+vle"

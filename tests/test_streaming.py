@@ -1,0 +1,147 @@
+"""Tests for block-wise / streaming compression."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CompressorConfig
+from repro.core.errors import ArchiveError, ConfigError
+from repro.core.streaming import (
+    StreamingCompressor,
+    block_manifest,
+    compress_blocks,
+    decompress_block,
+    decompress_blocks,
+    decompress_range,
+)
+
+
+@pytest.fixture(scope="module")
+def big_field():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 20, 400)
+    return (np.sin(x)[:, None] * np.cos(x)[None, :] * 8 + rng.normal(0, 0.01, (400, 400))).astype(
+        np.float32
+    )
+
+
+class TestCompressBlocks:
+    def test_roundtrip(self, big_field):
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=100_000)
+        out = decompress_blocks(blob)
+        assert out.shape == big_field.shape
+        eb_abs = 1e-3 * float(big_field.max() - big_field.min())
+        assert np.abs(big_field.astype(np.float64) - out.astype(np.float64)).max() <= eb_abs
+
+    def test_manifest_geometry(self, big_field):
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=100_000)
+        m = block_manifest(blob)
+        assert m.shape == big_field.shape
+        assert sum(m.extents) == 400
+        assert m.n_blocks > 1
+        # all but the last block share the computed extent
+        assert len(set(m.extents[:-1])) <= 1
+
+    def test_single_block_when_small(self, big_field):
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=1 << 30)
+        assert block_manifest(blob).n_blocks == 1
+
+    def test_bound_is_global_not_per_block(self):
+        """A block with a tiny local range must still use the global bound."""
+        data = np.concatenate(
+            [np.zeros((64, 32), np.float32), np.full((64, 32), 100.0, np.float32)]
+        )
+        blob = compress_blocks(data, eb=1e-3, max_block_bytes=8192)
+        out = decompress_blocks(blob)
+        assert np.abs(data - out).max() <= 1e-3 * 100.0
+
+    def test_block_access(self, big_field):
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=100_000)
+        m = block_manifest(blob)
+        b1 = decompress_block(blob, 1)
+        off = m.offsets[1]
+        eb_abs = 1e-3 * float(big_field.max() - big_field.min())
+        assert np.abs(big_field[off : off + m.extents[1]] - b1).max() <= eb_abs
+
+    def test_block_index_out_of_range(self, big_field):
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=100_000)
+        with pytest.raises(IndexError):
+            decompress_block(blob, 99)
+
+    def test_range_access(self, big_field):
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=100_000)
+        rows = decompress_range(blob, 37, 170)
+        assert rows.shape == (133, 400)
+        eb_abs = 1e-3 * float(big_field.max() - big_field.min())
+        assert np.abs(big_field[37:170] - rows).max() <= eb_abs
+
+    def test_range_validates(self, big_field):
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=100_000)
+        with pytest.raises(IndexError):
+            decompress_range(blob, 100, 100)
+        with pytest.raises(IndexError):
+            decompress_range(blob, 0, 401)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            compress_blocks(np.zeros((0, 4), np.float32), eb=1e-3)
+
+    def test_1d_and_3d(self):
+        rng = np.random.default_rng(1)
+        for shape in ((10_000,), (64, 24, 24)):
+            data = rng.normal(size=shape).astype(np.float32)
+            blob = compress_blocks(data, eb=1e-3, max_block_bytes=50_000)
+            out = decompress_blocks(blob)
+            eb_abs = 1e-3 * float(data.max() - data.min())
+            assert np.abs(data - out).max() <= eb_abs
+
+    def test_corrupt_manifest_detected(self, big_field):
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=100_000)
+        # chop the last bytes (manifest payload lives at the end)
+        with pytest.raises(ArchiveError):
+            decompress_blocks(blob[:-8])
+
+
+class TestStreamingCompressor:
+    def test_incremental_roundtrip(self):
+        rng = np.random.default_rng(2)
+        sc = StreamingCompressor(CompressorConfig(eb=0.01, eb_mode="abs"))
+        blocks = [rng.normal(0, 1, (50, 64)).astype(np.float32) for _ in range(5)]
+        for b in blocks:
+            sc.append(b)
+        assert sc.n_blocks == 5
+        blob = sc.finish()
+        out = decompress_blocks(blob)
+        full = np.concatenate(blocks)
+        assert out.shape == (250, 64)
+        assert np.abs(full - out).max() <= 0.01
+
+    def test_variable_block_heights(self):
+        sc = StreamingCompressor(CompressorConfig(eb=0.01, eb_mode="abs"))
+        sc.append(np.ones((10, 8), np.float32))
+        sc.append(np.ones((3, 8), np.float32) * 2)
+        blob = sc.finish()
+        m = block_manifest(blob)
+        assert m.extents == (10, 3)
+        assert m.shape == (13, 8)
+
+    def test_requires_abs_mode(self):
+        with pytest.raises(ConfigError):
+            StreamingCompressor(CompressorConfig(eb=1e-3, eb_mode="rel"))
+
+    def test_rejects_mismatched_tail(self):
+        sc = StreamingCompressor(CompressorConfig(eb=0.01, eb_mode="abs"))
+        sc.append(np.ones((4, 8), np.float32))
+        with pytest.raises(ConfigError):
+            sc.append(np.ones((4, 9), np.float32))
+
+    def test_append_after_finish_rejected(self):
+        sc = StreamingCompressor(CompressorConfig(eb=0.01, eb_mode="abs"))
+        sc.append(np.ones((4, 8), np.float32))
+        sc.finish()
+        with pytest.raises(ConfigError):
+            sc.append(np.ones((4, 8), np.float32))
+
+    def test_finish_without_blocks_rejected(self):
+        sc = StreamingCompressor(CompressorConfig(eb=0.01, eb_mode="abs"))
+        with pytest.raises(ConfigError):
+            sc.finish()

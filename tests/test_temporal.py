@@ -1,0 +1,118 @@
+"""Tests for temporal (inter-snapshot) compression."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CompressorConfig
+from repro.core.errors import ArchiveError, ConfigError
+from repro.core.temporal import TemporalCompressor, TemporalDecompressor
+
+
+def make_stream(n_frames=8, shape=(96, 96), drift=0.02, seed=0):
+    """Slowly evolving smooth field with a persistent fine texture.
+
+    The texture (sub-grid detail frozen in time, like static topographic
+    forcing) is what temporal deltas cancel and spatial compression cannot.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 6, shape[0])
+    base = (np.sin(x)[:, None] * np.cos(x)[None, :]).astype(np.float64)
+    texture = rng.normal(0, 5e-3, shape)
+    frames = []
+    state = base.copy()
+    for _ in range(n_frames):
+        state = state + drift * np.roll(base, rng.integers(0, 3), axis=0)
+        frames.append(
+            (state + texture + rng.normal(0, 2e-5, shape)).astype(np.float32)
+        )
+    return frames
+
+
+EB = 1e-3
+
+
+class TestTemporalRoundtrip:
+    def test_stream_roundtrip_within_bound(self):
+        frames = make_stream()
+        tc = TemporalCompressor(CompressorConfig(eb=EB, eb_mode="abs"))
+        td = TemporalDecompressor()
+        for t, frame in enumerate(frames):
+            blob = tc.push(frame)
+            out = td.pull(blob)
+            err = np.abs(frame.astype(np.float64) - out.astype(np.float64)).max()
+            assert err <= EB * (1 + 1e-6), f"frame {t}: {err}"
+
+    def test_no_error_accumulation(self):
+        """Frame 50's error is no worse than frame 1's."""
+        frames = make_stream(n_frames=50)
+        tc = TemporalCompressor(
+            CompressorConfig(eb=EB, eb_mode="abs"), keyframe_interval=1000
+        )
+        td = TemporalDecompressor()
+        errs = []
+        for frame in frames:
+            out = td.pull(tc.push(frame))
+            errs.append(float(np.abs(frame.astype(np.float64) - out.astype(np.float64)).max()))
+        assert max(errs) <= EB * (1 + 1e-6)
+
+    def test_delta_frames_smaller_on_slow_streams(self):
+        frames = make_stream(drift=0.001)
+        tc = TemporalCompressor(
+            CompressorConfig(eb=EB, eb_mode="abs"), keyframe_interval=1000
+        )
+        sizes = []
+        kinds = []
+        for frame in frames:
+            blob = tc.push(frame)
+            sizes.append(len(blob))
+            kinds.append(tc.last_info.is_keyframe)
+        assert kinds[0] is True
+        assert not any(kinds[1:])  # all deltas
+        assert np.mean(sizes[1:]) < 0.6 * sizes[0]
+
+    def test_scene_change_falls_back_to_keyframe(self):
+        frames = make_stream(n_frames=3)
+        rng = np.random.default_rng(9)
+        # Scene cut: statistically unrelated field whose residual against the
+        # previous frame has strictly more variance than the frame itself.
+        frames.append(rng.normal(0, 0.2, frames[0].shape).astype(np.float32))
+        tc = TemporalCompressor(
+            CompressorConfig(eb=1e-2, eb_mode="abs"), keyframe_interval=1000
+        )
+        kinds = []
+        for frame in frames:
+            tc.push(frame)
+            kinds.append(tc.last_info.is_keyframe)
+        assert kinds[-1] is True  # the cut forced a keyframe
+
+    def test_keyframe_cadence(self):
+        frames = make_stream(n_frames=9)
+        tc = TemporalCompressor(
+            CompressorConfig(eb=EB, eb_mode="abs"), keyframe_interval=4
+        )
+        kinds = [tc.push(f) and tc.last_info.is_keyframe for f in frames]
+        assert kinds[0] and kinds[4] and kinds[8]
+
+    def test_out_of_order_rejected(self):
+        frames = make_stream(n_frames=3)
+        tc = TemporalCompressor(CompressorConfig(eb=EB, eb_mode="abs"))
+        blobs = [tc.push(f) for f in frames]
+        td = TemporalDecompressor()
+        td.pull(blobs[0])
+        with pytest.raises(ArchiveError):
+            td.pull(blobs[2])
+
+    def test_garbage_frame_rejected(self):
+        td = TemporalDecompressor()
+        with pytest.raises(ArchiveError):
+            td.pull(b"nope")
+
+    def test_shape_change_rejected(self):
+        tc = TemporalCompressor(CompressorConfig(eb=EB, eb_mode="abs"))
+        tc.push(np.zeros((8, 8), np.float32))
+        with pytest.raises(ConfigError):
+            tc.push(np.zeros((9, 8), np.float32))
+
+    def test_requires_abs_bound(self):
+        with pytest.raises(ConfigError):
+            TemporalCompressor(CompressorConfig(eb=EB, eb_mode="rel"))

@@ -1,0 +1,107 @@
+"""Tests proving the Section IV-B.3 tile procedures equal plain partial sums."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.errors import DimensionalityError
+from repro.kernels.tile_algorithms import (
+    block_scan_1d,
+    tile_partial_sum_2d,
+    tile_partial_sum_3d,
+    warp_inclusive_scan,
+)
+
+
+class TestWarpScan:
+    def test_single_warp(self):
+        x = np.arange(32, dtype=np.int64)
+        np.testing.assert_array_equal(warp_inclusive_scan(x), np.cumsum(x))
+
+    def test_multiple_warps_independent(self):
+        x = np.ones(96, dtype=np.int64)
+        out = warp_inclusive_scan(x)
+        expected = np.tile(np.arange(1, 33), 3)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_rejects_partial_warp(self):
+        with pytest.raises(DimensionalityError):
+            warp_inclusive_scan(np.ones(33, dtype=np.int64))
+
+    @given(hnp.arrays(np.int64, 64, elements=st.integers(-1000, 1000)))
+    @settings(max_examples=40, deadline=None)
+    def test_property_two_warps(self, x):
+        out = warp_inclusive_scan(x)
+        np.testing.assert_array_equal(out[:32], np.cumsum(x[:32]))
+        np.testing.assert_array_equal(out[32:], np.cumsum(x[32:]))
+
+
+class TestBlockScan1D:
+    @pytest.mark.parametrize("n,seq", [(256, 8), (512, 8), (1024, 4), (256, 1)])
+    def test_matches_cumsum(self, n, seq):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-50, 50, n).astype(np.int64)
+        np.testing.assert_array_equal(block_scan_1d(x, seq=seq), np.cumsum(x))
+
+    def test_cusz_chunk_size(self):
+        """The paper's 1-D chunk of 256 with sequentiality 8 = one warp."""
+        rng = np.random.default_rng(1)
+        x = rng.integers(-9, 9, 256).astype(np.int64)
+        np.testing.assert_array_equal(block_scan_1d(x, seq=8), np.cumsum(x))
+
+    def test_rejects_ragged(self):
+        with pytest.raises(DimensionalityError):
+            block_scan_1d(np.ones(100, dtype=np.int64), seq=8)
+
+
+class TestTile2D:
+    def test_matches_two_pass_cumsum(self):
+        rng = np.random.default_rng(2)
+        tile = rng.integers(-20, 20, (16, 16)).astype(np.int64)
+        expected = np.cumsum(np.cumsum(tile, axis=1), axis=0)
+        np.testing.assert_array_equal(tile_partial_sum_2d(tile), expected)
+
+    @pytest.mark.parametrize("seq", [1, 2, 4, 8, 16])
+    def test_sequentiality_invariant(self, seq):
+        """Any sequentiality choice gives the same (correct) result -- the
+        tuning knob only affects performance."""
+        rng = np.random.default_rng(3)
+        tile = rng.integers(-5, 5, (16, 16)).astype(np.int64)
+        expected = np.cumsum(np.cumsum(tile, axis=1), axis=0)
+        np.testing.assert_array_equal(tile_partial_sum_2d(tile, seq=seq), expected)
+
+    def test_rejects_bad_seq(self):
+        with pytest.raises(DimensionalityError):
+            tile_partial_sum_2d(np.ones((16, 16), dtype=np.int64), seq=5)
+
+    @given(
+        hnp.arrays(np.int64, (16, 16), elements=st.integers(-100, 100)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property(self, tile):
+        expected = np.cumsum(np.cumsum(tile, axis=1), axis=0)
+        np.testing.assert_array_equal(tile_partial_sum_2d(tile), expected)
+
+
+class TestTile3D:
+    def test_matches_three_pass_cumsum(self):
+        rng = np.random.default_rng(4)
+        tile = rng.integers(-9, 9, (8, 8, 8)).astype(np.int64)
+        expected = np.cumsum(np.cumsum(np.cumsum(tile, axis=2), axis=1), axis=0)
+        np.testing.assert_array_equal(tile_partial_sum_3d(tile), expected)
+
+    def test_reconstructs_lorenzo_chunk(self):
+        """Feeding Lorenzo deltas through the tile kernel reconstructs the
+        chunk -- the full decompression path at tile granularity."""
+        from repro.core.lorenzo import lorenzo_construct
+
+        rng = np.random.default_rng(5)
+        chunk = rng.integers(-1000, 1000, (8, 8, 8)).astype(np.int64)
+        delta = lorenzo_construct(chunk, (8, 8, 8))
+        np.testing.assert_array_equal(tile_partial_sum_3d(delta), chunk)
+
+    def test_rejects_2d(self):
+        with pytest.raises(DimensionalityError):
+            tile_partial_sum_3d(np.ones((8, 8), dtype=np.int64))

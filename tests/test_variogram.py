@@ -1,0 +1,100 @@
+"""Tests for madogram/variogram smoothness estimation (Section III-B.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variogram import (
+    adjacent_roughness,
+    binary_roughness,
+    empirical_variogram,
+    expected_rle_compression_ratio,
+    smoothness,
+    smoothness_to_expected_run_length,
+)
+
+
+class TestEmpiricalVariogram:
+    def test_constant_stream_zero_variance(self):
+        stream = np.full(5000, 3, dtype=np.int64)
+        for kind in ("squared", "absolute", "binary"):
+            v = empirical_variogram(stream, kind=kind, n_samples=2000)
+            assert v.mean() == 0.0
+
+    def test_alternating_stream_binary(self):
+        stream = np.tile([0, 1], 5000)
+        v = empirical_variogram(stream, kind="binary", n_samples=5000, seed=1)
+        # Pairs at even distance agree, odd distance differ: mean about 0.5.
+        assert 0.4 < v.mean() < 0.6
+
+    def test_squared_vs_absolute_scaling(self):
+        rng = np.random.default_rng(0)
+        stream = rng.normal(0, 10, 20000)
+        sq = empirical_variogram(stream, kind="squared", n_samples=5000).mean()
+        ab = empirical_variogram(stream, kind="absolute", n_samples=5000).mean()
+        assert sq > ab  # variance >> mean abs dev for sigma=10
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            empirical_variogram(np.arange(100), kind="cubic")
+
+    def test_too_short_stream(self):
+        with pytest.raises(ValueError):
+            empirical_variogram(np.array([1]))
+
+    def test_distances_capped_by_stream(self):
+        v = empirical_variogram(np.arange(50), max_distance=200, n_samples=1000)
+        assert v.distances.max() <= 49
+
+    def test_deterministic_with_seed(self):
+        stream = np.random.default_rng(3).integers(0, 5, 5000)
+        a = empirical_variogram(stream, seed=7).mean()
+        b = empirical_variogram(stream, seed=7).mean()
+        assert a == b
+
+    def test_quantcode_smoother_than_raw(self, field_2d):
+        """Fig. 2a's observation: quant-codes have less variance than the
+        prequantized originals at every distance."""
+        from repro.core.dual_quant import prequantize, postquantize
+
+        eb = 1e-2 * float(field_2d.max() - field_2d.min())
+        dq = prequantize(field_2d, eb)
+        quant, _, _ = postquantize(dq, (16, 16), 1024)
+        v_raw = empirical_variogram(dq, kind="absolute", n_samples=20000).mean()
+        v_q = empirical_variogram(
+            quant.astype(np.int64) - 512, kind="absolute", n_samples=20000
+        ).mean()
+        assert v_q < v_raw
+
+
+class TestSmoothness:
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        s = smoothness(rng.integers(0, 100, 10000))
+        assert 0.0 <= s <= 1.0
+
+    def test_smooth_beats_rough(self):
+        smooth_stream = np.repeat(np.arange(100), 100)
+        rough_stream = np.random.default_rng(2).integers(0, 1000, 10000)
+        assert smoothness(smooth_stream) > smoothness(rough_stream)
+
+    def test_adjacent_roughness_exact(self):
+        assert adjacent_roughness(np.array([1, 1, 2, 2, 2, 3])) == pytest.approx(2 / 5)
+
+    def test_adjacent_roughness_degenerate(self):
+        assert adjacent_roughness(np.array([5])) == 0.0
+
+    def test_run_length_mapping(self):
+        assert smoothness_to_expected_run_length(0.0) == 1.0
+        assert smoothness_to_expected_run_length(0.9) == pytest.approx(10.0)
+        assert smoothness_to_expected_run_length(1.0) == float("inf")
+        with pytest.raises(ValueError):
+            smoothness_to_expected_run_length(1.5)
+
+    def test_expected_cr_monotone_in_smoothness(self):
+        crs = [expected_rle_compression_ratio(s) for s in (0.5, 0.9, 0.99)]
+        assert crs[0] < crs[1] < crs[2]
+
+    def test_expected_cr_threshold_32(self):
+        """Fig. 2b: CR 32 maps to a specific smoothness; check the mapping
+        crosses 32 between s=0.96 and s=0.98 for float32/u16 tuples."""
+        assert expected_rle_compression_ratio(0.96) < 32 < expected_rle_compression_ratio(0.98)

@@ -1,0 +1,135 @@
+"""Tests for workflow section emit/read plumbing and the bench harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ascii_series, format_table
+from repro.core.archive import ArchiveBuilder, ArchiveReader
+from repro.core.config import CompressorConfig
+from repro.core.errors import ArchiveError
+from repro.core.workflow import (
+    emit_huffman_sections,
+    emit_rle_sections,
+    read_huffman_sections,
+    read_rle_sections,
+)
+from repro.encoding.huffman import CanonicalCodebook, build_codebook
+
+
+class TestHuffmanSections:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        syms = rng.integers(0, 64, 5000).astype(np.uint16)
+        builder = ArchiveBuilder()
+        stats = emit_huffman_sections(syms, 64, 512, builder)
+        reader = ArchiveReader(builder.to_bytes())
+        out = read_huffman_sections(reader, syms.size, 512)
+        np.testing.assert_array_equal(out, syms)
+        assert stats["avg_bitlen"] >= 1.0
+
+    def test_prefix_isolation(self):
+        """Two Huffman groups with different prefixes coexist."""
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 16, 1000).astype(np.uint16)
+        b = rng.integers(0, 16, 500).astype(np.uint16)
+        builder = ArchiveBuilder()
+        emit_huffman_sections(a, 16, 128, builder, prefix="qa")
+        emit_huffman_sections(b, 16, 128, builder, prefix="qb")
+        reader = ArchiveReader(builder.to_bytes())
+        np.testing.assert_array_equal(read_huffman_sections(reader, 1000, 128, "qa"), a)
+        np.testing.assert_array_equal(read_huffman_sections(reader, 500, 128, "qb"), b)
+
+
+class TestRleSections:
+    def _roundtrip(self, quant, with_vle):
+        config = CompressorConfig(eb=1e-2)
+        builder = ArchiveBuilder()
+        stats = emit_rle_sections(quant, config, builder, with_vle=with_vle)
+        reader = ArchiveReader(builder.to_bytes())
+        out = read_rle_sections(
+            reader, quant.size, int(stats["n_runs"]), config, quant_dtype=np.uint16
+        )
+        return out, stats, builder
+
+    def test_raw_roundtrip(self):
+        quant = np.repeat(np.arange(500, 520), 100).astype(np.uint16)
+        out, stats, builder = self._roundtrip(quant, with_vle=False)
+        np.testing.assert_array_equal(out, quant)
+        assert "r.val" in builder.section_sizes()
+        assert "r.len" in builder.section_sizes()
+
+    def test_vle_roundtrip(self):
+        rng = np.random.default_rng(2)
+        # Geometric run lengths: low-entropy metadata, so the sparse-codebook
+        # length VLE actually wins over raw uint16 storage.
+        quant = np.repeat(
+            rng.integers(500, 524, 3000), rng.geometric(0.25, 3000)
+        ).astype(np.uint16)
+        out, stats, builder = self._roundtrip(quant, with_vle=True)
+        np.testing.assert_array_equal(out, quant)
+        sections = builder.section_sizes()
+        assert "rv.cb" in sections  # values VLE'd
+        assert "rl.cb" in sections  # lengths VLE'd (sparse codebook)
+
+    def test_vle_falls_back_when_stream_tiny(self):
+        quant = np.full(100, 512, dtype=np.uint16)  # one run
+        out, stats, builder = self._roundtrip(quant, with_vle=True)
+        np.testing.assert_array_equal(out, quant)
+        assert "r.val" in builder.section_sizes()  # dense codebook too big
+        assert stats.get("vle_skipped") == 1.0
+
+    def test_run_count_validated(self):
+        quant = np.repeat(np.arange(500, 505), 50).astype(np.uint16)
+        config = CompressorConfig(eb=1e-2)
+        builder = ArchiveBuilder()
+        stats = emit_rle_sections(quant, config, builder, with_vle=False)
+        reader = ArchiveReader(builder.to_bytes())
+        with pytest.raises(ArchiveError):
+            read_rle_sections(reader, quant.size, int(stats["n_runs"]) + 1, config)
+
+
+class TestSparseCodebook:
+    def test_sparse_roundtrip(self):
+        freqs = np.zeros(65536, dtype=np.int64)
+        freqs[[1, 17, 900, 65535]] = [100, 50, 10, 3]
+        book = build_codebook(freqs)
+        raw = book.serialized_sparse()
+        assert len(raw) < 100  # vs 64 KiB dense
+        restored = CanonicalCodebook.deserialized_sparse(raw)
+        np.testing.assert_array_equal(restored.lengths, book.lengths)
+        np.testing.assert_array_equal(restored.codes, book.codes)
+
+    def test_sparse_rejects_garbage(self):
+        from repro.core.errors import EncodingError
+
+        with pytest.raises(EncodingError):
+            CanonicalCodebook.deserialized_sparse(b"abc")
+        with pytest.raises(EncodingError):
+            CanonicalCodebook.deserialized_sparse(b"\x00" * 32)
+
+
+class TestHarnessFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "v"], [["a", 1.234], ["bb", 10.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.23" in out and "10.5" in out
+
+    def test_format_table_none_dash(self):
+        out = format_table(["n", "v"], [["x", None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_ascii_series_renders(self):
+        out = ascii_series([1, 2, 3], {"s": [1.0, 4.0, 9.0]}, width=20, height=5)
+        assert "s" in out and "9" in out
+
+    def test_experiment_registry(self):
+        from repro.bench import all_experiments, get_experiment
+
+        exps = all_experiments()
+        for name in ("table1", "table2", "table4", "table5", "table6", "table7",
+                      "fig1", "fig2a", "fig2b", "fig3", "table3"):
+            assert name in exps
+        assert get_experiment("fig3").run()
+        with pytest.raises(KeyError):
+            get_experiment("table99")
