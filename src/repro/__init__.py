@@ -13,7 +13,15 @@ Quickstart
 >>> assert np.abs(field - restored).max() <= result.eb_abs
 """
 
-from .core.compressor import CompressionResult, Compressor, compress, decompress
+from . import telemetry
+from .core.compressor import (
+    CompressionResult,
+    Compressor,
+    DecompressionResult,
+    compress,
+    decompress,
+    decompress_with_stats,
+)
 from .core.config import CompressorConfig, SelectorDiagnostics
 from .core.pwrel import compress_pwrel
 from .core.errors import (
@@ -32,9 +40,12 @@ __all__ = [
     "compress",
     "compress_pwrel",
     "decompress",
+    "decompress_with_stats",
+    "telemetry",
     "Compressor",
     "CompressorConfig",
     "CompressionResult",
+    "DecompressionResult",
     "SelectorDiagnostics",
     "ReproError",
     "ConfigError",

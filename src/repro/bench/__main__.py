@@ -6,10 +6,13 @@ Usage::
     python -m repro.bench table7               # run one
     python -m repro.bench all                  # run everything (slow)
     python -m repro.bench table7 --out results # also write results/table7.txt
+                                               # + results/table7.json (the
+                                               # structured run record)
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -45,6 +48,10 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if out_dir is not None:
             (out_dir / f"{name}.txt").write_text(body + "\n")
+            if exp.last_record is not None:
+                (out_dir / f"{name}.json").write_text(
+                    json.dumps(exp.last_record, indent=2) + "\n"
+                )
     return 0
 
 

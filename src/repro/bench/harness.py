@@ -114,12 +114,42 @@ class Experiment:
     description: str
     func: Callable[[], str]
     tags: tuple[str, ...] = ()
+    #: Structured record of the most recent :meth:`run` (JSON-serializable):
+    #: wall seconds, span/stage summary, and a metrics snapshot.  ``None``
+    #: until the experiment has run.
+    last_record: dict | None = field(default=None, compare=False, repr=False)
 
     def run(self) -> str:
+        from .. import telemetry as tel
+
         t0 = time.perf_counter()
-        body = self.func()
+        with tel.trace(self.name) as tr:
+            body = self.func()
         dt = time.perf_counter() - t0
+        self.last_record = self._build_record(dt, tr)
         return f"== {self.name}: {self.description} ==\n{body}\n(ran in {dt:.1f}s)"
+
+    def _build_record(self, seconds: float, tr) -> dict:
+        from .. import telemetry as tel
+
+        spans = list(tr.spans())
+        stage_seconds: dict[str, float] = {}
+        for s in spans:
+            stage_seconds[s.name] = stage_seconds.get(s.name, 0.0) + s.duration
+        if tel.enabled():
+            tel.REGISTRY.gauge("repro_experiment_seconds").set_value(
+                seconds, experiment=self.name
+            )
+        return {
+            "experiment": self.name,
+            "description": self.description,
+            "tags": list(self.tags),
+            "seconds": seconds,
+            "telemetry_enabled": tel.enabled(),
+            "n_spans": len(spans),
+            "stage_seconds": stage_seconds,
+            "metrics": tel.render_json(),
+        }
 
 
 _REGISTRY: dict[str, Experiment] = {}

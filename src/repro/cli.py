@@ -14,14 +14,18 @@ Input fields are SDRBench-style headerless binaries (``.f32``/``.f64``);
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 import numpy as np
 
+from . import telemetry
 from .analysis.metrics import evaluate_quality
 from .core.archive import ArchiveReader
-from .core.compressor import compress, decompress
+from .core.compressor import compress, decompress_with_stats
 from .core.config import CompressorConfig
 from .core.errors import ReproError
 from .data.io import load_binary
@@ -51,14 +55,22 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--dict-size", type=int, default=1024)
     pc.add_argument("--dtype", choices=["f32", "f64"], default=None,
                     help="override dtype inference from the file suffix")
+    _add_telemetry_flags(pc)
+    pc.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit a machine-readable JSON result on stdout")
 
     pd = sub.add_parser("decompress", help="decompress an archive")
     pd.add_argument("archive", type=Path)
     pd.add_argument("-o", "--output", type=Path, required=True,
                     help="output flat binary path")
+    _add_telemetry_flags(pd)
+    pd.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit a machine-readable JSON result on stdout")
 
     pi = sub.add_parser("info", help="describe an archive")
     pi.add_argument("archive", type=Path)
+    pi.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit a machine-readable JSON result on stdout")
 
     ps = sub.add_parser("stats", help="size/entropy breakdown of an archive")
     ps.add_argument("archive", type=Path)
@@ -68,7 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("archive", type=Path)
     pv.add_argument("--dims", type=int, nargs="+", required=True)
     pv.add_argument("--dtype", choices=["f32", "f64"], default=None)
+    pv.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit a machine-readable JSON result on stdout")
     return parser
+
+
+def _add_telemetry_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--trace", type=Path, default=None, metavar="OUT.json",
+        help="write a Chrome trace-event JSON file (open in Perfetto)")
+    sub_parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-stage wall timings after the run")
 
 
 def _load_field(path: Path, dims: list[int], dtype_flag: str | None) -> np.ndarray:
@@ -76,26 +99,105 @@ def _load_field(path: Path, dims: list[int], dtype_flag: str | None) -> np.ndarr
     return load_binary(path, tuple(dims), dtype=dtype)
 
 
+def _telemetry_capture(args):
+    """Trace collector for a command run; forces telemetry on when any
+    telemetry output (``--trace``/``--stats``) was requested."""
+    if args.trace or args.stats:
+        return telemetry.scope(True), telemetry.trace(f"repro {args.command}")
+    return nullcontext(), nullcontext()
+
+
+def _emit_trace(args, tr) -> None:
+    if args.trace and tr is not None:
+        telemetry.write_chrome_trace(args.trace, tr)
+
+
+def _note_trace(args) -> None:
+    if args.trace:
+        print(f"  trace -> {args.trace}")
+
+
+def _print_stage_stats(stage_stats: dict[str, float]) -> None:
+    timings = {k[: -len("_seconds")]: v for k, v in stage_stats.items()
+               if k.endswith("_seconds")}
+    if not timings:
+        print("  (no stage timings recorded; is REPRO_TELEMETRY disabled?)")
+        return
+    total = timings.pop("total", None) or sum(timings.values()) or 1.0
+    print("  stage timings:")
+    for name, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+        print(f"    {name:<18} {seconds * 1e3:9.3f} ms  ({seconds / total:6.1%})")
+    print(f"    {'total':<18} {total * 1e3:9.3f} ms")
+
+
 def _cmd_compress(args) -> int:
     field = _load_field(args.input, args.dims, args.dtype)
     config = CompressorConfig(
         eb=args.eb, eb_mode=args.mode, workflow=args.workflow,
         predictor=args.predictor, dict_size=args.dict_size,
+        telemetry=True if (args.trace or args.stats) else None,
     )
-    result = compress(field, config)
+    scope_ctx, trace_ctx = _telemetry_capture(args)
+    with scope_ctx, trace_ctx as tr:
+        result = compress(field, config)
     args.output.write_bytes(result.archive)
+    _emit_trace(args, tr)
+    if args.as_json:
+        print(json.dumps({
+            "command": "compress",
+            "input": str(args.input),
+            "output": str(args.output),
+            "original_bytes": result.original_bytes,
+            "compressed_bytes": result.compressed_bytes,
+            "compression_ratio": result.compression_ratio,
+            "workflow": result.workflow,
+            "predictor": result.predictor,
+            "eb_abs": result.eb_abs,
+            "n_outliers": result.n_outliers,
+            "section_sizes": result.section_sizes,
+            "stage_stats": result.stage_stats,
+            "diagnostics": dataclasses.asdict(result.diagnostics)
+            if result.diagnostics else None,
+        }, indent=2))
+        return 0
     print(f"{args.input} -> {args.output}")
     print(f"  {result.original_bytes} -> {result.compressed_bytes} bytes "
           f"({result.compression_ratio:.2f}x)")
     print(f"  workflow={result.workflow} predictor={result.predictor} "
           f"eb_abs={result.eb_abs:.4g} outliers={result.n_outliers}")
+    if args.stats:
+        _print_stage_stats(result.stage_stats)
+    _note_trace(args)
     return 0
 
 
 def _cmd_decompress(args) -> int:
-    field = decompress(args.archive.read_bytes())
+    blob = args.archive.read_bytes()
+    scope_ctx, trace_ctx = _telemetry_capture(args)
+    with scope_ctx, trace_ctx as tr:
+        result = decompress_with_stats(blob)
+    field = result.data
     np.ascontiguousarray(field).tofile(args.output)
+    _emit_trace(args, tr)
+    if args.as_json:
+        print(json.dumps({
+            "command": "decompress",
+            "archive": str(args.archive),
+            "output": str(args.output),
+            "shape": list(field.shape),
+            "dtype": field.dtype.name,
+            "workflow": result.workflow,
+            "predictor": result.predictor,
+            "eb_abs": result.eb_abs,
+            "n_outliers": result.n_outliers,
+            "section_sizes": result.section_sizes,
+            "stage_stats": result.stage_stats,
+        }, indent=2))
+        return 0
     print(f"{args.archive} -> {args.output}  shape={field.shape} dtype={field.dtype}")
+    if args.stats:
+        _print_stage_stats(result.stage_stats)
+    _note_trace(args)
     return 0
 
 
@@ -105,6 +207,23 @@ def _cmd_info(args) -> int:
     from .core.compressor import _unpack_meta  # shared parsing
 
     meta = _unpack_meta(reader.get_bytes("meta"))
+    if args.as_json:
+        original = int(np.prod(meta["shape"])) * np.dtype(meta["dtype"]).itemsize
+        print(json.dumps({
+            "command": "info",
+            "archive": str(args.archive),
+            "archive_bytes": len(blob),
+            "shape": list(meta["shape"]),
+            "dtype": np.dtype(meta["dtype"]).name,
+            "workflow": meta["workflow"],
+            "predictor": meta["predictor"],
+            "eb_abs": meta["eb_abs"],
+            "dict_size": meta["dict_size"],
+            "n_outliers": meta["n_outliers"],
+            "compression_ratio": original / len(blob),
+            "section_sizes": reader.section_sizes(),
+        }, indent=2))
+        return 0
     print(f"archive    : {args.archive} ({len(blob)} bytes)")
     print(f"shape      : {meta['shape']}  dtype={np.dtype(meta['dtype']).name}")
     print(f"workflow   : {meta['workflow']}  predictor={meta['predictor']}")
@@ -127,14 +246,32 @@ def _cmd_stats(args) -> int:
 
 def _cmd_verify(args) -> int:
     field = _load_field(args.input, args.dims, args.dtype)
-    restored = decompress(args.archive.read_bytes())
+    result = decompress_with_stats(args.archive.read_bytes())
+    restored = result.data
     if restored.shape != field.shape:
-        print(f"FAIL: archive shape {restored.shape} != field shape {field.shape}")
+        if args.as_json:
+            print(json.dumps({
+                "command": "verify",
+                "ok": False,
+                "error": f"archive shape {list(restored.shape)} != field shape {list(field.shape)}",
+            }, indent=2))
+        else:
+            print(f"FAIL: archive shape {restored.shape} != field shape {field.shape}")
         return 1
-    from .core.compressor import _unpack_meta
-
-    meta = _unpack_meta(ArchiveReader(args.archive.read_bytes()).get_bytes("meta"))
-    quality = evaluate_quality(field, restored, meta["eb_abs"])
+    quality = evaluate_quality(field, restored, result.eb_abs)
+    if args.as_json:
+        print(json.dumps({
+            "command": "verify",
+            "ok": bool(quality.bound_satisfied),
+            "max_error": quality.max_error,
+            "eb_abs": quality.eb_abs,
+            "bound_satisfied": bool(quality.bound_satisfied),
+            "psnr_db": quality.psnr_db,
+            "nrmse": quality.nrmse,
+            "workflow": result.workflow,
+            "stage_stats": result.stage_stats,
+        }, indent=2))
+        return 0 if quality.bound_satisfied else 1
     print(f"max |error| : {quality.max_error:.4g}")
     print(f"bound       : {quality.eb_abs:.4g}  satisfied={quality.bound_satisfied}")
     print(f"PSNR        : {quality.psnr_db:.2f} dB   NRMSE={quality.nrmse:.3g}")

@@ -128,6 +128,10 @@ class ArchiveReader:
     def names(self) -> list[str]:
         return list(self._sections)
 
+    def section_sizes(self) -> dict[str, int]:
+        """Payload bytes per section, in archive order."""
+        return {name: length for name, (_, _, length) in self._sections.items()}
+
     def has(self, name: str) -> bool:
         return name in self._sections
 

@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..encoding.histogram import histogram
+from ..telemetry import instruments as ins
 from .archive import ArchiveBuilder, ArchiveReader
 from .config import CompressorConfig, SelectorDiagnostics
 from .dual_quant import (
@@ -40,7 +42,14 @@ from .workflow import (
     read_rle_sections,
 )
 
-__all__ = ["CompressionResult", "Compressor", "compress", "decompress"]
+__all__ = [
+    "CompressionResult",
+    "DecompressionResult",
+    "Compressor",
+    "compress",
+    "decompress",
+    "decompress_with_stats",
+]
 
 # Archive metadata section layout (little-endian):
 #   dtype_code u8, ndim u8, workflow u8, predictor u8,
@@ -86,6 +95,30 @@ class CompressionResult:
         return self.original_bytes / len(self.archive)
 
 
+@dataclass
+class DecompressionResult:
+    """Everything :func:`decompress_with_stats` produces.
+
+    ``data`` is the reconstructed array; the rest mirrors
+    :class:`CompressionResult`'s reporting so ``repro decompress`` and
+    ``verify`` can print per-stage timings symmetric with compression.
+    ``stage_stats`` holds span-derived ``<stage>_seconds`` keys when
+    telemetry is enabled (empty when disabled).
+    """
+
+    data: np.ndarray
+    workflow: str
+    predictor: str
+    eb_abs: float
+    n_outliers: int
+    section_sizes: dict[str, int] = field(default_factory=dict)
+    stage_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def decompressed_bytes(self) -> int:
+        return int(self.data.nbytes)
+
+
 def compress(data: np.ndarray, config: CompressorConfig | None = None, **kwargs) -> CompressionResult:
     """Compress a 1..4-D float array into a self-contained archive.
 
@@ -103,50 +136,74 @@ def compress(data: np.ndarray, config: CompressorConfig | None = None, **kwargs)
         else:
             raise ConfigError(f"unsupported dtype {data.dtype}; expected float32/float64")
 
-    # Missing values (NaN masks are routine in observational/climate data):
-    # record their positions losslessly and fill with the finite mean so the
-    # predictor sees smooth data; decompression restores the NaNs exactly.
-    nan_mask = np.isnan(data)
-    nan_payload: bytes | None = None
-    if nan_mask.any():
-        finite = data[~nan_mask]
-        if finite.size == 0:
-            raise ConfigError("field is entirely NaN; nothing to compress")
-        fill = float(finite.mean())
-        data = np.where(nan_mask, np.asarray(fill, dtype=data.dtype), data)
-        nan_payload = _encode_nan_mask(nan_mask)
+    with tel.scope(config.telemetry):
+        return _compress_impl(data, config)
 
-    bundle, eb_abs = quantize_field(data, config)
-    freqs = histogram(bundle.quant, config.dict_size)
-    diag = select_workflow(bundle.quant, freqs, config)
-    workflow = diag.decision
 
-    builder = ArchiveBuilder()
-    stage_stats: dict[str, float] = {}
-    flat = bundle.quant.reshape(-1)
-    n_runs = 0
-    if workflow in ("huffman", "huffman+lz"):
-        stage_stats.update(
-            emit_huffman_sections(
-                flat, config.dict_size, config.huffman_chunk, builder,
-                lz_stage=workflow == "huffman+lz",
-            )
-        )
-    elif workflow in ("rle", "rle+vle"):
-        rle_stats = emit_rle_sections(flat, config, builder, with_vle=workflow == "rle+vle")
-        n_runs = int(rle_stats.pop("n_runs"))
-        stage_stats.update(rle_stats)
-    else:  # pragma: no cover - selector guarantees a known value
-        raise ConfigError(f"selector produced unknown workflow {workflow!r}")
+def _compress_impl(data: np.ndarray, config: CompressorConfig) -> CompressionResult:
+    with tel.span("compress", bytes_in=int(data.nbytes)) as root:
+        # Missing values (NaN masks are routine in observational/climate
+        # data): record their positions losslessly and fill with the finite
+        # mean so the predictor sees smooth data; decompression restores the
+        # NaNs exactly.
+        nan_mask = np.isnan(data)
+        nan_payload: bytes | None = None
+        if nan_mask.any():
+            with tel.span("nan_mask"):
+                finite = data[~nan_mask]
+                if finite.size == 0:
+                    raise ConfigError("field is entirely NaN; nothing to compress")
+                fill = float(finite.mean())
+                data = np.where(nan_mask, np.asarray(fill, dtype=data.dtype), data)
+                nan_payload = _encode_nan_mask(nan_mask)
 
-    _emit_outliers(bundle, builder)
-    if nan_payload is not None:
-        builder.add_bytes("nan", nan_payload)
-    if bundle.predictor == "regression":
-        builder.add_bytes("reg", bundle.reg_coeffs.serialized())
-    builder.add_bytes("meta", _pack_meta(data, config, bundle, workflow, eb_abs, n_runs))
-    return CompressionResult(
-        archive=builder.to_bytes(),
+        with tel.span("quantize", bytes_in=int(data.nbytes)) as sp:
+            bundle, eb_abs = quantize_field(data, config)
+            sp.set(bytes_out=int(bundle.quant.nbytes), predictor=bundle.predictor,
+                   n_outliers=bundle.n_outliers)
+        with tel.span("histogram", bytes_in=int(bundle.quant.nbytes)):
+            freqs = histogram(bundle.quant, config.dict_size)
+        with tel.span("select_workflow") as sp:
+            diag = select_workflow(bundle.quant, freqs, config)
+            workflow = diag.decision
+            sp.set(workflow=workflow)
+
+        builder = ArchiveBuilder()
+        stage_stats: dict[str, float] = {}
+        flat = bundle.quant.reshape(-1)
+        n_runs = 0
+        with tel.span("encode", bytes_in=int(flat.nbytes), workflow=workflow):
+            if workflow in ("huffman", "huffman+lz"):
+                stage_stats.update(
+                    emit_huffman_sections(
+                        flat, config.dict_size, config.huffman_chunk, builder,
+                        lz_stage=workflow == "huffman+lz",
+                    )
+                )
+            elif workflow in ("rle", "rle+vle"):
+                rle_stats = emit_rle_sections(
+                    flat, config, builder, with_vle=workflow == "rle+vle"
+                )
+                n_runs = int(rle_stats.pop("n_runs"))
+                stage_stats.update(rle_stats)
+            else:  # pragma: no cover - selector guarantees a known value
+                raise ConfigError(f"selector produced unknown workflow {workflow!r}")
+
+        with tel.span("outliers", bytes_in=int(bundle.outlier_values.nbytes)):
+            _emit_outliers(bundle, builder)
+        with tel.span("archive") as sp:
+            if nan_payload is not None:
+                builder.add_bytes("nan", nan_payload)
+            if bundle.predictor == "regression":
+                builder.add_bytes("reg", bundle.reg_coeffs.serialized())
+            builder.add_bytes("meta", _pack_meta(data, config, bundle, workflow, eb_abs, n_runs))
+            blob = builder.to_bytes()
+            sp.set(bytes_out=len(blob))
+        root.set(bytes_out=len(blob), workflow=workflow)
+
+    stage_stats.update(ins.stage_stats_from_span(root))
+    result = CompressionResult(
+        archive=blob,
         workflow=workflow,
         eb_abs=eb_abs,
         original_bytes=int(data.nbytes),
@@ -156,61 +213,103 @@ def compress(data: np.ndarray, config: CompressorConfig | None = None, **kwargs)
         n_outliers=bundle.n_outliers,
         predictor=bundle.predictor,
     )
+    if tel.enabled():
+        ins.COMPRESS_CALLS.inc()
+        ins.INPUT_BYTES.inc(result.original_bytes)
+        ins.ARCHIVE_BYTES.inc(result.compressed_bytes)
+        ins.SELECTOR_DECISIONS.inc(workflow=workflow)
+        if bundle.n_outliers:
+            ins.OUTLIERS.inc(bundle.n_outliers)
+        ins.LAST_RATIO.set_value(result.compression_ratio)
+        ins.record_stage_metrics(root, op="compress")
+    return result
 
 
 def decompress(blob: bytes) -> np.ndarray:
     """Reconstruct the original-shaped array from an archive blob.
 
     Transparently handles point-wise-relative containers produced by
-    :func:`repro.core.pwrel.compress_pwrel`.
+    :func:`repro.core.pwrel.compress_pwrel`.  For per-stage timings use
+    :func:`decompress_with_stats`.
     """
+    return decompress_with_stats(blob).data
+
+
+def decompress_with_stats(blob: bytes) -> DecompressionResult:
+    """Like :func:`decompress`, returning the array plus stage reporting."""
     reader = ArchiveReader(blob)
     if reader.has("pw.inner"):
-        from .pwrel import decompress_pwrel
+        from .pwrel import decompress_pwrel_with_stats
 
-        return decompress_pwrel(blob)
-    meta = _unpack_meta(reader.get_bytes("meta"))
-    config = CompressorConfig(
-        eb=meta["eb_twice"] / 2.0,
-        eb_mode="abs",
-        dict_size=meta["dict_size"],
-        huffman_chunk=meta["huffman_chunk"],
-        rle_length_dtype=f"uint{meta['rle_length_bytes'] * 8}",
+        return decompress_pwrel_with_stats(blob)
+    return _decompress_impl(reader, blob)
+
+
+def _decompress_impl(reader: ArchiveReader, blob: bytes) -> DecompressionResult:
+    with tel.span("decompress", bytes_in=len(blob)) as root:
+        with tel.span("archive_read", bytes_in=len(blob)):
+            meta = _unpack_meta(reader.get_bytes("meta"))
+            config = CompressorConfig(
+                eb=meta["eb_twice"] / 2.0,
+                eb_mode="abs",
+                dict_size=meta["dict_size"],
+                huffman_chunk=meta["huffman_chunk"],
+                rle_length_dtype=f"uint{meta['rle_length_bytes'] * 8}",
+            )
+        quant_dtype = np.uint16 if meta["dict_size"] <= 1 << 16 else np.uint32
+        n = meta["n_symbols"]
+        with tel.span("decode", workflow=meta["workflow"]) as sp:
+            if meta["workflow"] in ("huffman", "huffman+lz"):
+                flat = read_huffman_sections(
+                    reader, n, meta["huffman_chunk"], out_dtype=quant_dtype
+                )
+            else:
+                flat = read_rle_sections(
+                    reader, n, meta["n_runs"], config, quant_dtype=quant_dtype
+                )
+            sp.set(bytes_out=int(flat.nbytes))
+        if flat.size != n:
+            raise ArchiveError(f"decoded {flat.size} quant-codes, expected {n}")
+
+        with tel.span("scatter_outliers") as sp:
+            oidx, oval = _read_outliers(reader, meta["n_outliers"])
+            fused = fuse_quant_and_outliers(flat, oidx, oval, meta["dict_size"] // 2)
+            sp.set(n_outliers=meta["n_outliers"])
+        with tel.span("reconstruct", predictor=meta["predictor"]) as sp:
+            if meta["predictor"] == "regression":
+                from .regression import RegressionCoefficients, predict_from_coefficients
+
+                grid = tuple(-(-s // c) for s, c in zip(meta["shape"], meta["chunks"]))
+                coeffs = RegressionCoefficients.deserialized(
+                    reader.get_bytes("reg"), grid, meta["chunks"]
+                )
+                dq = predict_from_coefficients(coeffs, meta["shape"]) + fused.reshape(meta["shape"])
+            elif meta["predictor"] == "interp":
+                from .interp import interp_reconstruct
+
+                dq = interp_reconstruct(fused.reshape(meta["shape"]), cubic=True)
+            else:
+                dq = lorenzo_reconstruct(fused.reshape(meta["shape"]), meta["chunks"])
+            out = (dq.astype(np.float64) * meta["eb_twice"]).astype(meta["dtype"])
+            sp.set(bytes_out=int(out.nbytes))
+        if reader.has("nan"):
+            with tel.span("nan_restore"):
+                mask = _decode_nan_mask(reader.get_bytes("nan"), int(np.prod(meta["shape"])))
+                out.reshape(-1)[mask] = np.nan
+        root.set(bytes_out=int(out.nbytes), workflow=meta["workflow"])
+
+    if tel.enabled():
+        ins.DECOMPRESS_CALLS.inc()
+        ins.record_stage_metrics(root, op="decompress")
+    return DecompressionResult(
+        data=out,
+        workflow=meta["workflow"],
+        predictor=meta["predictor"],
+        eb_abs=meta["eb_abs"],
+        n_outliers=meta["n_outliers"],
+        section_sizes=reader.section_sizes(),
+        stage_stats=ins.stage_stats_from_span(root),
     )
-    quant_dtype = np.uint16 if meta["dict_size"] <= 1 << 16 else np.uint32
-    n = meta["n_symbols"]
-    if meta["workflow"] in ("huffman", "huffman+lz"):
-        flat = read_huffman_sections(
-            reader, n, meta["huffman_chunk"], out_dtype=quant_dtype
-        )
-    else:
-        flat = read_rle_sections(
-            reader, n, meta["n_runs"], config, quant_dtype=quant_dtype
-        )
-    if flat.size != n:
-        raise ArchiveError(f"decoded {flat.size} quant-codes, expected {n}")
-
-    oidx, oval = _read_outliers(reader, meta["n_outliers"])
-    fused = fuse_quant_and_outliers(flat, oidx, oval, meta["dict_size"] // 2)
-    if meta["predictor"] == "regression":
-        from .regression import RegressionCoefficients, predict_from_coefficients
-
-        grid = tuple(-(-s // c) for s, c in zip(meta["shape"], meta["chunks"]))
-        coeffs = RegressionCoefficients.deserialized(
-            reader.get_bytes("reg"), grid, meta["chunks"]
-        )
-        dq = predict_from_coefficients(coeffs, meta["shape"]) + fused.reshape(meta["shape"])
-    elif meta["predictor"] == "interp":
-        from .interp import interp_reconstruct
-
-        dq = interp_reconstruct(fused.reshape(meta["shape"]), cubic=True)
-    else:
-        dq = lorenzo_reconstruct(fused.reshape(meta["shape"]), meta["chunks"])
-    out = (dq.astype(np.float64) * meta["eb_twice"]).astype(meta["dtype"])
-    if reader.has("nan"):
-        mask = _decode_nan_mask(reader.get_bytes("nan"), int(np.prod(meta["shape"])))
-        out.reshape(-1)[mask] = np.nan
-    return out
 
 
 class Compressor:

@@ -87,6 +87,11 @@ class CompressorConfig:
     predictor:
         ``"lorenzo"`` (default), ``"regression"`` (SZ2-style block
         hyperplanes), or ``"auto"`` (pick per field by estimated cost).
+    telemetry:
+        Per-call telemetry override: ``True``/``False`` force spans and
+        metrics on/off for this compressor regardless of the global switch;
+        ``None`` (default) follows ``repro.telemetry.enabled()`` (the
+        ``REPRO_TELEMETRY`` environment variable).
     """
 
     eb: float = 1e-4
@@ -99,8 +104,11 @@ class CompressorConfig:
     rle_bitlen_threshold: float = RLE_BITLEN_THRESHOLD
     rle_encode_lengths: bool = False
     rle_length_dtype: str = "uint16"
+    telemetry: bool | None = None
 
     def __post_init__(self) -> None:
+        if self.telemetry is not None and not isinstance(self.telemetry, bool):
+            raise ConfigError(f"telemetry must be True, False or None, got {self.telemetry!r}")
         if not (self.eb > 0.0 and math.isfinite(self.eb)):
             raise ConfigError(f"error bound must be a positive finite number, got {self.eb!r}")
         if self.eb_mode not in ("abs", "rel"):

@@ -21,12 +21,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry as tel
+from ..telemetry import instruments as ins
 from .archive import ArchiveBuilder, ArchiveReader
-from .compressor import CompressionResult, compress
+from .compressor import CompressionResult, DecompressionResult, compress
 from .config import CompressorConfig
 from .errors import ArchiveError, ConfigError
 
-__all__ = ["compress_pwrel", "decompress_pwrel", "is_pwrel_archive"]
+__all__ = [
+    "compress_pwrel",
+    "decompress_pwrel",
+    "decompress_pwrel_with_stats",
+    "is_pwrel_archive",
+]
 
 #: Guard against the output-dtype cast (one ulp of relative rounding).
 _CAST_REL = {np.dtype(np.float32): 2.0**-23, np.dtype(np.float64): 2.0**-52}
@@ -47,38 +54,52 @@ def compress_pwrel(
         raise ConfigError("data contains non-finite values")
     base = config or CompressorConfig()
 
-    flat = data.reshape(-1).astype(np.float64)
-    zero_idx = np.flatnonzero(flat == 0.0).astype(np.uint32)
-    neg_mask = flat < 0.0
-    mags = np.abs(flat)
-    # Zeros get a placeholder magnitude (the field's smallest nonzero) so
-    # the log field stays finite; their positions are restored exactly.
-    nonzero = mags > 0.0
-    if not nonzero.any():
-        fill = 1.0
-    else:
-        fill = float(mags[nonzero].min())
-    mags[~nonzero] = fill
-    logs = np.log(mags).reshape(data.shape)
+    with tel.scope(base.telemetry):
+        with tel.span("compress_pwrel", bytes_in=int(data.nbytes)) as root:
+            # The log transform is a real pipeline stage with its own cost;
+            # record it as one instead of inheriting only the inner stages.
+            with tel.span("pwrel_transform", bytes_in=int(data.nbytes)):
+                flat = data.reshape(-1).astype(np.float64)
+                zero_idx = np.flatnonzero(flat == 0.0).astype(np.uint32)
+                neg_mask = flat < 0.0
+                mags = np.abs(flat)
+                # Zeros get a placeholder magnitude (the field's smallest
+                # nonzero) so the log field stays finite; their positions are
+                # restored exactly.
+                nonzero = mags > 0.0
+                if not nonzero.any():
+                    fill = 1.0
+                else:
+                    fill = float(mags[nonzero].min())
+                mags[~nonzero] = fill
+                logs = np.log(mags).reshape(data.shape)
 
-    r_eff = rel_bound * (1.0 - 1e-9) - 2.0 * _CAST_REL[np.dtype(data.dtype)]
-    if r_eff <= 0:
-        raise ConfigError(
-            f"bound {rel_bound} is below the output dtype's own precision"
-        )
-    eb_log = float(np.log1p(r_eff))
-    inner = compress(logs, base.with_(eb=eb_log, eb_mode="abs"))
+            r_eff = rel_bound * (1.0 - 1e-9) - 2.0 * _CAST_REL[np.dtype(data.dtype)]
+            if r_eff <= 0:
+                raise ConfigError(
+                    f"bound {rel_bound} is below the output dtype's own precision"
+                )
+            eb_log = float(np.log1p(r_eff))
+            inner = compress(logs, base.with_(eb=eb_log, eb_mode="abs"))
 
-    builder = ArchiveBuilder()
-    builder.add_bytes("pw.inner", inner.archive)
-    builder.add_array("pw.signs", np.packbits(neg_mask))
-    builder.add_array("pw.zeros", zero_idx)
-    builder.add_bytes(
-        "pw.meta",
-        np.array([rel_bound, float(data.ndim)], dtype=np.float64).tobytes()
-        + np.array([1 if data.dtype == np.float64 else 0], dtype=np.uint8).tobytes(),
-    )
-    blob = builder.to_bytes()
+            with tel.span("pwrel_container") as sp:
+                builder = ArchiveBuilder()
+                builder.add_bytes("pw.inner", inner.archive)
+                builder.add_array("pw.signs", np.packbits(neg_mask))
+                builder.add_array("pw.zeros", zero_idx)
+                builder.add_bytes(
+                    "pw.meta",
+                    np.array([rel_bound, float(data.ndim)], dtype=np.float64).tobytes()
+                    + np.array([1 if data.dtype == np.float64 else 0], dtype=np.uint8).tobytes(),
+                )
+                blob = builder.to_bytes()
+                sp.set(bytes_out=len(blob))
+            root.set(bytes_out=len(blob))
+
+    # Copy the inner stats (not a shared reference) and overlay this
+    # container's own span-derived stages (pwrel_transform_seconds, ...).
+    stage_stats = dict(inner.stage_stats)
+    stage_stats.update(ins.stage_stats_from_span(root))
     return CompressionResult(
         archive=blob,
         workflow=inner.workflow,
@@ -86,7 +107,7 @@ def compress_pwrel(
         original_bytes=int(data.nbytes),
         section_sizes=builder.section_sizes(),
         diagnostics=inner.diagnostics,
-        stage_stats=inner.stage_stats,
+        stage_stats=stage_stats,
         n_outliers=inner.n_outliers,
         predictor=inner.predictor,
     )
@@ -102,22 +123,45 @@ def is_pwrel_archive(blob: bytes) -> bool:
 
 def decompress_pwrel(blob: bytes) -> np.ndarray:
     """Invert :func:`compress_pwrel`."""
-    from .compressor import decompress
+    return decompress_pwrel_with_stats(blob).data
 
-    reader = ArchiveReader(blob)
-    raw_meta = reader.get_bytes("pw.meta")
-    if len(raw_meta) != 17:
-        raise ArchiveError("pwrel metadata malformed")
-    _rel_bound, _ndim = np.frombuffer(raw_meta[:16], dtype=np.float64)
-    is_f64 = raw_meta[16] == 1
-    out_dtype = np.float64 if is_f64 else np.float32
 
-    logs = decompress(reader.get_bytes("pw.inner"))
-    mags = np.exp(logs.astype(np.float64)).reshape(-1)
-    signs_packed = reader.get_array("pw.signs")
-    neg_mask = np.unpackbits(signs_packed, count=mags.size).astype(bool)
-    mags[neg_mask] *= -1.0
-    zero_idx = reader.get_array("pw.zeros")
-    if zero_idx.size:
-        mags[zero_idx.astype(np.int64)] = 0.0
-    return mags.reshape(logs.shape).astype(out_dtype)
+def decompress_pwrel_with_stats(blob: bytes) -> DecompressionResult:
+    """Invert :func:`compress_pwrel`, returning per-stage reporting too."""
+    from .compressor import decompress_with_stats
+
+    with tel.span("decompress_pwrel", bytes_in=len(blob)) as root:
+        with tel.span("archive_read", bytes_in=len(blob)):
+            reader = ArchiveReader(blob)
+            raw_meta = reader.get_bytes("pw.meta")
+            if len(raw_meta) != 17:
+                raise ArchiveError("pwrel metadata malformed")
+            rel_bound, _ndim = np.frombuffer(raw_meta[:16], dtype=np.float64)
+            is_f64 = raw_meta[16] == 1
+            out_dtype = np.float64 if is_f64 else np.float32
+
+        inner = decompress_with_stats(reader.get_bytes("pw.inner"))
+        logs = inner.data
+        with tel.span("pwrel_inverse") as sp:
+            mags = np.exp(logs.astype(np.float64)).reshape(-1)
+            signs_packed = reader.get_array("pw.signs")
+            neg_mask = np.unpackbits(signs_packed, count=mags.size).astype(bool)
+            mags[neg_mask] *= -1.0
+            zero_idx = reader.get_array("pw.zeros")
+            if zero_idx.size:
+                mags[zero_idx.astype(np.int64)] = 0.0
+            out = mags.reshape(logs.shape).astype(out_dtype)
+            sp.set(bytes_out=int(out.nbytes))
+        root.set(bytes_out=int(out.nbytes))
+
+    stage_stats = dict(inner.stage_stats)
+    stage_stats.update(ins.stage_stats_from_span(root))
+    return DecompressionResult(
+        data=out,
+        workflow=inner.workflow,
+        predictor=inner.predictor,
+        eb_abs=float(rel_bound),
+        n_outliers=inner.n_outliers,
+        section_sizes=reader.section_sizes(),
+        stage_stats=stage_stats,
+    )

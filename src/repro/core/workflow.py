@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..encoding.histogram import histogram
 from ..encoding.huffman import CanonicalCodebook, build_codebook
 from ..encoding.huffman_codec import HuffmanEncoded, decode as huff_decode, encode as huff_encode
@@ -37,9 +38,13 @@ def _huffman_encode_stream(
     symbols: np.ndarray, alphabet_size: int, chunk_size: int
 ) -> tuple[CanonicalCodebook, HuffmanEncoded, float]:
     """Histogram -> codebook -> chunked encode; returns (book, stream, ⟨b⟩)."""
-    freqs = histogram(symbols, alphabet_size)
-    book = build_codebook(freqs)
-    encoded = huff_encode(symbols, book, chunk_size)
+    with tel.span("huffman.histogram", bytes_in=int(symbols.nbytes)):
+        freqs = histogram(symbols, alphabet_size)
+    with tel.span("huffman.codebook"):
+        book = build_codebook(freqs)
+    with tel.span("huffman.encode", bytes_in=int(symbols.nbytes)) as sp:
+        encoded = huff_encode(symbols, book, chunk_size)
+        sp.set(bytes_out=int(encoded.payload_bytes))
     return book, encoded, book.average_bit_length(freqs)
 
 
@@ -84,7 +89,9 @@ def emit_huffman_sections(
         "metadata_bytes": float(encoded.metadata_bytes),
     }
     if lz_stage:
-        packed = lz_compress(encoded.payload.tobytes())
+        with tel.span("huffman.lz", bytes_in=int(encoded.payload_bytes)) as sp:
+            packed = lz_compress(encoded.payload.tobytes())
+            sp.set(bytes_out=len(packed))
         if len(packed) < encoded.payload_bytes:
             builder.add_bytes(f"{prefix}.cb", book.serialized())
             builder.add_bytes(f"{prefix}.lz", packed)
@@ -113,7 +120,11 @@ def read_huffman_sections(
     if reader.has(f"{prefix}.lz"):
         from ..encoding.lz77 import lz_decompress
 
-        payload = np.frombuffer(lz_decompress(reader.get_bytes(f"{prefix}.lz")), dtype=np.uint8)
+        with tel.span("huffman.lz_decode") as sp:
+            payload = np.frombuffer(
+                lz_decompress(reader.get_bytes(f"{prefix}.lz")), dtype=np.uint8
+            )
+            sp.set(bytes_out=int(payload.nbytes))
     else:
         payload = reader.get_array(f"{prefix}.bits")
     chunk_bits = reader.get_array(f"{prefix}.cbits")
@@ -123,7 +134,10 @@ def read_huffman_sections(
         n_symbols=n_symbols,
         chunk_size=chunk_size,
     )
-    return huff_decode(encoded, book, out_dtype=out_dtype)
+    with tel.span("huffman.decode", bytes_in=int(payload.nbytes)) as sp:
+        out = huff_decode(encoded, book, out_dtype=out_dtype)
+        sp.set(bytes_out=int(out.nbytes))
+    return out
 
 
 def emit_rle_sections(
@@ -137,7 +151,9 @@ def emit_rle_sections(
     Sections: ``r.len`` (raw run lengths), and either ``r.val`` (raw run
     values) or the ``rv.*`` Huffman group over run values.
     """
-    rle = rle_encode(quant.reshape(-1), length_dtype=np.dtype(config.rle_length_dtype))
+    with tel.span("rle.encode", bytes_in=int(quant.nbytes)) as sp:
+        rle = rle_encode(quant.reshape(-1), length_dtype=np.dtype(config.rle_length_dtype))
+        sp.set(bytes_out=int(rle.values.nbytes + rle.lengths.nbytes), n_runs=rle.n_runs)
     stats: dict[str, float] = {
         "n_runs": float(rle.n_runs),
         "mean_run_length": rle.mean_run_length,
@@ -146,9 +162,10 @@ def emit_rle_sections(
         # VLE over run values (dense 1024-symbol codebook).  The codebook is
         # a fixed cost; for short run streams it can exceed the raw values
         # outright, so VLE only replaces raw when it actually shrinks.
-        book, encoded, avg_bitlen = _huffman_encode_stream(
-            rle.values, config.dict_size, config.huffman_chunk
-        )
+        with tel.span("rle.vle_values", bytes_in=int(rle.values.nbytes)):
+            book, encoded, avg_bitlen = _huffman_encode_stream(
+                rle.values, config.dict_size, config.huffman_chunk
+            )
         if _huffman_group_bytes(book.serialized(), encoded) < rle.values.nbytes:
             _add_huffman_group(builder, "rv", book, encoded)
             stats["vle_avg_bitlen"] = avg_bitlen
@@ -161,9 +178,10 @@ def emit_rle_sections(
         # are heavily skewed, so this typically roughly halves the metadata,
         # which is where Table IV's >2x RLE+VLE gains come from.
         length_alphabet = int(np.iinfo(rle.lengths.dtype).max) + 1
-        lbook, lencoded, lavg = _huffman_encode_stream(
-            rle.lengths.astype(np.uint32), length_alphabet, config.huffman_chunk
-        )
+        with tel.span("rle.vle_lengths", bytes_in=int(rle.lengths.nbytes)):
+            lbook, lencoded, lavg = _huffman_encode_stream(
+                rle.lengths.astype(np.uint32), length_alphabet, config.huffman_chunk
+            )
         if _huffman_group_bytes(lbook.serialized_sparse(), lencoded) < rle.lengths.nbytes:
             _add_huffman_group(builder, "rl", lbook, lencoded, sparse_codebook=True)
             stats["vle_len_avg_bitlen"] = lavg
@@ -201,4 +219,7 @@ def read_rle_sections(
             reader, n_runs, config.huffman_chunk, prefix="rv", out_dtype=quant_dtype
         )
     rle = RunLengthEncoded(values=values, lengths=lengths, n_symbols=n_symbols)
-    return rle_decode(rle, out_dtype=quant_dtype)
+    with tel.span("rle.decode", bytes_in=int(values.nbytes + lengths.nbytes)) as sp:
+        out = rle_decode(rle, out_dtype=quant_dtype)
+        sp.set(bytes_out=int(out.nbytes))
+    return out

@@ -19,8 +19,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..core.config import CompressorConfig
 from ..core.dual_quant import Quantized
+from ..telemetry import instruments as ins
 from .costmodel import CostModel
 from .device import DeviceSpec
 
@@ -115,6 +117,15 @@ def _time(model: CostModel, report: PipelineReport, profile) -> None:
         StageTiming(name=profile.name, seconds=timing.seconds, gbps=timing.gbps,
                     bound=timing.bound)
     )
+    if tel.enabled():
+        # Attach the cost-model verdict to the enclosing kernel span and
+        # histogram the *simulated* device time (wall time measures only the
+        # host-side emulation).
+        sp = tel.current_span()
+        if sp is not None:
+            sp.set(simulated_seconds=timing.seconds, simulated_gbps=round(timing.gbps, 3),
+                   bound=timing.bound)
+        ins.KERNEL_SIM_SECONDS.observe(timing.seconds, kernel=profile.name)
 
 
 def run_compression(
@@ -143,37 +154,48 @@ def run_compression(
         payload_bytes=n_sim * data.dtype.itemsize,
     )
 
-    bundle, eb_abs, prof = k["lorenzo_construct_kernel"](data, config, impl=impl, n_sim=n_sim)
-    _time(model, report, prof)
-
-    _, prof = k["gather_outlier_kernel"](bundle, n_sim=n_sim)
-    _time(model, report, prof)
-
-    art = CompressionArtifacts(
-        bundle=bundle, eb_abs=eb_abs, workflow=workflow, data_dtype=data.dtype
-    )
-    if workflow == "huffman":
-        freqs, prof = k["histogram_kernel"](bundle.quant, config.dict_size, n_sim=n_sim)
-        _time(model, report, prof)
-        book, encoded, prof = k["huffman_encode_kernel"](
-            bundle.quant, config, impl=impl, n_sim=n_sim
-        )
-        _time(model, report, prof)
-        art.book, art.encoded = book, encoded
-    else:
-        rle, prof = k["rle_kernel"](bundle.quant, config, n_sim=n_sim)
-        _time(model, report, prof)
-        art.rle = rle
-        if workflow == "rle+vle":
-            # VLE over run values: a much smaller stream (n_runs symbols).
-            runs_sim = max(int(rle.n_runs * (n_sim / data.size)), 1)
-            _, prof = k["histogram_kernel"](rle.values, config.dict_size, n_sim=runs_sim)
-            _time(model, report, prof)
-            book, encoded, prof = k["huffman_encode_kernel"](
-                rle.values, config, impl=impl, n_sim=runs_sim
+    with tel.span("gpu.run_compression", bytes_in=int(data.nbytes),
+                  device=device.name, impl=impl, workflow=workflow):
+        with tel.span("kernel.lorenzo_construct"):
+            bundle, eb_abs, prof = k["lorenzo_construct_kernel"](
+                data, config, impl=impl, n_sim=n_sim
             )
             _time(model, report, prof)
+
+        with tel.span("kernel.gather_outlier"):
+            _, prof = k["gather_outlier_kernel"](bundle, n_sim=n_sim)
+            _time(model, report, prof)
+
+        art = CompressionArtifacts(
+            bundle=bundle, eb_abs=eb_abs, workflow=workflow, data_dtype=data.dtype
+        )
+        if workflow == "huffman":
+            with tel.span("kernel.histogram"):
+                freqs, prof = k["histogram_kernel"](bundle.quant, config.dict_size, n_sim=n_sim)
+                _time(model, report, prof)
+            with tel.span("kernel.huffman_encode"):
+                book, encoded, prof = k["huffman_encode_kernel"](
+                    bundle.quant, config, impl=impl, n_sim=n_sim
+                )
+                _time(model, report, prof)
             art.book, art.encoded = book, encoded
+        else:
+            with tel.span("kernel.rle"):
+                rle, prof = k["rle_kernel"](bundle.quant, config, n_sim=n_sim)
+                _time(model, report, prof)
+            art.rle = rle
+            if workflow == "rle+vle":
+                # VLE over run values: a much smaller stream (n_runs symbols).
+                runs_sim = max(int(rle.n_runs * (n_sim / data.size)), 1)
+                with tel.span("kernel.histogram"):
+                    _, prof = k["histogram_kernel"](rle.values, config.dict_size, n_sim=runs_sim)
+                    _time(model, report, prof)
+                with tel.span("kernel.huffman_encode"):
+                    book, encoded, prof = k["huffman_encode_kernel"](
+                        rle.values, config, impl=impl, n_sim=runs_sim
+                    )
+                    _time(model, report, prof)
+                art.book, art.encoded = book, encoded
     return art, report
 
 
@@ -202,39 +224,49 @@ def run_decompression(
         payload_bytes=n_sim * art.data_dtype.itemsize,
     )
 
-    if art.workflow == "huffman":
-        quant, prof = k["huffman_decode_kernel"](
-            art.encoded, art.book, out_dtype=bundle.quant.dtype, n_sim=n_sim
-        )
-        _time(model, report, prof)
-    else:
-        if art.workflow == "rle+vle":
-            runs_sim = max(int(art.rle.n_runs * (n_sim / n)), 1)
-            values, prof = k["huffman_decode_kernel"](
-                art.encoded, art.book, out_dtype=bundle.quant.dtype, n_sim=runs_sim
+    with tel.span("gpu.run_decompression", device=device.name, impl=impl,
+                  workflow=art.workflow):
+        if art.workflow == "huffman":
+            with tel.span("kernel.huffman_decode"):
+                quant, prof = k["huffman_decode_kernel"](
+                    art.encoded, art.book, out_dtype=bundle.quant.dtype, n_sim=n_sim
+                )
+                _time(model, report, prof)
+        else:
+            if art.workflow == "rle+vle":
+                runs_sim = max(int(art.rle.n_runs * (n_sim / n)), 1)
+                with tel.span("kernel.huffman_decode"):
+                    values, prof = k["huffman_decode_kernel"](
+                        art.encoded, art.book, out_dtype=bundle.quant.dtype, n_sim=runs_sim
+                    )
+                    _time(model, report, prof)
+                art.rle.values = values
+            with tel.span("kernel.rle_decode"):
+                quant, prof = k["rle_decode_kernel"](
+                    art.rle, out_dtype=bundle.quant.dtype, n_sim=n_sim
+                )
+                _time(model, report, prof)
+
+        with tel.span("kernel.scatter_outlier"):
+            fused, prof = k["scatter_outlier_kernel"](
+                quant, bundle.outlier_indices, bundle.outlier_values, bundle.radius,
+                n_sim=n_sim,
             )
             _time(model, report, prof)
-            art.rle.values = values
-        quant, prof = k["rle_decode_kernel"](art.rle, out_dtype=bundle.quant.dtype, n_sim=n_sim)
-        _time(model, report, prof)
 
-    fused, prof = k["scatter_outlier_kernel"](
-        quant, bundle.outlier_indices, bundle.outlier_values, bundle.radius, n_sim=n_sim
-    )
-    _time(model, report, prof)
-
-    fused_bundle = Quantized(
-        quant=quant.reshape(bundle.shape),
-        outlier_indices=bundle.outlier_indices,
-        outlier_values=bundle.outlier_values,
-        shape=bundle.shape,
-        chunks=bundle.chunks,
-        radius=bundle.radius,
-        eb_twice=bundle.eb_twice,
-    )
-    out, prof = k["lorenzo_reconstruct_kernel"](
-        fused_bundle, variant=reconstruct_variant,
-        out_dtype=art.data_dtype, n_sim=n_sim,
-    )
-    _time(model, report, prof)
+        fused_bundle = Quantized(
+            quant=quant.reshape(bundle.shape),
+            outlier_indices=bundle.outlier_indices,
+            outlier_values=bundle.outlier_values,
+            shape=bundle.shape,
+            chunks=bundle.chunks,
+            radius=bundle.radius,
+            eb_twice=bundle.eb_twice,
+        )
+        with tel.span("kernel.lorenzo_reconstruct"):
+            out, prof = k["lorenzo_reconstruct_kernel"](
+                fused_bundle, variant=reconstruct_variant,
+                out_dtype=art.data_dtype, n_sim=n_sim,
+            )
+            _time(model, report, prof)
     return out, report

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..core.archive import ArchiveBuilder, ArchiveReader
 from ..core.compressor import compress, decompress
 from ..core.config import CompressorConfig
@@ -64,37 +65,49 @@ def write_checkpoint(
     local_slab = np.asarray(local_slab)
     if local_slab.size == 0:
         raise ConfigError("rank slab must be non-empty")
-    # Global bound resolution (one allreduce, like a real code would do).
-    # nanmin/nanmax so NaN-masked slabs resolve on their finite range.
-    if config.eb_mode == "rel":
-        lo = comm.allreduce(float(np.nanmin(local_slab)), op=min)
-        hi = comm.allreduce(float(np.nanmax(local_slab)), op=max)
-        eb_abs = config.absolute_bound(hi - lo)
-        config = config.with_(eb=eb_abs, eb_mode="abs")
-    result = compress(local_slab, config)
-    gathered = comm.gather(result.archive, root=0)
-    rows = comm.gather(int(local_slab.shape[0]), root=0)
-    if comm.rank != 0:
-        return None
-    total_rows = sum(rows)
-    if global_rows is not None and total_rows != global_rows:
-        raise ConfigError(f"slabs cover {total_rows} rows, expected {global_rows}")
-    shape = (total_rows, *local_slab.shape[1:])
-    builder = ArchiveBuilder()
-    for k, blob in enumerate(gathered):
-        builder.add_bytes(f"r{k}", blob)
-    builder.add_bytes("cmeta", _pack_cmeta(shape, comm.size))
-    return builder.to_bytes()
+    # Each rank runs on its own thread with a fresh trace context, so this
+    # span roots that rank's compress tree (distinguished by tid in exports).
+    with tel.span("checkpoint.write", bytes_in=int(local_slab.nbytes),
+                  rank=comm.rank, size=comm.size) as root:
+        # Global bound resolution (one allreduce, like a real code would do).
+        # nanmin/nanmax so NaN-masked slabs resolve on their finite range.
+        if config.eb_mode == "rel":
+            with tel.span("checkpoint.bound_allreduce"):
+                lo = comm.allreduce(float(np.nanmin(local_slab)), op=min)
+                hi = comm.allreduce(float(np.nanmax(local_slab)), op=max)
+                eb_abs = config.absolute_bound(hi - lo)
+                config = config.with_(eb=eb_abs, eb_mode="abs")
+        result = compress(local_slab, config)
+        with tel.span("checkpoint.gather"):
+            gathered = comm.gather(result.archive, root=0)
+            rows = comm.gather(int(local_slab.shape[0]), root=0)
+        if comm.rank != 0:
+            return None
+        total_rows = sum(rows)
+        if global_rows is not None and total_rows != global_rows:
+            raise ConfigError(f"slabs cover {total_rows} rows, expected {global_rows}")
+        shape = (total_rows, *local_slab.shape[1:])
+        with tel.span("checkpoint.assemble") as sp:
+            builder = ArchiveBuilder()
+            for k, blob in enumerate(gathered):
+                builder.add_bytes(f"r{k}", blob)
+            builder.add_bytes("cmeta", _pack_cmeta(shape, comm.size))
+            container = builder.to_bytes()
+            sp.set(bytes_out=len(container))
+        root.set(bytes_out=len(container))
+    return container
 
 
 def read_checkpoint(blob: bytes) -> np.ndarray:
     """Restore the full global field from a checkpoint container."""
-    reader = ArchiveReader(blob)
-    meta = _unpack_cmeta(reader.get_bytes("cmeta"))
-    slabs = [decompress(reader.get_bytes(f"r{k}")) for k in range(meta.n_ranks)]
-    out = np.concatenate(slabs, axis=0)
-    if out.shape != meta.shape:
-        raise ArchiveError(f"slabs reassemble to {out.shape}, metadata says {meta.shape}")
+    with tel.span("checkpoint.read", bytes_in=len(blob)) as root:
+        reader = ArchiveReader(blob)
+        meta = _unpack_cmeta(reader.get_bytes("cmeta"))
+        slabs = [decompress(reader.get_bytes(f"r{k}")) for k in range(meta.n_ranks)]
+        out = np.concatenate(slabs, axis=0)
+        if out.shape != meta.shape:
+            raise ArchiveError(f"slabs reassemble to {out.shape}, metadata says {meta.shape}")
+        root.set(bytes_out=int(out.nbytes), n_ranks=meta.n_ranks)
     return out
 
 

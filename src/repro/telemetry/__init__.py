@@ -1,0 +1,74 @@
+"""Unified telemetry: structured tracing, metrics, and trace export.
+
+One instrumentation layer every pipeline stage reports through:
+
+>>> from repro import telemetry as tel
+>>> with tel.trace("demo") as tr:
+...     result = repro.compress(field, eb=1e-3)
+>>> print(tr.tree())                      # human-readable span tree
+>>> tel.write_chrome_trace("t.json", tr)  # open in Perfetto
+>>> print(tel.render_prometheus())        # counters/gauges/histograms
+
+Tracing (:mod:`.context`) provides nested :class:`Span` context managers
+with byte counters and contextvar propagation (parallel workers nest
+correctly).  Metrics (:mod:`.metrics`) is a process-global registry with
+Prometheus-text and JSON exposition.  Export (:mod:`.export`) renders
+traces as Chrome trace-event JSON or indented text.  The whole layer
+switches off via ``REPRO_TELEMETRY=0`` (or :func:`set_enabled`), leaving
+only no-op spans behind; see ``docs/observability.md``.
+"""
+
+from .context import (
+    Span,
+    Trace,
+    current_span,
+    enabled,
+    scope,
+    set_enabled,
+    span,
+    trace,
+)
+from .export import render_tree, to_chrome_trace, write_chrome_trace
+from .metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    render_json,
+    render_prometheus,
+    reset_metrics,
+)
+
+__all__ = [
+    # tracing
+    "Span",
+    "Trace",
+    "span",
+    "trace",
+    "current_span",
+    "enabled",
+    "set_enabled",
+    "scope",
+    # export
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_tree",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+    "render_prometheus",
+    "render_json",
+    "reset_metrics",
+]

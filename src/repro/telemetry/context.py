@@ -1,0 +1,262 @@
+"""Structured tracing: nested spans, trace capture, and the enable switch.
+
+A :class:`Span` measures one pipeline stage: wall time (``perf_counter``
+pair), optional byte counters (``bytes_in``/``bytes_out`` -> derived
+throughput), and free-form attributes.  Spans nest through a
+``contextvars.ContextVar`` holding the current open span, so concurrent
+:mod:`repro.parallel` ranks (one thread per rank -- a fresh context each)
+build independent, correctly-nested trees that still land in one process
+trace, distinguishable by thread id.
+
+Telemetry is controlled by three layers, most specific wins:
+
+1. a per-call scope (:func:`scope`, used by ``CompressorConfig.telemetry``);
+2. a process-global override (:func:`set_enabled`);
+3. the ``REPRO_TELEMETRY`` environment variable (``0``/``false``/``off``
+   disables; anything else, including unset, enables).
+
+When disabled, :func:`span` returns a shared no-op singleton: one function
+call plus the switch lookup, no allocation, no timing -- the <2% overhead
+path the benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = [
+    "Span",
+    "Trace",
+    "span",
+    "trace",
+    "current_span",
+    "enabled",
+    "set_enabled",
+    "scope",
+]
+
+_FALSY = {"0", "false", "off", "no"}
+
+#: Process-global override; ``None`` defers to the environment variable.
+_GLOBAL_OVERRIDE: bool | None = None
+
+#: Per-context (thread / task / call-scope) override; ``None`` defers down.
+_SCOPE_OVERRIDE: ContextVar[bool | None] = ContextVar("repro_tel_scope", default=None)
+
+#: The innermost open span in this context (None at top level).
+_CURRENT: ContextVar["Span | None"] = ContextVar("repro_tel_span", default=None)
+
+#: Common monotonic origin so Chrome-trace timestamps from all threads align.
+_ORIGIN = time.perf_counter()
+
+#: Active trace collectors (usually zero or one); guarded by ``_TRACE_LOCK``
+#: because root spans may complete on any thread.
+_ACTIVE_TRACES: list["Trace"] = []
+_TRACE_LOCK = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently on (scope > global > environment)."""
+    ov = _SCOPE_OVERRIDE.get()
+    if ov is not None:
+        return ov
+    if _GLOBAL_OVERRIDE is not None:
+        return _GLOBAL_OVERRIDE
+    return os.environ.get("REPRO_TELEMETRY", "1").strip().lower() not in _FALSY
+
+
+def set_enabled(value: bool | None) -> None:
+    """Set (or with ``None`` clear) the process-global override."""
+    global _GLOBAL_OVERRIDE
+    _GLOBAL_OVERRIDE = None if value is None else bool(value)
+
+
+@contextmanager
+def scope(value: bool | None):
+    """Force telemetry on/off inside the block; ``None`` is a no-op."""
+    if value is None:
+        yield
+        return
+    token = _SCOPE_OVERRIDE.set(bool(value))
+    try:
+        yield
+    finally:
+        _SCOPE_OVERRIDE.reset(token)
+
+
+class _NullSpan:
+    """Shared do-nothing span used whenever telemetry is disabled."""
+
+    __slots__ = ()
+
+    name = ""
+    bytes_in = 0
+    bytes_out = 0
+    duration = 0.0
+    children: tuple = ()
+    attrs: dict = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **kwargs) -> "_NullSpan":
+        return self
+
+    def __bool__(self) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed stage; use as a context manager (see :func:`span`)."""
+
+    __slots__ = (
+        "name", "bytes_in", "bytes_out", "attrs", "children",
+        "t_start", "t_end", "tid", "_token",
+    )
+
+    def __init__(self, name: str, bytes_in: int = 0, bytes_out: int = 0, **attrs) -> None:
+        self.name = name
+        self.bytes_in = int(bytes_in)
+        self.bytes_out = int(bytes_out)
+        self.attrs: dict = dict(attrs)
+        self.children: list[Span] = []
+        self.t_start = 0.0
+        self.t_end = 0.0
+        self.tid = 0
+        self._token = None
+
+    def set(self, bytes_in: int | None = None, bytes_out: int | None = None, **attrs) -> "Span":
+        """Update byte counters / attach attributes mid-span."""
+        if bytes_in is not None:
+            self.bytes_in = int(bytes_in)
+        if bytes_out is not None:
+            self.bytes_out = int(bytes_out)
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.tid = threading.get_ident()
+        self._token = _CURRENT.set(self)
+        self.t_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.t_end = time.perf_counter()
+        _CURRENT.reset(self._token)
+        self._token = None
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        parent = _CURRENT.get()
+        if parent is not None:
+            parent.children.append(self)
+        elif _ACTIVE_TRACES:
+            with _TRACE_LOCK:
+                for tr in _ACTIVE_TRACES:
+                    tr.roots.append(self)
+        return False
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds (0.0 while the span is still open)."""
+        return max(self.t_end - self.t_start, 0.0) if self.t_end else 0.0
+
+    @property
+    def start_us(self) -> float:
+        """Microseconds since the process trace origin (Chrome ``ts``)."""
+        return (self.t_start - _ORIGIN) * 1e6
+
+    @property
+    def throughput_gbps(self) -> float:
+        """max(bytes_in, bytes_out) / duration, in GB/s (0.0 if unknown)."""
+        d = self.duration
+        b = max(self.bytes_in, self.bytes_out)
+        return b / d / 1e9 if d > 0 and b else 0.0
+
+    def walk(self):
+        """Yield this span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given name, depth-first."""
+        for s in self.walk():
+            if s.name == name:
+                return s
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f} ms, {len(self.children)} children)"
+
+
+def span(name: str, bytes_in: int = 0, bytes_out: int = 0, **attrs):
+    """Open a span (or the no-op singleton when telemetry is disabled)."""
+    if not enabled():
+        return _NULL_SPAN
+    return Span(name, bytes_in=bytes_in, bytes_out=bytes_out, **attrs)
+
+
+def current_span():
+    """The innermost open span in this context, or None."""
+    return _CURRENT.get()
+
+
+class Trace:
+    """A collection of completed root spans, ready for export."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self.roots: list[Span] = []
+
+    def spans(self):
+        """All spans in the trace, depth-first."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def span_names(self) -> set[str]:
+        return {s.name for s in self.spans()}
+
+    def to_chrome(self) -> dict:
+        """Chrome trace-event JSON object (see :mod:`repro.telemetry.export`)."""
+        from .export import to_chrome_trace
+
+        return to_chrome_trace(self)
+
+    def tree(self) -> str:
+        """Human-readable indented rendering of the trace."""
+        from .export import render_tree
+
+        return render_tree(self)
+
+
+@contextmanager
+def trace(name: str = "trace"):
+    """Collect every root span completed inside the block into a Trace.
+
+    Collection is process-wide: root spans finishing on *other* threads
+    (e.g. :func:`repro.parallel.run_spmd` ranks) are captured too, each
+    carrying its own thread id for per-thread trace rows.
+    """
+    tr = Trace(name)
+    with _TRACE_LOCK:
+        _ACTIVE_TRACES.append(tr)
+    try:
+        yield tr
+    finally:
+        with _TRACE_LOCK:
+            _ACTIVE_TRACES.remove(tr)

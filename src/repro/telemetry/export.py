@@ -1,0 +1,103 @@
+"""Trace export: Chrome trace-event JSON (Perfetto-loadable) and text trees.
+
+The Chrome format is the trace-event "JSON object format": a top-level
+object with a ``traceEvents`` array of complete (``"ph": "X"``) events,
+each carrying microsecond ``ts``/``dur`` against a shared process origin,
+``pid``/``tid`` for row grouping, and an ``args`` payload with the byte
+counters and derived throughput.  Load the file at https://ui.perfetto.dev
+(or ``chrome://tracing``) to see the pipeline as a flame chart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .context import Span, Trace
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "render_tree"]
+
+
+def _span_event(span: Span, pid: int) -> dict:
+    args: dict = {}
+    if span.bytes_in:
+        args["bytes_in"] = span.bytes_in
+    if span.bytes_out:
+        args["bytes_out"] = span.bytes_out
+    gbps = span.throughput_gbps
+    if gbps:
+        args["throughput_gbps"] = round(gbps, 4)
+    for k, v in span.attrs.items():
+        args[k] = v if isinstance(v, (int, float, str, bool)) else repr(v)
+    return {
+        "name": span.name,
+        "cat": "repro",
+        "ph": "X",
+        "pid": pid,
+        "tid": span.tid,
+        "ts": round(span.start_us, 3),
+        "dur": round(span.duration * 1e6, 3),
+        "args": args,
+    }
+
+
+def to_chrome_trace(trace: Trace | Span) -> dict:
+    """Build the Chrome trace-event JSON object for a trace (or one span)."""
+    spans = trace.spans() if isinstance(trace, Trace) else trace.walk()
+    pid = os.getpid()
+    events = [_span_event(s, pid) for s in spans]
+    name = trace.name if isinstance(trace, Trace) else trace.name
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.telemetry", "trace": name},
+    }
+
+
+def write_chrome_trace(path: str | Path, trace: Trace | Span) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(trace), indent=1) + "\n")
+    return path
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 30:
+        return f"{n / (1 << 30):.2f} GiB"
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.2f} MiB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f} KiB"
+    return f"{n} B"
+
+
+def _tree_lines(span: Span, prefix: str, is_last: bool, top: bool) -> list[str]:
+    connector = "" if top else ("`- " if is_last else "|- ")
+    label = f"{prefix}{connector}{span.name}"
+    cols = [f"{span.duration * 1e3:10.3f} ms"]
+    if span.bytes_in or span.bytes_out:
+        cols.append(f"in {_fmt_bytes(span.bytes_in)} / out {_fmt_bytes(span.bytes_out)}")
+    gbps = span.throughput_gbps
+    if gbps:
+        cols.append(f"{gbps:.2f} GB/s")
+    if span.attrs:
+        cols.append(" ".join(f"{k}={v}" for k, v in sorted(span.attrs.items())))
+    lines = [f"{label:<44} {'  '.join(cols)}"]
+    child_prefix = prefix if top else prefix + ("   " if is_last else "|  ")
+    for i, child in enumerate(span.children):
+        lines.extend(
+            _tree_lines(child, child_prefix, i == len(span.children) - 1, top=False)
+        )
+    return lines
+
+
+def render_tree(trace: Trace | Span) -> str:
+    """Indented human-readable rendering of a trace's span forest."""
+    roots = trace.roots if isinstance(trace, Trace) else [trace]
+    if not roots:
+        return "(empty trace)"
+    lines: list[str] = []
+    for root in roots:
+        lines.extend(_tree_lines(root, "", is_last=True, top=True))
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Predefined pipeline metrics and the stage-stats derivation helpers.
+
+Metric names follow Prometheus conventions (``repro_`` namespace, ``_total``
+suffix on counters, base-unit ``_seconds``/``_bytes``):
+
+* ``repro_compress_calls_total`` / ``repro_decompress_calls_total``
+* ``repro_compress_input_bytes_total`` -- raw bytes fed to :func:`repro.compress`
+* ``repro_archive_bytes_total``       -- archive bytes produced
+* ``repro_selector_decisions_total{workflow=...}``
+* ``repro_outliers_total``
+* ``repro_stage_seconds{op=...,stage=...}`` -- per-stage latency histogram
+* ``repro_kernel_simulated_seconds{kernel=...}`` -- GPU-model kernel times
+* ``repro_last_compression_ratio`` (gauge)
+* ``repro_experiment_seconds{experiment=...}`` (gauge, bench harness)
+"""
+
+from __future__ import annotations
+
+from .context import Span, enabled
+from .metrics import REGISTRY
+
+__all__ = [
+    "COMPRESS_CALLS",
+    "DECOMPRESS_CALLS",
+    "INPUT_BYTES",
+    "ARCHIVE_BYTES",
+    "SELECTOR_DECISIONS",
+    "OUTLIERS",
+    "STAGE_SECONDS",
+    "KERNEL_SIM_SECONDS",
+    "LAST_RATIO",
+    "EXPERIMENT_SECONDS",
+    "stage_stats_from_span",
+    "record_stage_metrics",
+]
+
+COMPRESS_CALLS = REGISTRY.counter(
+    "repro_compress_calls_total", "Completed repro.compress calls")
+DECOMPRESS_CALLS = REGISTRY.counter(
+    "repro_decompress_calls_total", "Completed repro.decompress calls")
+INPUT_BYTES = REGISTRY.counter(
+    "repro_compress_input_bytes_total", "Raw bytes fed to the compressor")
+ARCHIVE_BYTES = REGISTRY.counter(
+    "repro_archive_bytes_total", "Archive bytes produced by the compressor")
+SELECTOR_DECISIONS = REGISTRY.counter(
+    "repro_selector_decisions_total", "Adaptive-workflow decisions by outcome")
+OUTLIERS = REGISTRY.counter(
+    "repro_outliers_total", "Out-of-dictionary-range compensation deltas stored")
+STAGE_SECONDS = REGISTRY.histogram(
+    "repro_stage_seconds", "Wall seconds per pipeline stage")
+KERNEL_SIM_SECONDS = REGISTRY.histogram(
+    "repro_kernel_simulated_seconds",
+    "Cost-model (simulated device) seconds per GPU kernel",
+    buckets=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0),
+)
+LAST_RATIO = REGISTRY.gauge(
+    "repro_last_compression_ratio", "Compression ratio of the last compress call")
+EXPERIMENT_SECONDS = REGISTRY.gauge(
+    "repro_experiment_seconds", "Wall seconds of the last run per bench experiment")
+
+
+def stage_stats_from_span(root: Span | None) -> dict[str, float]:
+    """Flatten a closed pipeline root span into ``stage_stats`` timing keys.
+
+    Each direct child becomes ``<name>_seconds``; the root itself becomes
+    ``total_seconds``.  Returns ``{}`` for no-op spans (telemetry disabled),
+    keeping the result dict free of bogus zeros.
+    """
+    if not isinstance(root, Span):
+        return {}
+    stats = {f"{child.name}_seconds": child.duration for child in root.children}
+    stats["total_seconds"] = root.duration
+    return stats
+
+
+def record_stage_metrics(root: Span | None, op: str) -> None:
+    """Feed a closed root span's stage timings into ``repro_stage_seconds``."""
+    if not isinstance(root, Span) or not enabled():
+        return
+    for child in root.children:
+        STAGE_SECONDS.observe(child.duration, op=op, stage=child.name)
+    STAGE_SECONDS.observe(root.duration, op=op, stage="total")

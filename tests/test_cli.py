@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -54,6 +56,92 @@ class TestCompressDecompress:
         rc = main(["compress", str(tmp_path / "missing.f32"),
                    "-o", str(tmp_path / "x.rpsz"), "--dims", "4"])
         assert rc == 2
+
+
+class TestTelemetryFlags:
+    def _compress(self, field_file, tmp_path, *extra):
+        path, _ = field_file
+        archive = tmp_path / "f.rpsz"
+        rc = main(["compress", str(path), "-o", str(archive),
+                   "--dims", "120", "120", "--eb", "1e-3", *extra])
+        return rc, archive
+
+    def test_trace_writes_chrome_json(self, field_file, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        rc, _ = self._compress(field_file, tmp_path, "--trace", str(trace_path))
+        assert rc == 0
+        payload = json.loads(trace_path.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"compress", "quantize", "histogram", "select_workflow",
+                "encode", "outliers", "archive"} <= names
+        for e in payload["traceEvents"]:
+            assert e["ph"] == "X" and e["dur"] >= 0
+        assert str(trace_path) in capsys.readouterr().out
+
+    def test_stats_prints_stage_table(self, field_file, tmp_path, capsys):
+        rc, _ = self._compress(field_file, tmp_path, "--stats")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage timings:" in out
+        assert "quantize" in out and "total" in out
+
+    def test_decompress_trace_and_stats(self, field_file, tmp_path, capsys):
+        _, archive = self._compress(field_file, tmp_path)
+        trace_path = tmp_path / "d.json"
+        capsys.readouterr()
+        rc = main(["decompress", str(archive), "-o", str(tmp_path / "r.f32"),
+                   "--trace", str(trace_path), "--stats"])
+        assert rc == 0
+        names = {e["name"] for e in json.loads(trace_path.read_text())["traceEvents"]}
+        assert {"decompress", "archive_read", "decode", "reconstruct"} <= names
+        assert "stage timings:" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def _compress_json(self, field_file, tmp_path, capsys):
+        path, _ = field_file
+        archive = tmp_path / "f.rpsz"
+        rc = main(["compress", str(path), "-o", str(archive),
+                   "--dims", "120", "120", "--eb", "1e-3", "--json"])
+        assert rc == 0
+        return archive, json.loads(capsys.readouterr().out)
+
+    def test_compress_json(self, field_file, tmp_path, capsys):
+        archive, payload = self._compress_json(field_file, tmp_path, capsys)
+        assert payload["command"] == "compress"
+        assert payload["compressed_bytes"] == archive.stat().st_size
+        assert payload["compression_ratio"] > 1
+        assert payload["workflow"] in ("huffman", "rle", "rle+vle")
+        assert "section_sizes" in payload and "stage_stats" in payload
+        assert payload["diagnostics"]["decision"] == payload["workflow"]
+
+    def test_decompress_json(self, field_file, tmp_path, capsys):
+        archive, _ = self._compress_json(field_file, tmp_path, capsys)
+        rc = main(["decompress", str(archive), "-o", str(tmp_path / "r.f32"),
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "decompress"
+        assert payload["shape"] == [120, 120]
+        assert payload["dtype"] == "float32"
+
+    def test_info_json(self, field_file, tmp_path, capsys):
+        archive, _ = self._compress_json(field_file, tmp_path, capsys)
+        assert main(["info", str(archive), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shape"] == [120, 120]
+        assert payload["archive_bytes"] == archive.stat().st_size
+        assert sum(payload["section_sizes"].values()) <= payload["archive_bytes"]
+
+    def test_verify_json(self, field_file, tmp_path, capsys):
+        path, _ = field_file
+        archive, _ = self._compress_json(field_file, tmp_path, capsys)
+        assert main(["verify", str(path), str(archive),
+                     "--dims", "120", "120", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["bound_satisfied"] is True
+        assert payload["max_error"] <= payload["eb_abs"]
 
 
 class TestInfoVerify:

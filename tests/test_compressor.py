@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 import repro
+from repro import telemetry
 from repro.core.config import CompressorConfig
 from repro.core.errors import ArchiveError, ConfigError
 
@@ -142,6 +143,61 @@ class TestReporting:
         comp = repro.Compressor(CompressorConfig(eb=1e-2), workflow="huffman")
         assert comp.config.workflow == "huffman"
         assert comp.config.eb == 1e-2
+
+
+class TestStageStats:
+    """Both directions report a stable set of per-stage timing keys."""
+
+    COMPRESS_KEYS = {
+        "quantize_seconds", "histogram_seconds", "select_workflow_seconds",
+        "encode_seconds", "outliers_seconds", "archive_seconds", "total_seconds",
+    }
+    DECOMPRESS_KEYS = {
+        "archive_read_seconds", "decode_seconds", "scatter_outliers_seconds",
+        "reconstruct_seconds", "total_seconds",
+    }
+
+    @pytest.fixture(autouse=True)
+    def _telemetry_on(self):
+        telemetry.set_enabled(True)
+        yield
+        telemetry.set_enabled(None)
+
+    @pytest.mark.parametrize("wf", ["huffman", "rle+vle"])
+    def test_compress_stage_keys_stable(self, sparse_field_2d, wf):
+        res = repro.compress(sparse_field_2d, eb=1e-2, workflow=wf)
+        assert self.COMPRESS_KEYS <= set(res.stage_stats)
+        assert all(res.stage_stats[k] >= 0 for k in self.COMPRESS_KEYS)
+
+    @pytest.mark.parametrize("wf", ["huffman", "rle+vle"])
+    def test_decompress_stage_keys_stable(self, sparse_field_2d, wf):
+        blob = repro.compress(sparse_field_2d, eb=1e-2, workflow=wf).archive
+        out = repro.decompress_with_stats(blob)
+        assert self.DECOMPRESS_KEYS <= set(out.stage_stats)
+        assert out.workflow == wf
+        assert sum(out.section_sizes.values()) <= len(blob)
+
+    def test_decompress_with_stats_matches_decompress(self, field_2d):
+        res = repro.compress(field_2d, eb=1e-3)
+        out = repro.decompress_with_stats(res.archive)
+        np.testing.assert_array_equal(out.data, repro.decompress(res.archive))
+        assert out.eb_abs == pytest.approx(res.eb_abs)
+        assert out.predictor == res.predictor
+
+    def test_total_bounds_stage_sum(self, field_2d):
+        res = repro.compress(field_2d, eb=1e-3)
+        stages = [v for k, v in res.stage_stats.items()
+                  if k.endswith("_seconds") and k != "total_seconds"]
+        assert sum(stages) <= res.stage_stats["total_seconds"]
+
+    def test_config_telemetry_flag_forces_on(self, field_2d):
+        telemetry.set_enabled(False)
+        res = repro.compress(field_2d, eb=1e-3, telemetry=True)
+        assert "total_seconds" in res.stage_stats
+
+    def test_config_telemetry_flag_forces_off(self, field_2d):
+        res = repro.compress(field_2d, eb=1e-3, telemetry=False)
+        assert not any(k.endswith("_seconds") for k in res.stage_stats)
 
 
 class TestArchiveRobustness:

@@ -1,0 +1,472 @@
+"""Tests for the unified telemetry layer (tracing, metrics, export)."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro import telemetry
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def force_telemetry_on():
+    """Make telemetry deterministic regardless of REPRO_TELEMETRY in the
+    environment (the suite must also pass under REPRO_TELEMETRY=0)."""
+    telemetry.set_enabled(True)
+    yield
+    telemetry.set_enabled(None)
+
+
+class TestSpans:
+    def test_nesting_builds_tree(self):
+        with telemetry.trace() as tr:
+            with telemetry.span("root"):
+                with telemetry.span("a"):
+                    with telemetry.span("a1"):
+                        pass
+                with telemetry.span("b"):
+                    pass
+        assert len(tr.roots) == 1
+        root = tr.roots[0]
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a1"]
+
+    def test_duration_positive_and_nested_within_parent(self):
+        with telemetry.trace() as tr:
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    sum(range(1000))
+        outer = tr.roots[0]
+        inner = outer.children[0]
+        assert outer.duration > 0
+        assert inner.duration > 0
+        assert inner.duration <= outer.duration
+        assert inner.t_start >= outer.t_start
+        assert inner.t_end <= outer.t_end
+
+    def test_set_updates_bytes_and_attrs(self):
+        with telemetry.trace() as tr:
+            with telemetry.span("s", bytes_in=10) as sp:
+                sp.set(bytes_out=4, note="hi")
+        s = tr.roots[0]
+        assert s.bytes_in == 10
+        assert s.bytes_out == 4
+        assert s.attrs["note"] == "hi"
+
+    def test_throughput_from_bytes(self):
+        sp = telemetry.Span("x", bytes_in=1_000_000_000)
+        sp.t_start, sp.t_end = 0.0, 0.5
+        assert sp.throughput_gbps == pytest.approx(2.0)
+
+    def test_exception_recorded_and_propagated(self):
+        with telemetry.trace() as tr:
+            with pytest.raises(ValueError):
+                with telemetry.span("boom"):
+                    raise ValueError("no")
+        assert tr.roots[0].attrs["error"] == "ValueError"
+
+    def test_walk_and_find(self):
+        with telemetry.trace() as tr:
+            with telemetry.span("r"):
+                with telemetry.span("x"):
+                    with telemetry.span("y"):
+                        pass
+        root = tr.roots[0]
+        assert [s.name for s in root.walk()] == ["r", "x", "y"]
+        assert root.find("y").name == "y"
+        assert root.find("zzz") is None
+
+    def test_spans_outside_trace_are_dropped(self):
+        with telemetry.span("orphan"):
+            pass  # no active trace: completes without error, goes nowhere
+        with telemetry.trace() as tr:
+            pass
+        assert tr.roots == []
+
+    def test_current_span_tracks_innermost(self):
+        assert telemetry.current_span() is None
+        with telemetry.span("a") as a:
+            assert telemetry.current_span() is a
+            with telemetry.span("b") as b:
+                assert telemetry.current_span() is b
+            assert telemetry.current_span() is a
+        assert telemetry.current_span() is None
+
+
+class TestTraceCollection:
+    def test_multiple_roots(self):
+        with telemetry.trace() as tr:
+            with telemetry.span("first"):
+                pass
+            with telemetry.span("second"):
+                pass
+        assert [r.name for r in tr.roots] == ["first", "second"]
+        assert tr.span_names() == {"first", "second"}
+
+    def test_threads_get_independent_trees(self):
+        """Worker threads (parallel ranks) each root their own tree in the
+        shared trace, distinguished by thread id."""
+
+        barrier = threading.Barrier(3)
+
+        def work(tag):
+            barrier.wait()  # keep all threads alive at once: distinct idents
+            with telemetry.span(f"rank.{tag}"):
+                with telemetry.span("stage"):
+                    pass
+
+        with telemetry.trace() as tr:
+            threads = [threading.Thread(target=work, args=(i,)) for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert {r.name for r in tr.roots} == {"rank.0", "rank.1", "rank.2"}
+        assert len({r.tid for r in tr.roots}) == 3
+        for r in tr.roots:
+            assert [c.name for c in r.children] == ["stage"]
+
+    def test_tree_render(self):
+        with telemetry.trace() as tr:
+            with telemetry.span("pipeline", bytes_in=2048):
+                with telemetry.span("stage_a"):
+                    pass
+        text = tr.tree()
+        assert "pipeline" in text
+        assert "stage_a" in text
+        assert "ms" in text
+        assert "2.0 KiB" in text
+
+
+class TestEnableSwitch:
+    def test_env_var_disables(self, monkeypatch):
+        telemetry.set_enabled(None)  # fall through to the environment
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        assert not telemetry.enabled()
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        assert telemetry.enabled()
+
+    def test_global_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        telemetry.set_enabled(True)
+        assert telemetry.enabled()
+
+    def test_scope_beats_global(self):
+        telemetry.set_enabled(True)
+        with telemetry.scope(False):
+            assert not telemetry.enabled()
+            with telemetry.scope(True):
+                assert telemetry.enabled()
+            assert not telemetry.enabled()
+        assert telemetry.enabled()
+
+    def test_scope_none_is_noop(self):
+        with telemetry.scope(None):
+            assert telemetry.enabled()
+
+    def test_disabled_span_is_shared_noop(self):
+        with telemetry.scope(False):
+            s1 = telemetry.span("a", bytes_in=10)
+            s2 = telemetry.span("b")
+            assert s1 is s2  # shared singleton, no allocation
+            assert not s1
+            with s1 as s:
+                s.set(bytes_out=5, anything="goes")
+            assert s1.duration == 0.0
+            assert s1.children == ()
+
+    def test_disabled_spans_never_reach_trace(self):
+        with telemetry.trace() as tr:
+            with telemetry.scope(False):
+                with telemetry.span("hidden"):
+                    pass
+        assert tr.roots == []
+
+
+class TestMetrics:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("test_total", "help text")
+        c.inc()
+        c.inc(2.5)
+        c.inc(workflow="rle")
+        assert c.value() == pytest.approx(3.5)
+        assert c.value(workflow="rle") == 1.0
+        assert c.total() == pytest.approx(4.5)
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c_total").inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set_value(7.0)
+        g.set_value(3.0)
+        assert g.value() == 3.0
+        g.inc(2.0)
+        assert g.value() == 5.0
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(56.05)
+        assert h.bucket_counts() == {0.1: 1, 1.0: 3, 10.0: 4}
+
+    def test_histogram_labelled_series_independent(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(0.5, stage="quantize")
+        h.observe(0.5, stage="encode")
+        h.observe(0.5, stage="encode")
+        assert h.count(stage="quantize") == 1
+        assert h.count(stage="encode") == 2
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")
+
+    def test_invalid_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name!")
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        c = reg.counter("runs_total", "Total runs")
+        c.inc(3, workflow="huffman")
+        h = reg.histogram("lat_seconds", "Latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        text = reg.render_prometheus()
+        assert "# HELP runs_total Total runs" in text
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{workflow="huffman"} 3' in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.05" in text
+        assert "lat_seconds_count 1" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(dataset='we"ird\\name')
+        text = reg.render_prometheus()
+        assert 'dataset="we\\"ird\\\\name"' in text
+
+    def test_json_render_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "c help").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5, k="v")
+        snapshot = reg.render_json()
+        payload = json.loads(json.dumps(snapshot))
+        assert payload["c_total"]["type"] == "counter"
+        assert payload["c_total"]["values"][0]["value"] == 2
+        assert payload["h"]["values"][0]["labels"] == {"k": "v"}
+        assert payload["h"]["values"][0]["count"] == 1
+
+    def test_reset_zeroes_but_keeps_registration(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total")
+        c.inc(5)
+        reg.reset()
+        assert c.value() == 0.0
+        assert reg.get("c_total") is c
+
+    def test_thread_safety_of_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 4000
+
+
+class TestChromeExport:
+    def _capture(self):
+        with telemetry.trace("unit") as tr:
+            with telemetry.span("root", bytes_in=100) as sp:
+                sp.set(bytes_out=10, workflow="huffman")
+                with telemetry.span("child"):
+                    pass
+        return tr
+
+    def test_schema_roundtrip(self, tmp_path):
+        tr = self._capture()
+        path = telemetry.write_chrome_trace(tmp_path / "t.json", tr)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert {e["name"] for e in events} == {"root", "child"}
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["cat"] == "repro"
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+            assert e["ts"] >= 0
+            assert e["dur"] >= 0
+
+    def test_child_interval_inside_parent(self):
+        payload = telemetry.to_chrome_trace(self._capture())
+        by_name = {e["name"]: e for e in payload["traceEvents"]}
+        root, child = by_name["root"], by_name["child"]
+        assert child["ts"] >= root["ts"]
+        assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-3
+
+    def test_args_carry_bytes_and_attrs(self):
+        payload = telemetry.to_chrome_trace(self._capture())
+        root = next(e for e in payload["traceEvents"] if e["name"] == "root")
+        assert root["args"]["bytes_in"] == 100
+        assert root["args"]["bytes_out"] == 10
+        assert root["args"]["workflow"] == "huffman"
+
+
+class TestPipelineIntegration:
+    COMPRESS_STAGES = {
+        "compress", "quantize", "histogram", "select_workflow",
+        "encode", "outliers", "archive",
+    }
+    DECOMPRESS_STAGES = {
+        "decompress", "archive_read", "decode", "scatter_outliers", "reconstruct",
+    }
+
+    def test_compress_trace_covers_every_stage(self, field_2d):
+        with telemetry.trace() as tr:
+            repro.compress(field_2d, eb=1e-3)
+        assert self.COMPRESS_STAGES <= tr.span_names()
+
+    def test_decompress_trace_covers_every_stage(self, field_2d):
+        blob = repro.compress(field_2d, eb=1e-3).archive
+        with telemetry.trace() as tr:
+            repro.decompress(blob)
+        assert self.DECOMPRESS_STAGES <= tr.span_names()
+
+    def test_workflow_internals_traced(self, sparse_field_2d):
+        with telemetry.trace() as tr:
+            res = repro.compress(sparse_field_2d, eb=1e-2, workflow="rle+vle")
+            repro.decompress(res.archive)
+        names = tr.span_names()
+        assert {"rle.encode", "rle.vle_values", "rle.vle_lengths", "rle.decode"} <= names
+
+    def test_round_trip_increments_prometheus_counters(self, field_2d):
+        ins = telemetry.REGISTRY
+        c0 = ins.counter("repro_compress_calls_total").total()
+        d0 = ins.counter("repro_decompress_calls_total").total()
+        b0 = ins.counter("repro_compress_input_bytes_total").total()
+        res = repro.compress(field_2d, eb=1e-3)
+        repro.decompress(res.archive)
+        assert ins.counter("repro_compress_calls_total").total() == c0 + 1
+        assert ins.counter("repro_decompress_calls_total").total() == d0 + 1
+        assert ins.counter("repro_compress_input_bytes_total").total() == b0 + field_2d.nbytes
+        text = telemetry.render_prometheus()
+        assert "repro_compress_calls_total" in text
+        assert "repro_stage_seconds_bucket" in text
+        assert ins.gauge("repro_last_compression_ratio").value() == pytest.approx(
+            res.compression_ratio
+        )
+
+    def test_selector_decision_labelled(self, sparse_field_2d):
+        sel = telemetry.REGISTRY.counter("repro_selector_decisions_total")
+        before = sel.value(workflow="rle+vle")
+        repro.compress(sparse_field_2d, eb=1e-2)  # auto -> rle+vle on this field
+        assert sel.value(workflow="rle+vle") == before + 1
+
+    def test_gpu_runtime_kernel_spans(self):
+        from repro.gpu.device import V100
+        from repro.gpu.runtime import run_compression, run_decompression
+        from repro.core.config import CompressorConfig
+
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(64, 64)).astype(np.float32)
+        with telemetry.trace() as tr:
+            art, _ = run_compression(data, CompressorConfig(eb=1e-3), V100)
+            run_decompression(art, CompressorConfig(eb=1e-3), V100)
+        names = tr.span_names()
+        assert {"gpu.run_compression", "kernel.lorenzo_construct",
+                "kernel.gather_outlier", "kernel.huffman_encode"} <= names
+        assert {"gpu.run_decompression", "kernel.huffman_decode",
+                "kernel.scatter_outlier", "kernel.lorenzo_reconstruct"} <= names
+        enc = next(s for s in tr.spans() if s.name == "kernel.huffman_encode")
+        assert enc.attrs["simulated_seconds"] > 0
+        assert enc.attrs["bound"] in ("compute", "memory", "serial", "overhead")
+
+    def test_disabled_archive_identical_and_no_timing_keys(self, field_2d):
+        with telemetry.scope(False):
+            res_off = repro.compress(field_2d, eb=1e-3)
+        res_on = repro.compress(field_2d, eb=1e-3)
+        assert res_off.archive == res_on.archive
+        assert not any(k.endswith("_seconds") for k in res_off.stage_stats)
+        assert "total_seconds" in res_on.stage_stats
+        # Workflow statistics survive disabled mode (they are not span-derived).
+        assert "avg_bitlen" in res_off.stage_stats
+
+    def test_parallel_checkpoint_rank_spans(self, field_2d):
+        from repro.parallel import run_spmd
+        from repro.parallel.checkpoint import write_checkpoint
+        from repro.parallel.decomposition import slab_bounds
+        from repro.core.config import CompressorConfig
+
+        def job(comm):
+            lo, hi = slab_bounds(field_2d.shape[0], comm.size, comm.rank)
+            return write_checkpoint(comm, field_2d[lo:hi], CompressorConfig(eb=1e-3))
+
+        with telemetry.trace() as tr:
+            run_spmd(2, job)
+        writes = [r for r in tr.roots if r.name == "checkpoint.write"]
+        assert len(writes) == 2
+        assert sorted(w.attrs["rank"] for w in writes) == [0, 1]
+        assert len({w.tid for w in writes}) == 2
+        for w in writes:
+            assert w.find("compress") is not None  # rank compress nests inside
+
+    def test_bench_harness_run_record(self):
+        from repro.bench.harness import Experiment
+
+        exp = Experiment(name="unit", description="test experiment",
+                         func=lambda: "body")
+        out = exp.run()
+        assert "unit" in out and "body" in out
+        rec = exp.last_record
+        assert rec["experiment"] == "unit"
+        assert rec["seconds"] >= 0
+        assert rec["telemetry_enabled"] is True
+        assert "metrics" in rec
+        json.dumps(rec)  # structured record must be JSON-serializable
+
+
+class TestPwrelStages:
+    def test_pwrel_records_transform_stage(self, field_2d):
+        data = np.abs(field_2d) + 1.0
+        res = repro.compress_pwrel(data, rel_bound=1e-3)
+        for key in ("pwrel_transform_seconds", "compress_seconds",
+                    "pwrel_container_seconds", "total_seconds"):
+            assert key in res.stage_stats, key
+        # The inner pipeline's own stages ride along too.
+        assert "quantize_seconds" in res.stage_stats
+
+    def test_pwrel_decompress_stats(self, field_2d):
+        data = np.abs(field_2d) + 1.0
+        res = repro.compress_pwrel(data, rel_bound=1e-3)
+        out = repro.decompress_with_stats(res.archive)
+        assert "pwrel_inverse_seconds" in out.stage_stats
+        assert "total_seconds" in out.stage_stats
+        assert np.all(np.abs(out.data - data) <= 1e-3 * np.abs(data))
