@@ -23,6 +23,7 @@ from .core.compressor import (
     decompress_with_stats,
 )
 from .core.config import CompressorConfig, SelectorDiagnostics
+from .core.integrity import IntegrityReport, verify_archive
 from .core.pwrel import compress_pwrel
 from .core.errors import (
     ArchiveError,
@@ -31,6 +32,7 @@ from .core.errors import (
     DeviceError,
     DimensionalityError,
     EncodingError,
+    IntegrityError,
     ReproError,
 )
 
@@ -52,6 +54,9 @@ __all__ = [
     "EncodingError",
     "CodebookOverflowError",
     "ArchiveError",
+    "IntegrityError",
+    "IntegrityReport",
+    "verify_archive",
     "DeviceError",
     "DimensionalityError",
     "__version__",

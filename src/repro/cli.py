@@ -75,11 +75,21 @@ def build_parser() -> argparse.ArgumentParser:
     ps = sub.add_parser("stats", help="size/entropy breakdown of an archive")
     ps.add_argument("archive", type=Path)
 
-    pv = sub.add_parser("verify", help="verify an archive against its original")
-    pv.add_argument("input", type=Path, help="original .f32/.f64 field")
-    pv.add_argument("archive", type=Path)
-    pv.add_argument("--dims", type=int, nargs="+", required=True)
+    pv = sub.add_parser(
+        "verify",
+        help="verify an archive against its original, or (--deep, archive "
+             "only) validate its integrity without decompression",
+    )
+    pv.add_argument("input", type=Path,
+                    help="original .f32/.f64 field, or the archive itself "
+                         "when --deep is given without an original")
+    pv.add_argument("archive", type=Path, nargs="?", default=None)
+    pv.add_argument("--dims", type=int, nargs="+", default=None)
     pv.add_argument("--dtype", choices=["f32", "f64"], default=None)
+    pv.add_argument("--deep", action="store_true",
+                    help="walk the archive (including nested block/rank "
+                         "archives) validating framing, checksums, and "
+                         "metadata without decompressing")
     pv.add_argument("--json", action="store_true", dest="as_json",
                     help="emit a machine-readable JSON result on stdout")
     return parser
@@ -224,7 +234,7 @@ def _cmd_info(args) -> int:
             "section_sizes": reader.section_sizes(),
         }, indent=2))
         return 0
-    print(f"archive    : {args.archive} ({len(blob)} bytes)")
+    print(f"archive    : {args.archive} ({len(blob)} bytes, format v{reader.version})")
     print(f"shape      : {meta['shape']}  dtype={np.dtype(meta['dtype']).name}")
     print(f"workflow   : {meta['workflow']}  predictor={meta['predictor']}")
     print(f"error bound: {meta['eb_abs']:.4g} (absolute, user bound)")
@@ -237,6 +247,46 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _deep_verify(args, archive_path: Path, quiet: bool = False) -> int:
+    """Integrity-validate one archive; print a report unless ``quiet``."""
+    from .core.integrity import verify_archive
+
+    blob = archive_path.read_bytes()
+    try:
+        report = verify_archive(blob, deep=True)
+    except ReproError as exc:
+        if args.as_json:
+            print(json.dumps({
+                "command": "verify",
+                "deep": True,
+                "archive": str(archive_path),
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }, indent=2))
+        else:
+            print(f"FAIL: {archive_path}: {exc}", file=sys.stderr)
+        return 2
+    if quiet:
+        return 0
+    if args.as_json:
+        print(json.dumps({
+            "command": "verify",
+            "deep": True,
+            "archive": str(archive_path),
+            "ok": True,
+            "format_version": report.version,
+            "checksum_algo": report.checksum_algo,
+            "kind": report.kind,
+            "sections_checked": report.total_sections_checked,
+            "nested_archives": len(report.nested),
+            "section_bytes": report.section_bytes,
+        }, indent=2))
+        return 0
+    print(f"{archive_path} ({len(blob)} bytes): integrity OK")
+    print("  " + report.summary().replace("\n", "\n  "))
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from .core.inspect import inspect_archive
 
@@ -245,6 +295,21 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    if args.archive is None:
+        # Archive-only invocation: integrity validation, no original field.
+        if not args.deep:
+            print("error: verify needs an original field and an archive, or "
+                  "--deep with just an archive", file=sys.stderr)
+            return 2
+        return _deep_verify(args, args.input)
+    if args.dims is None:
+        print("error: --dims is required when verifying against an original",
+              file=sys.stderr)
+        return 2
+    if args.deep:
+        rc = _deep_verify(args, args.archive, quiet=args.as_json)
+        if rc != 0:
+            return rc
     field = _load_field(args.input, args.dims, args.dtype)
     result = decompress_with_stats(args.archive.read_bytes())
     restored = result.data
@@ -270,6 +335,7 @@ def _cmd_verify(args) -> int:
             "nrmse": quality.nrmse,
             "workflow": result.workflow,
             "stage_stats": result.stage_stats,
+            "deep_ok": True if args.deep else None,
         }, indent=2))
         return 0 if quality.bound_satisfied else 1
     print(f"max |error| : {quality.max_error:.4g}")

@@ -3,6 +3,7 @@
 from .compressor import CompressionResult, Compressor, compress, decompress
 from .config import CompressorConfig, SelectorDiagnostics
 from .inspect import ArchiveStats, inspect_archive
+from .integrity import IntegrityReport, verify_archive
 from .pwrel import compress_pwrel
 from .streaming import StreamingCompressor, compress_blocks, decompress_blocks
 from .temporal import TemporalCompressor, TemporalDecompressor
@@ -22,4 +23,6 @@ __all__ = [
     "TemporalDecompressor",
     "ArchiveStats",
     "inspect_archive",
+    "IntegrityReport",
+    "verify_archive",
 ]

@@ -7,6 +7,14 @@ honest: ``CR = original_bytes / len(archive)`` includes codebooks, chunk
 metadata, outliers, and the header itself (the paper's Table IV note about
 chunkwise metadata overhead).
 
+Format **v2** (the default) adds verifiable framing: the header records the
+whole-archive byte count and a checksum algorithm id, every section-table
+entry carries a checksum of its payload, and a digest of the header +
+section table follows the table.  A flipped bit or truncated payload is
+therefore detected *before* it reaches Huffman decode and raises a typed
+:class:`IntegrityError`/:class:`ArchiveError` instead of silently decoding
+to garbage.  Format v1 archives (no checksums) remain readable.
+
 The layout is deliberately explicit (struct-packed, little-endian) rather
 than pickle/JSON so archives are portable and their size is deterministic.
 """
@@ -18,16 +26,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .errors import ArchiveError
+from .errors import ArchiveError, IntegrityError
+from .integrity import ALGO_NAMES, DEFAULT_ALGO, checksum
 
 __all__ = ["ArchiveBuilder", "ArchiveReader", "MAGIC", "VERSION"]
 
 MAGIC = b"RPRSZP1\x00"
-VERSION = 1
+VERSION = 2
 
-#: Section-table entry: 16-byte name, 8-byte dtype string, u64 length.
-_ENTRY = struct.Struct("<16s8sQ")
-_HEADER = struct.Struct("<8sHI")  # magic, version, n_sections
+#: v1 layout: header (magic, version, n_sections) + per-section
+#: (name, dtype, length) entries + concatenated payloads.
+_HEADER_V1 = struct.Struct("<8sHI")
+_ENTRY_V1 = struct.Struct("<16s8sQ")
+
+#: v2 layout: header additionally records the checksum algorithm id, a
+#: reserved flags byte, and the total archive byte count; each entry gains
+#: a payload checksum; a u32 digest of header+table sits after the table.
+_HEADER_V2 = struct.Struct("<8sHIBB2xQ")  # magic, version, n_sections, algo, flags, total
+_ENTRY_V2 = struct.Struct("<16s8sQI")  # name, dtype, length, payload checksum
+_DIGEST = struct.Struct("<I")
 
 #: dtype tag for raw (untyped) byte sections.
 _RAW = b"raw"
@@ -40,6 +57,15 @@ def _dtype_tag(dtype: np.dtype) -> bytes:
     return tag
 
 
+def _note_corruption(kind: str) -> None:
+    """Count a detected-corruption event (telemetry; no-op when disabled)."""
+    from .. import telemetry as tel
+    from ..telemetry import instruments as ins
+
+    if tel.enabled():
+        ins.INTEGRITY_FAILURES.inc(kind=kind)
+
+
 @dataclass
 class _Section:
     name: str
@@ -48,9 +74,20 @@ class _Section:
 
 
 class ArchiveBuilder:
-    """Accumulate named sections and serialize to one byte blob."""
+    """Accumulate named sections and serialize to one byte blob.
 
-    def __init__(self) -> None:
+    Writes format v2 by default; ``version=1`` produces the legacy
+    checksum-free layout (compatibility tests, size experiments).
+    """
+
+    def __init__(self, version: int = VERSION, checksum_algo: int | None = None) -> None:
+        if version not in (1, 2):
+            raise ArchiveError(f"cannot write archive version {version}")
+        algo = DEFAULT_ALGO if checksum_algo is None else checksum_algo
+        if algo not in ALGO_NAMES:
+            raise ArchiveError(f"unknown checksum algorithm id {algo}")
+        self._version = version
+        self._algo = algo
         self._sections: list[_Section] = []
         self._names: set[str] = set()
 
@@ -66,6 +103,8 @@ class ArchiveBuilder:
         return self
 
     def _add(self, name: str, dtype: bytes, payload: bytes) -> None:
+        if not name:
+            raise ArchiveError("section name must be non-empty")
         if len(name.encode()) > 16:
             raise ArchiveError(f"section name too long: {name!r}")
         if name in self._names:
@@ -74,12 +113,40 @@ class ArchiveBuilder:
         self._sections.append(_Section(name, dtype, payload))
 
     def to_bytes(self) -> bytes:
-        """Serialize header + section table + payloads."""
-        parts = [_HEADER.pack(MAGIC, VERSION, len(self._sections))]
+        """Serialize header + section table (+ digest) + payloads."""
+        if self._version == 1:
+            return self._to_bytes_v1()
+        payload_total = sum(len(s.payload) for s in self._sections)
+        total = (
+            _HEADER_V2.size
+            + _ENTRY_V2.size * len(self._sections)
+            + _DIGEST.size
+            + payload_total
+        )
+        parts = [
+            _HEADER_V2.pack(MAGIC, self._version, len(self._sections), self._algo, 0, total)
+        ]
         for s in self._sections:
-            parts.append(_ENTRY.pack(s.name.encode().ljust(16, b"\x00"),
-                                     s.dtype.ljust(8, b"\x00"),
-                                     len(s.payload)))
+            parts.append(
+                _ENTRY_V2.pack(
+                    s.name.encode().ljust(16, b"\x00"),
+                    s.dtype.ljust(8, b"\x00"),
+                    len(s.payload),
+                    checksum(s.payload, self._algo),
+                )
+            )
+        head_and_table = b"".join(parts)
+        parts.append(_DIGEST.pack(checksum(head_and_table, self._algo)))
+        for s in self._sections:
+            parts.append(s.payload)
+        return b"".join(parts)
+
+    def _to_bytes_v1(self) -> bytes:
+        parts = [_HEADER_V1.pack(MAGIC, 1, len(self._sections))]
+        for s in self._sections:
+            parts.append(_ENTRY_V1.pack(s.name.encode().ljust(16, b"\x00"),
+                                        s.dtype.ljust(8, b"\x00"),
+                                        len(s.payload)))
         for s in self._sections:
             parts.append(s.payload)
         return b"".join(parts)
@@ -90,58 +157,137 @@ class ArchiveBuilder:
 
     @property
     def overhead_bytes(self) -> int:
-        """Header + section-table bytes (the container's own footprint)."""
-        return _HEADER.size + _ENTRY.size * len(self._sections)
+        """Header + section-table (+ digest) bytes: the container's footprint."""
+        if self._version == 1:
+            return _HEADER_V1.size + _ENTRY_V1.size * len(self._sections)
+        return _HEADER_V2.size + _ENTRY_V2.size * len(self._sections) + _DIGEST.size
 
 
 class ArchiveReader:
-    """Parse an archive blob and expose sections by name."""
+    """Parse an archive blob and expose sections by name.
+
+    Reads v1 and v2.  For v2 the constructor validates framing (declared
+    total size) and the header/table digest; each section's payload checksum
+    is validated on first access (:meth:`get_bytes` / :meth:`get_array`), and
+    :meth:`verify_all` forces validation of every section up front.
+    """
 
     def __init__(self, blob: bytes) -> None:
-        if len(blob) < _HEADER.size:
+        blob = bytes(blob)
+        if len(blob) < _HEADER_V1.size:
             raise ArchiveError("archive truncated: missing header")
-        magic, version, n_sections = _HEADER.unpack_from(blob, 0)
+        magic, version = struct.unpack_from("<8sH", blob, 0)
         if magic != MAGIC:
             raise ArchiveError(f"bad magic {magic!r}; not a repro archive")
-        if version != VERSION:
+        self._blob = blob
+        self.version = int(version)
+        self.checksum_algo = 0
+        #: name -> (dtype tag, payload offset, length, checksum or None)
+        self._sections: dict[str, tuple[bytes, int, int, int | None]] = {}
+        self._verified: set[str] = set()
+        if version == 1:
+            self._parse_v1(blob)
+        elif version == 2:
+            self._parse_v2(blob)
+        else:
             raise ArchiveError(f"unsupported archive version {version}")
-        offset = _HEADER.size
-        table_end = offset + _ENTRY.size * n_sections
+
+    # -- parsing ----------------------------------------------------------
+
+    def _parse_v1(self, blob: bytes) -> None:
+        _, _, n_sections = _HEADER_V1.unpack_from(blob, 0)
+        table_end = _HEADER_V1.size + _ENTRY_V1.size * n_sections
         if len(blob) < table_end:
             raise ArchiveError("archive truncated: incomplete section table")
-        self._sections: dict[str, tuple[bytes, int, int]] = {}
-        payload_off = table_end
+        offset, payload_off = _HEADER_V1.size, table_end
         for _ in range(n_sections):
-            raw_name, raw_dtype, length = _ENTRY.unpack_from(blob, offset)
-            offset += _ENTRY.size
-            try:
-                name = raw_name.rstrip(b"\x00").decode("ascii")
-            except UnicodeDecodeError:
-                raise ArchiveError("corrupt section table: non-ASCII section name") from None
-            dtype = raw_dtype.rstrip(b"\x00")
+            raw_name, raw_dtype, length = _ENTRY_V1.unpack_from(blob, offset)
+            offset += _ENTRY_V1.size
+            name = self._decode_name(raw_name)
             if payload_off + length > len(blob):
                 raise ArchiveError(f"archive truncated: section {name!r} payload")
-            self._sections[name] = (dtype, payload_off, int(length))
+            self._sections[name] = (raw_dtype.rstrip(b"\x00"), payload_off, int(length), None)
             payload_off += length
-        self._blob = blob
+
+    def _parse_v2(self, blob: bytes) -> None:
+        if len(blob) < _HEADER_V2.size:
+            raise ArchiveError("archive truncated: missing v2 header")
+        _, _, n_sections, algo, flags, total = _HEADER_V2.unpack_from(blob, 0)
+        if flags != 0:
+            raise ArchiveError(f"unsupported archive flags 0x{flags:02x}")
+        if algo not in ALGO_NAMES:
+            raise ArchiveError(f"unknown checksum algorithm id {algo}")
+        self.checksum_algo = int(algo)
+        table_end = _HEADER_V2.size + _ENTRY_V2.size * n_sections
+        digest_end = table_end + _DIGEST.size
+        if len(blob) < digest_end:
+            raise ArchiveError("archive truncated: incomplete section table")
+        if total != len(blob):
+            _note_corruption("framing")
+            raise ArchiveError(
+                f"archive framing mismatch: header declares {total} bytes, got {len(blob)}"
+            )
+        (stored_digest,) = _DIGEST.unpack_from(blob, table_end)
+        if checksum(blob[:table_end], algo) != stored_digest:
+            _note_corruption("header_digest")
+            raise IntegrityError(
+                "archive header/section-table digest mismatch (corrupt header)"
+            )
+        offset, payload_off = _HEADER_V2.size, digest_end
+        for _ in range(n_sections):
+            raw_name, raw_dtype, length, crc = _ENTRY_V2.unpack_from(blob, offset)
+            offset += _ENTRY_V2.size
+            name = self._decode_name(raw_name)
+            if payload_off + length > len(blob):
+                raise ArchiveError(f"archive truncated: section {name!r} payload")
+            self._sections[name] = (
+                raw_dtype.rstrip(b"\x00"), payload_off, int(length), int(crc),
+            )
+            payload_off += length
+        if payload_off != len(blob):
+            _note_corruption("framing")
+            raise ArchiveError(
+                f"archive has {len(blob) - payload_off} trailing bytes past the last section"
+            )
+
+    def _decode_name(self, raw_name: bytes) -> str:
+        try:
+            name = raw_name.rstrip(b"\x00").decode("ascii")
+        except UnicodeDecodeError:
+            raise ArchiveError("corrupt section table: non-ASCII section name") from None
+        if not name:
+            raise ArchiveError("corrupt section table: empty section name")
+        if name in self._sections:
+            raise ArchiveError(f"corrupt section table: duplicate section {name!r}")
+        return name
+
+    # -- access -----------------------------------------------------------
 
     def names(self) -> list[str]:
         return list(self._sections)
 
     def section_sizes(self) -> dict[str, int]:
         """Payload bytes per section, in archive order."""
-        return {name: length for name, (_, _, length) in self._sections.items()}
+        return {name: length for name, (_, _, length, _) in self._sections.items()}
 
     def has(self, name: str) -> bool:
         return name in self._sections
 
     def get_bytes(self, name: str) -> bytes:
-        dtype, off, length = self._entry(name)
-        return self._blob[off : off + length]
+        _, off, length, crc = self._entry(name)
+        payload = self._blob[off : off + length]
+        if crc is not None and name not in self._verified:
+            if checksum(payload, self.checksum_algo) != crc:
+                _note_corruption("section_checksum")
+                raise IntegrityError(
+                    f"section {name!r} checksum mismatch (corrupt payload)"
+                )
+            self._verified.add(name)
+        return payload
 
     def get_array(self, name: str) -> np.ndarray:
         """Read back a typed array section (1-D, recorded dtype)."""
-        raw_dtype, off, length = self._entry(name)
+        raw_dtype = self._entry(name)[0]
         if raw_dtype == _RAW:
             raise ArchiveError(f"section {name!r} is raw bytes, not an array")
         try:
@@ -150,10 +296,20 @@ class ArchiveReader:
             raise ArchiveError(
                 f"section {name!r} has a corrupt dtype tag {raw_dtype!r}"
             ) from None
-        return np.frombuffer(self._blob, dtype=dtype,
-                             count=length // dtype.itemsize, offset=off)
+        payload = self.get_bytes(name)
+        if len(payload) % dtype.itemsize:
+            raise ArchiveError(
+                f"section {name!r} holds {len(payload)} bytes, not a multiple of "
+                f"dtype {dtype} itemsize {dtype.itemsize}"
+            )
+        return np.frombuffer(payload, dtype=dtype)
 
-    def _entry(self, name: str) -> tuple[bytes, int, int]:
+    def verify_all(self) -> None:
+        """Validate every section's checksum now (v2; no-op for v1)."""
+        for name in self._sections:
+            self.get_bytes(name)
+
+    def _entry(self, name: str) -> tuple[bytes, int, int, int | None]:
         try:
             return self._sections[name]
         except KeyError:

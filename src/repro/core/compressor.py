@@ -354,7 +354,10 @@ def _decode_nan_mask(raw: bytes, n: int) -> np.ndarray:
         raise ArchiveError("empty NaN-mask section")
     kind, payload = raw[0], raw[1:]
     if kind == 1:
-        idx = np.frombuffer(payload, dtype=np.uint32)
+        try:
+            idx = np.frombuffer(payload, dtype=np.uint32)
+        except ValueError as exc:
+            raise ArchiveError(f"NaN-mask index list malformed: {exc}") from None
         if idx.size and int(idx.max()) >= n:
             raise ArchiveError("NaN-mask index out of range")
         mask = np.zeros(n, dtype=bool)

@@ -31,6 +31,15 @@ class ArchiveError(ReproError):
     """A compressed archive is malformed, truncated, or version-mismatched."""
 
 
+class IntegrityError(ArchiveError):
+    """An archive's recorded checksum does not match its bytes.
+
+    Subclass of :class:`ArchiveError` so existing ``except ArchiveError``
+    handlers keep working; the narrower type distinguishes *tampered or
+    bit-rotted* archives (payload exists but its digest disagrees) from
+    *structurally malformed* ones."""
+
+
 class DeviceError(ReproError):
     """Invalid use of the simulated GPU device/runtime."""
 

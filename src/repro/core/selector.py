@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry as tel
 from ..analysis.entropy import bitlen_bounds
 from ..analysis.variogram import adjacent_roughness
+from ..telemetry import instruments as ins
 from .config import CompressorConfig, SelectorDiagnostics
 
 __all__ = ["select_workflow", "estimate_rle_bits_per_symbol"]
@@ -53,22 +55,27 @@ def select_workflow(
 
     Returns full diagnostics; ``decision`` is one of ``"huffman"``,
     ``"rle"``, ``"rle+vle"``.  A forced workflow in the config short-circuits
-    the estimation (but diagnostics are still populated).
+    the two O(n) estimation passes (RLE bits-per-symbol and the lag-1
+    roughness): the histogram-derived signals are still reported, but
+    ``rle_bitlen_estimate`` is NaN and ``smoothness`` is None on that path.
     """
     entropy, p1, lower, upper = bitlen_bounds(freqs)
+
+    if config.workflow != "auto":
+        if tel.enabled():
+            ins.SELECTOR_FASTPATH.inc(workflow=config.workflow)
+        return SelectorDiagnostics(
+            p1=p1, entropy=entropy, bitlen_lower=lower, bitlen_upper=upper,
+            rle_bitlen_estimate=float("nan"), smoothness=None,
+            decision=config.workflow, reason="forced by configuration",
+        )
+
     value_bits = int(quant.dtype.itemsize) * 8
     length_bits = int(np.dtype(config.rle_length_dtype).itemsize) * 8
     rle_bits = estimate_rle_bits_per_symbol(quant, value_bits, length_bits)
     # Distance-1 smoothness (Section III-B.2's madogram signal at lag 1);
     # one vectorized pass, reported alongside the histogram signals.
     smooth = 1.0 - adjacent_roughness(np.asarray(quant).reshape(-1))
-
-    if config.workflow != "auto":
-        return SelectorDiagnostics(
-            p1=p1, entropy=entropy, bitlen_lower=lower, bitlen_upper=upper,
-            rle_bitlen_estimate=rle_bits, smoothness=smooth,
-            decision=config.workflow, reason="forced by configuration",
-        )
 
     # The paper's practical rule uses the optimistic ("likely achievable")
     # estimate of ⟨b⟩, i.e. the lower bound H + R-(p1) floored at 1 bit.

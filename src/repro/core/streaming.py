@@ -26,6 +26,7 @@ anyway.
 from __future__ import annotations
 
 import struct
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -90,11 +91,18 @@ def _unpack_manifest(raw: bytes) -> BlockManifest:
     if len(raw) < _BMETA_HEAD.size:
         raise ArchiveError("block manifest truncated")
     ndim, n_blocks, *shape4 = _BMETA_HEAD.unpack_from(raw, 0)
-    extents = np.frombuffer(raw, dtype=np.uint64, offset=_BMETA_HEAD.size)
+    if not 1 <= ndim <= 4:
+        raise ArchiveError(f"block manifest has invalid ndim {ndim}")
+    try:
+        extents = np.frombuffer(raw, dtype=np.uint64, offset=_BMETA_HEAD.size)
+    except ValueError as exc:  # trailing bytes not a multiple of 8
+        raise ArchiveError(f"block manifest extents malformed: {exc}") from None
     if extents.size != n_blocks:
         raise ArchiveError(
             f"block manifest lists {extents.size} extents, header says {n_blocks}"
         )
+    if extents.size == 0 or np.any(extents == 0):
+        raise ArchiveError("block manifest has empty or zero-sized blocks")
     shape = tuple(int(s) for s in shape4[:ndim])
     if sum(int(e) for e in extents) != shape[0]:
         raise ArchiveError("block extents do not tile the field")
@@ -135,14 +143,39 @@ def compress_blocks(
     row_bytes = int(data.nbytes // data.shape[0]) or 1
     block_rows = max(int(max_block_bytes // row_bytes), 1)
     extents = _block_count_extents(data.shape[0], block_rows)
-    # NaN-masked fields resolve the relative bound on the finite range.
-    eb_abs = config.absolute_bound(float(np.nanmax(data) - np.nanmin(data)))
+    eb_abs = _resolve_global_bound(data, config)
     block_config = config.with_(eb=eb_abs, eb_mode="abs")
     blocks = (
         data[off : off + ext]
         for off, ext in zip(BlockManifest(data.shape, tuple(extents)).offsets, extents)
     )
     return _build_container(blocks, data.shape, extents, block_config)
+
+
+def _resolve_global_bound(data: np.ndarray, config: CompressorConfig) -> float:
+    """Absolute bound for the whole field, safe on NaN-masked and constant data.
+
+    NaN-masked fields resolve the relative bound on the finite range.  An
+    all-NaN field has no range to resolve against (and no finite values to
+    bound), so it is rejected outright; a constant field degenerates to a
+    tiny bound scaled to the field's magnitude so the quantization step
+    stays positive and finite instead of poisoning every block downstream.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # all-NaN slice
+        vmin = float(np.nanmin(data))
+        vmax = float(np.nanmax(data))
+    if np.isnan(vmin) or np.isnan(vmax):
+        raise ConfigError("cannot block-compress an all-NaN field: no finite values")
+    if not (np.isfinite(vmin) and np.isfinite(vmax)):
+        raise ConfigError("cannot block-compress a field containing infinities")
+    eb_abs = config.absolute_bound(vmax - vmin)
+    if not (eb_abs > 0.0 and np.isfinite(eb_abs)):
+        # Constant field under a relative bound: any tiny positive step
+        # reproduces it exactly; scale to the value magnitude.
+        scale = max(abs(vmin), abs(vmax), 1.0)
+        eb_abs = scale * float(np.finfo(np.float32).eps)
+    return eb_abs
 
 
 def _build_container(

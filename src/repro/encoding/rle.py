@@ -94,10 +94,21 @@ def expected_rle_bits(symbols: np.ndarray, value_bits: int, length_bits: int) ->
     """Exact RLE output size in bits without materializing the encoding.
 
     Used by the workflow selector to compare ⟨b⟩_RLE against the Huffman
-    bit-length estimate (Section III-B.1).
+    bit-length estimate (Section III-B.1).  Mirrors :func:`rle_encode`'s
+    run-splitting: a run longer than the ``length_bits``-wide maximum costs
+    one (value, count) pair per split piece, so the count here matches what
+    the encoder actually emits on long-run data.
     """
     symbols = np.asarray(symbols).reshape(-1)
     if symbols.size == 0:
         return 0
-    n_runs = int(np.count_nonzero(symbols[1:] != symbols[:-1])) + 1
+    change = np.flatnonzero(symbols[1:] != symbols[:-1]) + 1
+    max_len = (1 << min(length_bits, 62)) - 1
+    if max_len >= symbols.size:  # no run can need splitting
+        n_runs = change.size + 1
+    else:
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [symbols.size]))
+        lengths = ends - starts
+        n_runs = int(np.sum((lengths + max_len - 1) // max_len))
     return n_runs * (value_bits + length_bits)

@@ -47,6 +47,10 @@ def _unpack_cmeta(raw: bytes) -> _CheckpointMeta:
     if len(raw) != _CMETA.size:
         raise ArchiveError("checkpoint metadata malformed")
     ndim, n_ranks, *shape4 = _CMETA.unpack(raw)
+    if not 1 <= ndim <= 4:
+        raise ArchiveError(f"checkpoint metadata has invalid ndim {ndim}")
+    if n_ranks < 1:
+        raise ArchiveError(f"checkpoint metadata has invalid rank count {n_ranks}")
     return _CheckpointMeta(shape=tuple(int(s) for s in shape4[:ndim]), n_ranks=n_ranks)
 
 

@@ -7,6 +7,10 @@ suffix on counters, base-unit ``_seconds``/``_bytes``):
 * ``repro_compress_input_bytes_total`` -- raw bytes fed to :func:`repro.compress`
 * ``repro_archive_bytes_total``       -- archive bytes produced
 * ``repro_selector_decisions_total{workflow=...}``
+* ``repro_selector_fastpath_total{workflow=...}`` -- forced-workflow
+  short-circuits that skipped the O(n) selector estimation passes
+* ``repro_integrity_failures_total{kind=...}`` -- detected archive
+  corruption by failure class (framing, header_digest, section_checksum)
 * ``repro_outliers_total``
 * ``repro_stage_seconds{op=...,stage=...}`` -- per-stage latency histogram
 * ``repro_kernel_simulated_seconds{kernel=...}`` -- GPU-model kernel times
@@ -25,6 +29,8 @@ __all__ = [
     "INPUT_BYTES",
     "ARCHIVE_BYTES",
     "SELECTOR_DECISIONS",
+    "SELECTOR_FASTPATH",
+    "INTEGRITY_FAILURES",
     "OUTLIERS",
     "STAGE_SECONDS",
     "KERNEL_SIM_SECONDS",
@@ -44,6 +50,12 @@ ARCHIVE_BYTES = REGISTRY.counter(
     "repro_archive_bytes_total", "Archive bytes produced by the compressor")
 SELECTOR_DECISIONS = REGISTRY.counter(
     "repro_selector_decisions_total", "Adaptive-workflow decisions by outcome")
+SELECTOR_FASTPATH = REGISTRY.counter(
+    "repro_selector_fastpath_total",
+    "Forced-workflow selections that skipped the O(n) estimation passes")
+INTEGRITY_FAILURES = REGISTRY.counter(
+    "repro_integrity_failures_total",
+    "Archive corruption detections by failure class")
 OUTLIERS = REGISTRY.counter(
     "repro_outliers_total", "Out-of-dictionary-range compensation deltas stored")
 STAGE_SECONDS = REGISTRY.histogram(

@@ -1,0 +1,72 @@
+"""Fuzz-suite fixtures: archives from every producer, Hypothesis profiles.
+
+The corruption tests need one representative v2 archive per *producer*
+(``compress``, ``compress_blocks``, ``StreamingCompressor``, and the
+parallel checkpoint writer) because each wraps the sectioned container
+differently.  Profiles: ``dev`` keeps the property tests cheap inside the
+tier-1 run; ``ci`` (selected via ``REPRO_HYPOTHESIS_PROFILE=ci``) widens
+the search for the dedicated CI job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+import repro
+from repro.core.config import CompressorConfig
+from repro.core.streaming import StreamingCompressor, compress_blocks
+from repro.parallel import run_spmd, slab_for_rank, write_checkpoint
+
+settings.register_profile(
+    "dev", max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci", max_examples=75, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
+
+
+def _smooth_field(shape=(96, 96), seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 6, shape[0])
+    y = np.linspace(0, 4, shape[1])
+    return (np.sin(x)[:, None] * np.cos(y)[None, :] * 5
+            + rng.normal(0, 0.01, shape)).astype(np.float32)
+
+
+@pytest.fixture(scope="package")
+def producer_archives():
+    """name -> (archive blob, decoder callable) for every archive producer."""
+    from repro.core.streaming import decompress_blocks
+    from repro.parallel import read_checkpoint
+
+    field = _smooth_field()
+    single = repro.compress(field, eb=1e-3).archive
+
+    blocks = compress_blocks(field, eb=1e-3, max_block_bytes=12_000)
+
+    sc = StreamingCompressor(CompressorConfig(eb=1e-3, eb_mode="abs"))
+    for off in (0, 32, 64):
+        sc.append(field[off : off + 32])
+    streamed = sc.finish()
+
+    config = CompressorConfig(eb=1e-3)
+    ckpt = run_spmd(
+        2,
+        lambda c: write_checkpoint(
+            c, slab_for_rank(field, 2, c.rank).copy(), config
+        ),
+    )[0]
+
+    return {
+        "compress": (single, repro.decompress),
+        "compress_blocks": (blocks, decompress_blocks),
+        "streaming": (streamed, decompress_blocks),
+        "checkpoint": (ckpt, read_checkpoint),
+    }

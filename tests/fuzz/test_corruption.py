@@ -1,0 +1,148 @@
+"""Fault-injection: every corrupted v2 archive must fail loudly and typed.
+
+The contract under test (ISSUE 2 acceptance): any bit-flip in any section
+payload, any truncation, and any section-table mutation of a v2 archive
+raises :class:`ArchiveError`/:class:`IntegrityError` from *both* the deep
+verifier and the real decode path -- never a silently-wrong array, never an
+uncaught non-repro exception.  Untampered archives keep round-tripping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import telemetry
+from repro.core.archive import ArchiveBuilder, ArchiveReader
+from repro.core.errors import ArchiveError, IntegrityError, ReproError
+from repro.core.integrity import (
+    flip_bit,
+    iter_corruptions,
+    verify_archive,
+    with_mutated_section_length,
+    with_swapped_table_entries,
+)
+
+PRODUCERS = ["compress", "compress_blocks", "streaming", "checkpoint"]
+
+
+def _must_raise_archive_error(fn, blob, label, producer):
+    try:
+        fn(blob)
+    except ArchiveError:
+        return
+    except ReproError as exc:  # typed, but the wrong family
+        pytest.fail(f"{producer}/{label}: raised {type(exc).__name__}, "
+                    f"expected ArchiveError")
+    except Exception as exc:  # noqa: BLE001 - the whole point of the test
+        pytest.fail(f"{producer}/{label}: escaped with non-repro "
+                    f"{type(exc).__name__}: {exc}")
+    else:
+        pytest.fail(f"{producer}/{label}: corruption went undetected")
+
+
+class TestUntampered:
+    @pytest.mark.parametrize("producer", PRODUCERS)
+    def test_clean_archive_verifies_and_decodes(self, producer_archives, producer):
+        blob, decode = producer_archives[producer]
+        report = verify_archive(blob, deep=True)
+        assert report.version == 2
+        out = decode(blob)
+        assert np.isfinite(out).all()
+
+    @pytest.mark.parametrize("producer", PRODUCERS)
+    def test_decode_is_deterministic(self, producer_archives, producer):
+        blob, decode = producer_archives[producer]
+        np.testing.assert_array_equal(decode(blob), decode(bytes(blob)))
+
+
+class TestSystematicCorruption:
+    @pytest.mark.parametrize("producer", PRODUCERS)
+    def test_verify_rejects_every_mutation(self, producer_archives, producer):
+        blob, _ = producer_archives[producer]
+        n = 0
+        for label, bad in iter_corruptions(blob, seed=7):
+            assert bad != blob, label
+            _must_raise_archive_error(lambda b: verify_archive(b, deep=True),
+                                      bad, label, producer)
+            n += 1
+        assert n > 80  # the generator actually produced a broad sweep
+
+    @pytest.mark.parametrize("producer", PRODUCERS)
+    def test_decode_rejects_every_mutation(self, producer_archives, producer):
+        blob, decode = producer_archives[producer]
+        for label, bad in iter_corruptions(blob, seed=11):
+            _must_raise_archive_error(decode, bad, label, producer)
+
+
+class TestEveryPayloadByte:
+    """Exhaustive single-bit coverage of every payload region (one archive)."""
+
+    def test_bitflip_in_each_payload_section_detected(self, producer_archives):
+        blob, _ = producer_archives["compress"]
+        reader = ArchiveReader(blob)
+        for name in reader.names():
+            _, off, length, _ = reader._entry(name)
+            if length == 0:
+                continue
+            for byte in {off, off + length // 2, off + length - 1}:
+                bad = flip_bit(blob, 8 * byte + 3)
+                with pytest.raises(IntegrityError):
+                    ArchiveReader(bad).get_bytes(name)
+
+    def test_truncation_at_every_byte_of_small_archive(self):
+        blob = repro.compress(
+            np.linspace(0, 1, 256, dtype=np.float32), eb=1e-3
+        ).archive
+        for cut in range(len(blob)):
+            with pytest.raises(ArchiveError):
+                repro.decompress(blob[:cut])
+            with pytest.raises(ArchiveError):
+                verify_archive(blob[:cut])
+
+    def test_extension_rejected(self, producer_archives):
+        blob, _ = producer_archives["compress"]
+        with pytest.raises(ArchiveError):
+            verify_archive(blob + b"\x00")
+
+
+class TestTableMutations:
+    def test_swapped_entries_detected(self, producer_archives):
+        blob, _ = producer_archives["compress"]
+        with pytest.raises(IntegrityError):
+            verify_archive(with_swapped_table_entries(blob, 0, 1))
+
+    @pytest.mark.parametrize("delta", [-7, -1, 1, 64])
+    def test_length_mutations_detected(self, producer_archives, delta):
+        blob, _ = producer_archives["compress"]
+        with pytest.raises(ArchiveError):
+            verify_archive(with_mutated_section_length(blob, 1, delta))
+
+    def test_rebuilt_archive_with_wrong_payload_fails_crosschecks(
+        self, producer_archives
+    ):
+        """A 'valid' v2 archive whose meta lies about counts must still fail."""
+        blob, _ = producer_archives["compress"]
+        reader = ArchiveReader(blob)
+        builder = ArchiveBuilder()
+        for name in reader.names():
+            raw = reader.get_bytes(name)
+            if name == "o.idx":
+                raw = raw + b"\x00" * 4  # one phantom outlier index
+            builder.add_bytes(name, raw)
+        with pytest.raises(ArchiveError):
+            verify_archive(builder.to_bytes())
+
+
+class TestTelemetryCounters:
+    def test_corruption_detections_are_counted(self, producer_archives):
+        blob, _ = producer_archives["compress"]
+        counter = telemetry.REGISTRY.counter("repro_integrity_failures_total")
+        with telemetry.scope(True):
+            before = counter.total()
+            with pytest.raises(ArchiveError):
+                verify_archive(blob[: len(blob) - 3])
+            with pytest.raises(IntegrityError):
+                verify_archive(flip_bit(blob, 8 * (len(blob) - 1)))
+            assert counter.total() >= before + 2

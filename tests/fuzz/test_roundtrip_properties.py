@@ -1,0 +1,101 @@
+"""Property-based round-trips over the dtype/shape/eb-mode/workflow space.
+
+Every archive the compressor can emit must (a) pass deep verification,
+(b) decode to within the promised bound, and (c) detect a random bit-flip.
+Hypothesis drives the configuration space; the field data itself comes from
+a seeded numpy generator (cheaper than drawing arrays element-wise, and the
+seed is part of the shrinkable example).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro
+from repro.core.errors import ArchiveError
+from repro.core.integrity import flip_bit, verify_archive
+from repro.core.streaming import compress_blocks, decompress_blocks
+
+_SHAPES = st.sampled_from([
+    (64,), (257,), (4096,),
+    (16, 16), (33, 7), (96, 96),
+    (8, 8, 8), (5, 11, 7),
+])
+_PATTERNS = st.sampled_from(["smooth", "noise", "plateau", "mixed"])
+
+
+def _make_field(shape, dtype, pattern, seed):
+    rng = np.random.default_rng(seed)
+    n = int(np.prod(shape))
+    if pattern == "smooth":
+        t = np.linspace(0, 6 * np.pi, n)
+        flat = np.sin(t) * 10 + rng.normal(0, 0.05, n)
+    elif pattern == "noise":
+        flat = rng.normal(0, 3, n)
+    elif pattern == "plateau":
+        flat = np.repeat(rng.integers(-3, 4, max(n // 50, 1)).astype(float), 50)[:n]
+        if flat.size < n:
+            flat = np.pad(flat, (0, n - flat.size))
+    else:  # mixed: smooth base with a sparse spike field
+        flat = np.linspace(-5, 5, n)
+        flat[rng.integers(0, n, max(n // 100, 1))] *= 40
+    return np.asarray(flat, dtype=dtype).reshape(shape)
+
+
+@given(
+    shape=_SHAPES,
+    dtype=st.sampled_from([np.float32, np.float64]),
+    pattern=_PATTERNS,
+    eb_mode=st.sampled_from(["rel", "abs"]),
+    eb_exp=st.integers(-5, -2),
+    workflow=st.sampled_from(["auto", "huffman", "rle", "rle+vle"]),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_compress_roundtrip_verifies_and_bounds(
+    shape, dtype, pattern, eb_mode, eb_exp, workflow, seed
+):
+    field = _make_field(shape, dtype, pattern, seed)
+    result = repro.compress(field, eb=10.0**eb_exp, eb_mode=eb_mode, workflow=workflow)
+
+    report = verify_archive(result.archive, deep=True)
+    assert report.version == 2
+
+    out = repro.decompress(result.archive)
+    assert out.shape == field.shape
+    assert out.dtype == field.dtype
+    err = np.abs(field.astype(np.float64) - out.astype(np.float64)).max()
+    assert err <= result.eb_abs * (1 + 1e-12) + 1e-300
+
+    # A single flipped bit anywhere must be detected by the verifier.
+    bit = seed % (8 * len(result.archive))
+    try:
+        verify_archive(flip_bit(result.archive, bit), deep=True)
+    except ArchiveError:
+        pass
+    else:
+        raise AssertionError(f"bit-flip at {bit} went undetected")
+
+
+@given(
+    rows=st.integers(40, 200),
+    cols=st.integers(4, 32),
+    block_kb=st.sampled_from([2, 8, 64]),
+    pattern=_PATTERNS,
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_block_container_roundtrip_verifies_and_bounds(
+    rows, cols, block_kb, pattern, seed
+):
+    field = _make_field((rows, cols), np.float32, pattern, seed)
+    blob = compress_blocks(field, eb=1e-3, max_block_bytes=block_kb * 1024)
+
+    report = verify_archive(blob, deep=True)
+    assert report.kind == "blocks"
+    assert report.nested  # at least one inner block archive was walked
+
+    out = decompress_blocks(blob)
+    rng_span = float(np.ptp(field))
+    eb_abs = 1e-3 * rng_span if rng_span > 0 else np.inf
+    assert np.abs(field.astype(np.float64) - out.astype(np.float64)).max() <= eb_abs

@@ -178,3 +178,54 @@ class TestInfoVerify:
         bad = tmp_path / "bad.rpsz"
         bad.write_bytes(b"definitely not an archive")
         assert main(["info", str(bad)]) == 2
+
+
+class TestDeepVerify:
+    def _archive(self, field_file, tmp_path):
+        path, _ = field_file
+        archive = tmp_path / "f.rpsz"
+        assert main(["compress", str(path), "-o", str(archive),
+                     "--dims", "120", "120", "--eb", "1e-3"]) == 0
+        return path, archive
+
+    def test_deep_verify_archive_only(self, field_file, tmp_path, capsys):
+        _, archive = self._archive(field_file, tmp_path)
+        capsys.readouterr()
+        assert main(["verify", str(archive), "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "integrity OK" in out
+        assert "format v2" in out
+
+    def test_deep_verify_json(self, field_file, tmp_path, capsys):
+        _, archive = self._archive(field_file, tmp_path)
+        capsys.readouterr()
+        assert main(["verify", str(archive), "--deep", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["deep"] is True
+        assert payload["format_version"] == 2
+        assert payload["sections_checked"] >= 1
+
+    def test_deep_verify_detects_corruption(self, field_file, tmp_path, capsys):
+        _, archive = self._archive(field_file, tmp_path)
+        blob = bytearray(archive.read_bytes())
+        blob[-1] ^= 0x10
+        bad = tmp_path / "bad.rpsz"
+        bad.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["verify", str(bad), "--deep"]) == 2
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_deep_combined_with_quality_check(self, field_file, tmp_path, capsys):
+        path, archive = self._archive(field_file, tmp_path)
+        capsys.readouterr()
+        assert main(["verify", str(path), str(archive),
+                     "--dims", "120", "120", "--deep", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bound_satisfied"] is True
+        assert payload["deep_ok"] is True
+
+    def test_verify_without_deep_needs_original(self, field_file, tmp_path, capsys):
+        _, archive = self._archive(field_file, tmp_path)
+        capsys.readouterr()
+        assert main(["verify", str(archive)]) == 2
+        assert capsys.readouterr().err

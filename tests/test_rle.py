@@ -85,3 +85,24 @@ class TestExpectedBits:
 
     def test_empty_stream(self):
         assert expected_rle_bits(np.zeros(0, dtype=np.uint16), 16, 16) == 0
+
+    def test_overlong_run_counted_as_split(self):
+        """Regression: a run longer than the length-field maximum must be
+        costed as multiple runs, exactly as rle_encode splits it."""
+        stream = np.full(70_000, 3, dtype=np.uint16)  # one run > 65535
+        enc = rle_encode(stream, length_dtype=np.uint16)
+        assert enc.n_runs == 2  # 65535 + 4465
+        assert expected_rle_bits(stream, 16, 16) == enc.n_runs * 32
+
+    def test_split_estimate_matches_encoder_mixed_stream(self):
+        rng = np.random.default_rng(3)
+        stream = np.repeat(
+            rng.integers(0, 4, 12).astype(np.uint16),
+            rng.integers(1, 200_000, 12),
+        )
+        enc = rle_encode(stream, length_dtype=np.uint16)
+        assert expected_rle_bits(stream, 16, 16) == enc.n_runs * 32
+
+    def test_wide_length_field_never_splits(self):
+        stream = np.full(70_000, 3, dtype=np.uint16)
+        assert expected_rle_bits(stream, 16, 64) == 1 * (16 + 64)

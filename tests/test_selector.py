@@ -86,3 +86,32 @@ class TestSelection:
         diag = select_workflow(q, histogram(q, 1024), CompressorConfig())
         assert diag.rle_bitlen_estimate < diag.bitlen_lower
         assert diag.decision == "rle+vle"
+
+    def test_forced_workflow_skips_estimation_passes(self):
+        """Satellite: a forced workflow must short-circuit before the O(n)
+        RLE/smoothness estimates; the diagnostics advertise the skip."""
+        from repro import telemetry
+        from repro.telemetry import instruments as ins
+
+        q = make_quant(0.9)
+        cfg = CompressorConfig(workflow="rle+vle")
+        with telemetry.scope(True):
+            before = ins.SELECTOR_FASTPATH.value(workflow="rle+vle")
+            diag = select_workflow(q, histogram(q, 1024), cfg)
+            assert ins.SELECTOR_FASTPATH.value(workflow="rle+vle") == before + 1
+        assert diag.decision == "rle+vle"
+        assert diag.reason == "forced by configuration"
+        assert np.isnan(diag.rle_bitlen_estimate)  # estimate never computed
+        assert diag.smoothness is None
+        # the cheap histogram-derived diagnostics are still populated
+        assert 0 < diag.p1 <= 1 and diag.bitlen_lower <= diag.bitlen_upper
+
+    def test_fastpath_counter_silent_when_disabled(self):
+        from repro import telemetry
+        from repro.telemetry import instruments as ins
+
+        q = make_quant(0.9)
+        before = ins.SELECTOR_FASTPATH.value(workflow="huffman")
+        with telemetry.scope(False):
+            select_workflow(q, histogram(q, 1024), CompressorConfig(workflow="huffman"))
+        assert ins.SELECTOR_FASTPATH.value(workflow="huffman") == before

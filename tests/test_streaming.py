@@ -145,3 +145,68 @@ class TestStreamingCompressor:
         sc = StreamingCompressor(CompressorConfig(eb=0.01, eb_mode="abs"))
         with pytest.raises(ConfigError):
             sc.finish()
+
+
+class TestBlockEdgeCases:
+    def test_single_block_full_access_paths(self, big_field):
+        """All three read paths must agree when everything fits in one block."""
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=1 << 30)
+        assert block_manifest(blob).n_blocks == 1
+        full = decompress_blocks(blob)
+        np.testing.assert_array_equal(decompress_block(blob, 0), full)
+        np.testing.assert_array_equal(decompress_range(blob, 3, 9), full[3:9])
+
+    def test_range_spanning_exact_block_boundary(self, big_field):
+        blob = compress_blocks(big_field, eb=1e-3, max_block_bytes=100_000)
+        m = block_manifest(blob)
+        assert m.n_blocks >= 2
+        b = m.offsets[1]  # first row owned by block 1
+        rows = decompress_range(blob, b - 1, b + 1)
+        assert rows.shape[0] == 2
+        eb_abs = 1e-3 * float(big_field.max() - big_field.min())
+        assert np.abs(big_field[b - 1 : b + 1] - rows).max() <= eb_abs
+
+    def test_streaming_heterogeneous_block_heights(self):
+        rng = np.random.default_rng(5)
+        sc = StreamingCompressor(CompressorConfig(eb=0.01, eb_mode="abs"))
+        chunks = [rng.normal(size=(h, 24)).astype(np.float32) for h in (1, 7, 64, 3)]
+        for c in chunks:
+            sc.append(c)
+        blob = sc.finish()
+        m = block_manifest(blob)
+        assert list(m.extents) == [1, 7, 64, 3]
+        out = decompress_blocks(blob)
+        data = np.concatenate(chunks)
+        assert out.shape == data.shape
+        assert np.abs(data - out).max() <= 0.01
+
+    def test_constant_field_roundtrips_exactly_enough(self):
+        """Satellite: zero value range must clamp to a tiny positive bound,
+        not divide by zero or emit an unbounded quantization."""
+        data = np.full((80, 32), 41.25, dtype=np.float32)
+        blob = compress_blocks(data, eb=1e-3, max_block_bytes=4096)
+        out = decompress_blocks(blob)
+        assert out.shape == data.shape
+        # with zero range the relative bound degrades to the raw eb value
+        assert np.abs(data - out).max() <= 1e-3
+
+    def test_all_nan_field_rejected(self):
+        with pytest.raises(ConfigError, match="NaN"):
+            compress_blocks(np.full((16, 16), np.nan, np.float32), eb=1e-3)
+
+    def test_nonfinite_field_rejected(self):
+        data = np.ones((16, 16), np.float32)
+        data[3, 3] = np.inf
+        with pytest.raises(ConfigError):
+            compress_blocks(data, eb=1e-3)
+
+    def test_partial_nan_field_still_compresses(self):
+        rng = np.random.default_rng(9)
+        data = rng.normal(size=(64, 32)).astype(np.float32)
+        data[::7, ::5] = np.nan
+        blob = compress_blocks(data, eb=1e-3, max_block_bytes=8192)
+        out = decompress_blocks(blob)
+        assert np.isnan(out[::7, ::5]).all()
+        mask = ~np.isnan(data)
+        eb_abs = 1e-3 * float(np.nanmax(data) - np.nanmin(data))
+        assert np.abs(data[mask] - out[mask]).max() <= eb_abs
