@@ -1,6 +1,40 @@
-"""Benchmark harness: paper-table experiments and the CLI entry point."""
+"""Benchmark harness: paper-table experiments, scenarios, and regression gates."""
 
 from . import experiments  # noqa: F401  (registers all experiments)
+from .diagnose import diagnose_report, render_report
 from .harness import all_experiments, get_experiment
+from .profiler import fold_trace, kernel_table, profile_scenario
+from .record import (
+    SCHEMA,
+    build_record,
+    load_record,
+    validate_record,
+    write_record,
+)
+from .regression import PROFILES, ThresholdProfile, compare_records
+from .runner import run_case, run_scenario
+from .scenarios import SCENARIOS, BenchCase, Scenario, get_scenario
 
-__all__ = ["all_experiments", "get_experiment"]
+__all__ = [
+    "all_experiments",
+    "get_experiment",
+    "SCHEMA",
+    "build_record",
+    "validate_record",
+    "write_record",
+    "load_record",
+    "run_case",
+    "run_scenario",
+    "BenchCase",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "ThresholdProfile",
+    "PROFILES",
+    "compare_records",
+    "fold_trace",
+    "kernel_table",
+    "profile_scenario",
+    "diagnose_report",
+    "render_report",
+]

@@ -1,0 +1,138 @@
+"""Selector-accuracy audit: predicted ⟨b⟩ / RLE gain vs realized coded bits.
+
+The paper's adaptive rule rests on two estimators computed from the
+quant-code histogram alone: the average Huffman bit-length ⟨b⟩ bounded via
+Gallager/Johnsen redundancy (``H + R- <= ⟨b⟩ <= H + R+``) and the RLE
+bits-per-symbol from the run-break rate.  This module quantifies how well
+those predictions match what the coders actually produce, per field:
+
+* the *actual* Huffman ⟨b⟩ (tree built on the real histogram) against the
+  predicted [R-, R+] interval;
+* the *actual* coded bits per symbol of the chosen workflow (from the
+  archive's quant-stream sections) against the prediction that selected it;
+* the ``repro_selector_mispredict_total`` counter, fed by every
+  :func:`repro.compress` call via the in-pipeline audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import telemetry as tel
+from ..analysis.entropy import bitlen_bounds
+from ..core.compressor import compress
+from ..core.config import CompressorConfig
+from ..core.dual_quant import quantize_field
+from ..encoding.histogram import histogram
+from ..encoding.huffman import build_codebook
+from .harness import format_table
+
+__all__ = ["DiagnoseField", "DEFAULT_FIELDS", "diagnose_report", "render_report"]
+
+
+@dataclass(frozen=True)
+class DiagnoseField:
+    """One audited (dataset, field, error-bound) point."""
+
+    dataset: str
+    field_name: str
+    eb: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.dataset}/{self.field_name}@{self.eb:g}"
+
+
+#: Default audit set: at least one Huffman-regime and one RLE-regime field.
+DEFAULT_FIELDS = (
+    DiagnoseField("CESM", "PS", 1e-3),
+    DiagnoseField("CESM", "FLNTC", 1e-4),
+    DiagnoseField("CESM", "FSDSC", 1e-2),
+    DiagnoseField("RTM", "snapshot2800", 1e-2),
+    DiagnoseField("Nyx", "baryon_density", 1e-3),
+)
+
+
+def _audit_field(spec: DiagnoseField) -> dict:
+    from ..data import get_dataset
+
+    data = get_dataset(spec.dataset).field(spec.field_name).data
+    config = CompressorConfig(eb=spec.eb)
+    bundle, _ = quantize_field(data, config)
+    freqs = histogram(bundle.quant, config.dict_size)
+    entropy, p1, lower, upper = bitlen_bounds(freqs)
+    # Ground truth for the ⟨b⟩ estimator: build the tree the selector avoids.
+    actual_b = build_codebook(freqs).average_bit_length(freqs)
+    result = compress(data, config)
+    audit = result.selector_audit or {}
+    decision = audit.get("decision", result.workflow)
+    regime = "rle" if decision.startswith("rle") else "huffman"
+    predicted_rle = audit.get("predicted_rle_bits_per_symbol")
+    actual_bits = audit.get("actual_bits_per_symbol")
+    rle_rel_error = None
+    if regime == "rle" and predicted_rle and actual_bits:
+        rle_rel_error = (predicted_rle - actual_bits) / actual_bits
+    return {
+        "field": spec.label,
+        "regime": regime,
+        "decision": decision,
+        "p1": p1,
+        "entropy": entropy,
+        "predicted_bitlen_lower": lower,
+        "predicted_bitlen_upper": upper,
+        "actual_avg_bitlen": actual_b,
+        "within_bounds": bool(lower - 1e-9 <= actual_b <= upper + 1e-9),
+        "bitlen_rel_error": (actual_b - lower) / actual_b if actual_b else None,
+        "predicted_rle_bits_per_symbol": predicted_rle,
+        "actual_bits_per_symbol": actual_bits,
+        "rle_estimate_rel_error": rle_rel_error,
+        "mispredict": audit.get("mispredict"),
+    }
+
+
+def diagnose_report(fields: tuple[DiagnoseField, ...] = DEFAULT_FIELDS) -> dict:
+    """Audit every field; returns a JSON-serializable report dict."""
+    with tel.scope(True):
+        entries = [_audit_field(spec) for spec in fields]
+        mispredict = tel.REGISTRY.counter("repro_selector_mispredict_total")
+        by_kind = {
+            dict(k).get("kind", "?"): v
+            for k, v in ((tuple(e["labels"].items()), e["value"])
+                         for e in mispredict.to_json()["values"])
+        }
+    regimes = {r: sum(1 for e in entries if e["regime"] == r)
+               for r in ("huffman", "rle")}
+    return {
+        "fields": entries,
+        "regime_counts": regimes,
+        "all_within_bounds": all(e["within_bounds"] for e in entries),
+        "mispredict_total": sum(by_kind.values()),
+        "mispredict_by_kind": by_kind,
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable per-field estimator table plus the summary line."""
+    rows = []
+    for e in report["fields"]:
+        rows.append([
+            e["field"], e["regime"], e["decision"],
+            e["predicted_bitlen_lower"], e["predicted_bitlen_upper"],
+            e["actual_avg_bitlen"],
+            "yes" if e["within_bounds"] else "NO",
+            e["predicted_rle_bits_per_symbol"],
+            e["actual_bits_per_symbol"],
+            e["mispredict"] or "-",
+        ])
+    table = format_table(
+        ["field", "regime", "decision", "⟨b⟩ R-", "⟨b⟩ R+", "⟨b⟩ actual",
+         "in bounds", "rle pred b/sym", "coded b/sym", "mispredict"],
+        rows, title="selector estimator audit (predicted vs actual)",
+    )
+    counts = report["regime_counts"]
+    summary = (
+        f"{counts.get('huffman', 0)} huffman-regime / {counts.get('rle', 0)} "
+        f"rle-regime fields; bounds hold: {report['all_within_bounds']}; "
+        f"mispredictions: {report['mispredict_total']}"
+    )
+    return f"{table}\n{summary}"

@@ -1,0 +1,179 @@
+"""Structured benchmark run records (the ``BENCH_<label>.json`` format).
+
+A *record* is the machine-readable outcome of one ``repro bench run``:
+per-case timing statistics aggregated from the telemetry span tree, quality
+figures (compression ratio / PSNR / max error), the selector audit, a
+metrics-registry snapshot, and an environment fingerprint that makes two
+records comparable (same machine? same commit?).
+
+The schema is versioned (``repro.bench/v1``) and deliberately stable: the
+regression detector (:mod:`repro.bench.regression`) and CI gate on these
+files, so additions are fine but renames/removals bump the version.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA",
+    "RECORD_REQUIRED_KEYS",
+    "RESULT_REQUIRED_KEYS",
+    "environment_fingerprint",
+    "summarize",
+    "build_record",
+    "validate_record",
+    "write_record",
+    "load_record",
+    "record_filename",
+]
+
+#: Current record schema identifier.
+SCHEMA = "repro.bench/v1"
+
+#: Keys every record must carry at the top level.
+RECORD_REQUIRED_KEYS = (
+    "schema", "label", "scenario", "created_unix", "environment",
+    "config", "results", "metrics",
+)
+
+#: Keys every per-case result must carry.
+RESULT_REQUIRED_KEYS = (
+    "case", "dataset", "field", "eb", "workflow", "repeats",
+    "timing", "quality", "sizes", "selector",
+)
+
+#: Keys every timing summary must carry.
+SUMMARY_REQUIRED_KEYS = ("mean", "min", "max", "stdev", "n")
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def _cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def environment_fingerprint() -> dict:
+    """Everything needed to judge whether two records are comparable."""
+    import numpy
+
+    return {
+        "git_sha": _git_sha(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu": _cpu_model(),
+    }
+
+
+def summarize(samples: list[float]) -> dict:
+    """mean/min/max/stdev/n summary of repeated measurements."""
+    if not samples:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0, "stdev": 0.0, "n": 0}
+    return {
+        "mean": statistics.fmean(samples),
+        "min": min(samples),
+        "max": max(samples),
+        "stdev": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        "n": len(samples),
+    }
+
+
+def build_record(
+    label: str,
+    scenario: str,
+    results: list[dict],
+    config: dict,
+    metrics: dict,
+) -> dict:
+    """Assemble and validate a complete record dict."""
+    record = {
+        "schema": SCHEMA,
+        "label": label,
+        "scenario": scenario,
+        "created_unix": time.time(),
+        "environment": environment_fingerprint(),
+        "config": config,
+        "results": results,
+        "metrics": metrics,
+    }
+    validate_record(record)
+    return record
+
+
+def validate_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` satisfies the v1 schema."""
+    if not isinstance(record, dict):
+        raise ValueError(f"record must be a dict, got {type(record).__name__}")
+    missing = [k for k in RECORD_REQUIRED_KEYS if k not in record]
+    if missing:
+        raise ValueError(f"record missing required keys: {missing}")
+    if record["schema"] != SCHEMA:
+        raise ValueError(
+            f"unsupported record schema {record['schema']!r}; expected {SCHEMA!r}"
+        )
+    if not isinstance(record["results"], list) or not record["results"]:
+        raise ValueError("record must carry a non-empty results list")
+    for i, result in enumerate(record["results"]):
+        missing = [k for k in RESULT_REQUIRED_KEYS if k not in result]
+        if missing:
+            raise ValueError(f"results[{i}] missing required keys: {missing}")
+        timing = result["timing"]
+        if not isinstance(timing, dict) or not timing:
+            raise ValueError(f"results[{i}] timing must be a non-empty dict")
+        for stage, summary in timing.items():
+            bad = [k for k in SUMMARY_REQUIRED_KEYS if k not in summary]
+            if bad:
+                raise ValueError(
+                    f"results[{i}] timing[{stage!r}] missing {bad}"
+                )
+    json.dumps(record)  # must be serializable end to end
+
+
+def record_filename(label: str) -> str:
+    """Canonical on-disk name for a record with the given label."""
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "-" for c in label)
+    return f"BENCH_{safe}.json"
+
+
+def write_record(record: dict, out_dir: str | Path) -> Path:
+    """Validate and write ``record`` to ``out_dir``; returns the file path."""
+    validate_record(record)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / record_filename(record["label"])
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_record(path: str | Path) -> dict:
+    """Read and validate a record file."""
+    record = json.loads(Path(path).read_text())
+    validate_record(record)
+    return record

@@ -1,0 +1,202 @@
+"""Noise-aware benchmark regression detection between two BENCH records.
+
+Timing metrics are compared on the best-of-k (``min``) with a relative
+threshold widened by the measured noise (coefficient of variation across
+repeats): a stage only regresses when the new best exceeds the old best by
+more than ``max(base_tolerance, noise_sigma * cv)``.  Quality metrics
+(compression ratio, PSNR, max error) are deterministic and use tight
+thresholds.  Two profiles ship: ``default`` (local, strict-ish) and ``ci``
+(generous: shared runners are noisy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .harness import format_table
+from .record import validate_record
+
+__all__ = [
+    "ThresholdProfile",
+    "PROFILES",
+    "CompareRow",
+    "CompareReport",
+    "compare_records",
+]
+
+
+@dataclass(frozen=True)
+class ThresholdProfile:
+    """Per-metric-class tolerances for one comparison strictness level."""
+
+    name: str
+    #: Base relative tolerance on timing metrics (0.25 = +25% is a regression).
+    time_rel: float = 0.25
+    #: Noise widening: tolerance >= noise_sigma * max(cv_old, cv_new).
+    noise_sigma: float = 3.0
+    #: Stages whose old best is under this many seconds are reported but
+    #: never gated on (timer noise dominates).
+    min_seconds: float = 0.002
+    #: Relative drop in compression ratio that counts as a regression.
+    ratio_rel: float = 0.02
+    #: Absolute dB drop in PSNR that counts as a regression.
+    psnr_abs: float = 0.1
+    #: Relative growth in max error that counts as a regression.
+    error_rel: float = 0.02
+
+
+PROFILES: dict[str, ThresholdProfile] = {
+    "default": ThresholdProfile(name="default"),
+    "ci": ThresholdProfile(
+        name="ci", time_rel=1.5, noise_sigma=5.0, min_seconds=0.01,
+        ratio_rel=0.05, psnr_abs=0.5, error_rel=0.10,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CompareRow:
+    """One (case, metric) comparison outcome."""
+
+    case: str
+    metric: str
+    old: float | None
+    new: float | None
+    delta_pct: float | None
+    tolerance_pct: float | None
+    status: str  # ok | regression | improved | info | missing | new
+
+    def to_json(self) -> dict:
+        return {
+            "case": self.case, "metric": self.metric,
+            "old": self.old, "new": self.new,
+            "delta_pct": self.delta_pct, "tolerance_pct": self.tolerance_pct,
+            "status": self.status,
+        }
+
+
+@dataclass
+class CompareReport:
+    """All rows of a record-vs-record comparison."""
+
+    profile: str
+    rows: list[CompareRow] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CompareRow]:
+        return [r for r in self.rows if r.status in ("regression", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_json(self) -> dict:
+        return {
+            "profile": self.profile,
+            "ok": self.ok,
+            "n_regressions": len(self.regressions),
+            "rows": [r.to_json() for r in self.rows],
+        }
+
+    def render(self, all_rows: bool = False) -> str:
+        """Human-readable comparison table plus the verdict line."""
+        shown = self.rows if all_rows else [
+            r for r in self.rows if r.status != "ok"
+        ]
+        if not shown and self.rows:
+            shown = self.rows  # nothing notable: show everything
+        table = format_table(
+            ["case / metric", "old", "new", "delta %", "tol %", "status"],
+            [
+                [f"{r.case} · {r.metric}", r.old, r.new, r.delta_pct,
+                 r.tolerance_pct, r.status]
+                for r in shown
+            ],
+            title=f"bench compare (profile={self.profile})",
+        )
+        verdict = (
+            "OK: no regressions"
+            if self.ok
+            else f"REGRESSION: {len(self.regressions)} metric(s) regressed"
+        )
+        return f"{table}\n{verdict}"
+
+
+def _pct(old: float, new: float) -> float | None:
+    if old == 0:
+        return None
+    return (new - old) / old * 100.0
+
+
+def _cv(summary: dict) -> float:
+    mean = summary.get("mean", 0.0)
+    return summary.get("stdev", 0.0) / mean if mean > 0 else 0.0
+
+
+def _compare_timing(case: str, old_t: dict, new_t: dict, prof: ThresholdProfile,
+                    rows: list[CompareRow]) -> None:
+    for stage in sorted(set(old_t) | set(new_t)):
+        o, n = old_t.get(stage), new_t.get(stage)
+        if o is None or n is None:
+            rows.append(CompareRow(case, stage, o and o["min"], n and n["min"],
+                                   None, None, "info"))
+            continue
+        tol = max(prof.time_rel, prof.noise_sigma * max(_cv(o), _cv(n)))
+        old_best, new_best = o["min"], n["min"]
+        delta = _pct(old_best, new_best)
+        if old_best < prof.min_seconds:
+            status = "info"
+        elif new_best > old_best * (1.0 + tol):
+            status = "regression"
+        elif new_best < old_best * (1.0 - tol):
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(CompareRow(case, stage, old_best, new_best, delta,
+                               tol * 100.0, status))
+
+
+def _compare_quality(case: str, old_q: dict, new_q: dict, prof: ThresholdProfile,
+                     rows: list[CompareRow]) -> None:
+    def judge(metric: str, worse) -> None:
+        o, n = old_q.get(metric), new_q.get(metric)
+        if o is None or n is None:
+            return
+        rows.append(CompareRow(
+            case, metric, o, n, _pct(o, n) if isinstance(o, (int, float)) else None,
+            None, "regression" if worse(o, n) else "ok",
+        ))
+
+    judge("compression_ratio", lambda o, n: n < o * (1.0 - prof.ratio_rel))
+    judge("psnr_db", lambda o, n: n < o - prof.psnr_abs)
+    judge("max_error", lambda o, n: n > o * (1.0 + prof.error_rel))
+    judge("bound_satisfied", lambda o, n: bool(o) and not bool(n))
+
+
+def compare_records(
+    old: dict, new: dict, profile: str | ThresholdProfile = "default"
+) -> CompareReport:
+    """Compare two validated BENCH records case by case."""
+    validate_record(old)
+    validate_record(new)
+    prof = PROFILES[profile] if isinstance(profile, str) else profile
+    report = CompareReport(profile=prof.name)
+    old_cases = {r["case"]: r for r in old["results"]}
+    new_cases = {r["case"]: r for r in new["results"]}
+    for name in sorted(set(old_cases) | set(new_cases)):
+        if name not in new_cases:
+            report.rows.append(CompareRow(name, "(case)", None, None, None, None,
+                                          "missing"))
+            continue
+        if name not in old_cases:
+            report.rows.append(CompareRow(name, "(case)", None, None, None, None,
+                                          "new"))
+            continue
+        o, n = old_cases[name], new_cases[name]
+        _compare_timing(name, o["timing"], n["timing"], prof, report.rows)
+        _compare_quality(name, o["quality"], n["quality"], prof, report.rows)
+    return report

@@ -1,0 +1,115 @@
+"""Structured benchmark harness: execute scenarios into BENCH records.
+
+For every :class:`~repro.bench.scenarios.BenchCase` the runner repeats a
+full compress → decompress round trip ``k`` times under a telemetry trace,
+aggregates per-stage wall times from the span tree, measures quality
+(compression ratio / PSNR / max error) once (the pipeline is
+deterministic), and snapshots the metrics registry.  The result is a
+validated ``repro.bench/v1`` record (see :mod:`repro.bench.record`).
+"""
+
+from __future__ import annotations
+
+from .. import telemetry as tel
+from ..analysis.metrics import evaluate_quality
+from ..core.compressor import compress, decompress_with_stats
+from ..core.config import CompressorConfig
+from .record import build_record, summarize
+from .scenarios import BenchCase, Scenario, get_scenario
+
+__all__ = ["run_case", "run_scenario"]
+
+
+def _stage_samples(tr, op: str) -> dict[str, float]:
+    """``<op>.<stage>`` + ``<op>_total`` wall seconds from one trace."""
+    out: dict[str, float] = {}
+    for root in tr.roots:
+        if root.name != op:
+            continue
+        out[f"{op}_total"] = root.duration
+        for child in root.children:
+            out[f"{op}.{child.name}"] = out.get(f"{op}.{child.name}", 0.0) + child.duration
+    return out
+
+
+def run_case(case: BenchCase, repeats: int) -> dict:
+    """Run one case ``repeats`` times; returns the per-case result dict."""
+    field = case.make_field()
+    config = CompressorConfig(
+        eb=case.eb, eb_mode=case.eb_mode, workflow=case.workflow,
+    )
+    samples: dict[str, list[float]] = {}
+    result = restored = None
+    for _ in range(max(int(repeats), 1)):
+        with tel.scope(True), tel.trace(case.name) as tr:
+            result = compress(field, config)
+            restored = decompress_with_stats(result.archive)
+        for stage, seconds in {
+            **_stage_samples(tr, "compress"),
+            **_stage_samples(tr, "decompress"),
+        }.items():
+            samples.setdefault(stage, []).append(seconds)
+    quality = evaluate_quality(field, restored.data, result.eb_abs)
+    timing = {stage: summarize(vals) for stage, vals in sorted(samples.items())}
+    best_compress = timing.get("compress_total", {}).get("min", 0.0)
+    best_decompress = timing.get("decompress_total", {}).get("min", 0.0)
+    return {
+        "case": case.name,
+        "dataset": case.dataset,
+        "field": case.field_name,
+        "eb": case.eb,
+        "workflow": case.workflow,
+        "repeats": int(repeats),
+        "timing": timing,
+        "quality": {
+            "compression_ratio": result.compression_ratio,
+            "psnr_db": quality.psnr_db,
+            "max_error": quality.max_error,
+            "nrmse": quality.nrmse,
+            "bound_satisfied": bool(quality.bound_satisfied),
+        },
+        "sizes": {
+            "original_bytes": result.original_bytes,
+            "compressed_bytes": result.compressed_bytes,
+            "section_sizes": result.section_sizes,
+        },
+        "throughput": {
+            "compress_gbps": (
+                result.original_bytes / best_compress / 1e9 if best_compress else 0.0
+            ),
+            "decompress_gbps": (
+                result.original_bytes / best_decompress / 1e9 if best_decompress else 0.0
+            ),
+        },
+        "selector": dict(result.selector_audit) if result.selector_audit else {},
+        "workflow_selected": result.workflow,
+    }
+
+
+def run_scenario(
+    scenario: str | Scenario,
+    repeats: int | None = None,
+    label: str | None = None,
+) -> dict:
+    """Execute every case of a scenario into one validated record.
+
+    The metrics registry is reset at the start so the record's snapshot
+    reflects exactly this run (repeat isolation is the runner's contract:
+    a fresh process or an explicit reset yields identical snapshots).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    k = int(repeats) if repeats else scenario.repeats
+    tel.reset_metrics()
+    with tel.scope(True):
+        if scenario.extra is not None:
+            scenario.extra()
+        results = [run_case(case, k) for case in scenario.cases]
+        metrics = tel.render_json()
+    return build_record(
+        label=label or scenario.name,
+        scenario=scenario.name,
+        results=results,
+        config={"repeats": k, "cases": [c.name for c in scenario.cases]},
+        metrics=metrics,
+    )

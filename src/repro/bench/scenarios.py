@@ -1,0 +1,112 @@
+"""Named benchmark scenarios: dataset × error bound × workflow matrices.
+
+A scenario is a small, deterministic set of :class:`BenchCase` instances the
+structured harness (:mod:`repro.bench.runner`) executes.  ``smoke`` is the
+CI gate: one Huffman-regime field and one RLE-regime field, small enough to
+finish in seconds; ``selector`` stresses the adaptive rule across regimes;
+``full`` covers every workflow on representative fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BenchCase", "Scenario", "SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One (field, error bound, workflow) measurement point."""
+
+    name: str
+    dataset: str
+    field_name: str
+    eb: float
+    workflow: str = "auto"
+    eb_mode: str = "rel"
+
+    def make_field(self) -> np.ndarray:
+        from ..data import get_dataset
+
+        return get_dataset(self.dataset).field(self.field_name).data
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named list of cases plus the default repeat count."""
+
+    name: str
+    description: str
+    cases: tuple[BenchCase, ...]
+    repeats: int = 3
+    #: Optional extra workload run once per bench (not timed per repeat),
+    #: e.g. the simulated-GPU pipeline that populates kernel counters.
+    extra: Callable[[], None] | None = field(default=None, compare=False)
+
+
+def _gpu_smoke_workload() -> None:
+    """Tiny simulated-GPU pipeline run so kernel counters have data."""
+    from ..core.config import CompressorConfig
+    from ..data import get_dataset
+    from ..gpu.device import V100
+    from ..gpu.runtime import run_compression, run_decompression
+
+    data = get_dataset("CESM").field("PS").data
+    config = CompressorConfig(eb=1e-3)
+    art, _ = run_compression(data, config, V100, workflow="huffman")
+    run_decompression(art, config, V100)
+
+
+_SMOKE = Scenario(
+    name="smoke",
+    description="CI gate: one Huffman-regime and one RLE-regime CESM field",
+    cases=(
+        BenchCase("cesm_ps_1e-3_auto", "CESM", "PS", 1e-3),
+        BenchCase("cesm_fsdsc_1e-2_auto", "CESM", "FSDSC", 1e-2),
+    ),
+    repeats=3,
+    extra=_gpu_smoke_workload,
+)
+
+_SELECTOR = Scenario(
+    name="selector",
+    description="adaptive-rule coverage: fields spanning both regimes",
+    cases=(
+        BenchCase("cesm_ps_1e-3_auto", "CESM", "PS", 1e-3),
+        BenchCase("cesm_ps_1e-4_auto", "CESM", "PS", 1e-4),
+        BenchCase("cesm_fsdsc_1e-2_auto", "CESM", "FSDSC", 1e-2),
+        BenchCase("rtm_snap_1e-2_auto", "RTM", "snapshot2800", 1e-2),
+        BenchCase("nyx_density_1e-3_auto", "Nyx", "baryon_density", 1e-3),
+    ),
+    repeats=3,
+)
+
+_FULL = Scenario(
+    name="full",
+    description="every workflow on representative fields (slow)",
+    cases=(
+        BenchCase("cesm_ps_1e-3_auto", "CESM", "PS", 1e-3),
+        BenchCase("cesm_ps_1e-3_huffman", "CESM", "PS", 1e-3, workflow="huffman"),
+        BenchCase("cesm_fsdsc_1e-2_rle", "CESM", "FSDSC", 1e-2, workflow="rle"),
+        BenchCase("cesm_fsdsc_1e-2_rlevle", "CESM", "FSDSC", 1e-2, workflow="rle+vle"),
+        BenchCase("hacc_vx_1e-3_auto", "HACC", "vx", 1e-3),
+        BenchCase("nyx_density_1e-3_auto", "Nyx", "baryon_density", 1e-3),
+        BenchCase("hurricane_cloud_1e-2_auto", "Hurricane", "CLOUDf48", 1e-2),
+    ),
+    repeats=5,
+    extra=_gpu_smoke_workload,
+)
+
+SCENARIOS: dict[str, Scenario] = {s.name: s for s in (_SMOKE, _SELECTOR, _FULL)}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None

@@ -6,6 +6,10 @@ Subcommands::
     python -m repro decompress OUT.rpsz -o restored.f32
     python -m repro info       OUT.rpsz
     python -m repro verify     INPUT OUT.rpsz --dims 1800 3600
+    python -m repro bench      run --scenario smoke [--baseline BENCH.json]
+    python -m repro bench      compare OLD.json NEW.json
+    python -m repro profile    [--scenario smoke] [--fold out.folded]
+    python -m repro diagnose   [--json]
 
 Input fields are SDRBench-style headerless binaries (``.f32``/``.f64``);
 ``--dims`` is given slowest-varying first, exactly like the real tool.
@@ -92,6 +96,59 @@ def build_parser() -> argparse.ArgumentParser:
                          "metadata without decompressing")
     pv.add_argument("--json", action="store_true", dest="as_json",
                     help="emit a machine-readable JSON result on stdout")
+
+    pb = sub.add_parser(
+        "bench",
+        help="structured benchmark harness: run scenarios into BENCH "
+             "records and detect regressions between records",
+    )
+    bench_sub = pb.add_subparsers(dest="bench_command", required=True)
+    pbr = bench_sub.add_parser("run", help="execute a named scenario")
+    pbr.add_argument("--scenario", default="smoke",
+                     help="scenario name (default: smoke)")
+    pbr.add_argument("--repeats", type=int, default=None,
+                     help="override the scenario's repeat count")
+    pbr.add_argument("--label", default=None,
+                     help="record label (default: the scenario name)")
+    pbr.add_argument("--out", type=Path, default=Path("results"),
+                     help="directory for BENCH_<label>.json (default: results)")
+    pbr.add_argument("--baseline", type=Path, default=None,
+                     help="compare the fresh record against this baseline "
+                          "record and exit nonzero on regression")
+    pbr.add_argument("--profile", dest="cmp_profile",
+                     choices=["default", "ci"], default="default",
+                     help="threshold profile for --baseline comparison")
+    pbr.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the record (and comparison) as JSON")
+    pbc = bench_sub.add_parser(
+        "compare", help="compare two BENCH records; exit 1 on regression")
+    pbc.add_argument("old", type=Path, help="baseline record")
+    pbc.add_argument("new", type=Path, help="candidate record")
+    pbc.add_argument("--profile", dest="cmp_profile",
+                     choices=["default", "ci"], default="default")
+    pbc.add_argument("--all", action="store_true", dest="show_all",
+                     help="show every row, not just notable ones")
+    pbc.add_argument("--json", action="store_true", dest="as_json")
+
+    pp = sub.add_parser(
+        "profile",
+        help="run a scenario under the profiler: self-time hotspots, "
+             "folded flamegraph stacks, per-kernel counters",
+    )
+    pp.add_argument("--scenario", default="smoke")
+    pp.add_argument("--repeats", type=int, default=1)
+    pp.add_argument("--top", type=int, default=20,
+                    help="hotspot rows to print (default 20)")
+    pp.add_argument("--fold", type=Path, default=None, metavar="OUT.folded",
+                    help="write folded stacks (flamegraph.pl input)")
+    pp.add_argument("--json", action="store_true", dest="as_json")
+
+    pdg = sub.add_parser(
+        "diagnose",
+        help="selector-accuracy audit: predicted ⟨b⟩ bounds and RLE gain "
+             "vs the actually coded bits, per field",
+    )
+    pdg.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -344,6 +401,83 @@ def _cmd_verify(args) -> int:
     return 0 if quality.bound_satisfied else 1
 
 
+def _cmd_bench(args) -> int:
+    from .bench.record import load_record, write_record
+    from .bench.regression import compare_records
+
+    if args.bench_command == "compare":
+        report = compare_records(
+            load_record(args.old), load_record(args.new), args.cmp_profile
+        )
+        if args.as_json:
+            print(json.dumps(report.to_json(), indent=2))
+        else:
+            print(report.render(all_rows=args.show_all))
+        return report.exit_code
+
+    from .bench.runner import run_scenario
+
+    record = run_scenario(args.scenario, repeats=args.repeats, label=args.label)
+    path = write_record(record, args.out)
+    if args.as_json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(f"wrote {path}")
+        for result in record["results"]:
+            t = result["timing"].get("compress_total", {})
+            print(
+                f"  {result['case']:<24} ratio {result['quality']['compression_ratio']:8.2f}x"
+                f"  psnr {result['quality']['psnr_db']:6.1f} dB"
+                f"  compress {t.get('min', 0.0) * 1e3:8.1f} ms (best of {t.get('n', 0)})"
+            )
+    if args.baseline is None:
+        return 0
+    report = compare_records(load_record(args.baseline), record, args.cmp_profile)
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+def _cmd_profile(args) -> int:
+    from .bench.profiler import profile_scenario
+
+    view, kernels = profile_scenario(args.scenario, repeats=args.repeats)
+    if args.as_json:
+        print(json.dumps({
+            "command": "profile",
+            "scenario": args.scenario,
+            "total_seconds": view.total_seconds,
+            "hotspots": [
+                {"span": h.name, "calls": h.count, "self_seconds": h.self_seconds,
+                 "total_seconds": h.total_seconds, "gbps": h.gbps}
+                for h in view.hotspots
+            ],
+            "folded": view.folded_lines(),
+        }, indent=2))
+    else:
+        print(view.render(top=args.top))
+        print()
+        print(kernels)
+    if args.fold is not None:
+        args.fold.write_text("\n".join(view.folded_lines()) + "\n")
+        if not args.as_json:
+            print(f"\nfolded stacks -> {args.fold}")
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from .bench.diagnose import diagnose_report, render_report
+
+    report = diagnose_report()
+    if args.as_json:
+        print(json.dumps({"command": "diagnose", **report}, indent=2))
+    else:
+        print(render_report(report))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -353,9 +487,21 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "stats": _cmd_stats,
         "verify": _cmd_verify,
+        "bench": _cmd_bench,
+        "profile": _cmd_profile,
+        "diagnose": _cmd_diagnose,
     }[args.command]
     try:
         return handler(args)
+    except ValueError as exc:
+        # Record-schema/scenario-name problems from the bench harness.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        if args.command in ("bench", "profile", "diagnose"):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

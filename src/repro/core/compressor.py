@@ -85,6 +85,10 @@ class CompressionResult:
     stage_stats: dict[str, float] = field(default_factory=dict)
     n_outliers: int = 0
     predictor: str = "lorenzo"
+    #: Predicted-vs-actual selector audit (see :func:`_selector_audit`):
+    #: the estimated ⟨b⟩ bounds / RLE gain next to the realized coded bits,
+    #: plus the detected misprediction kind (if any).
+    selector_audit: dict | None = None
 
     @property
     def compressed_bytes(self) -> int:
@@ -202,6 +206,10 @@ def _compress_impl(data: np.ndarray, config: CompressorConfig) -> CompressionRes
         root.set(bytes_out=len(blob), workflow=workflow)
 
     stage_stats.update(ins.stage_stats_from_span(root))
+    audit = _selector_audit(
+        diag, workflow, stage_stats, builder.section_sizes(),
+        n=int(np.prod(bundle.shape)), forced=config.workflow != "auto",
+    )
     result = CompressionResult(
         archive=blob,
         workflow=workflow,
@@ -212,8 +220,11 @@ def _compress_impl(data: np.ndarray, config: CompressorConfig) -> CompressionRes
         stage_stats=stage_stats,
         n_outliers=bundle.n_outliers,
         predictor=bundle.predictor,
+        selector_audit=audit,
     )
     if tel.enabled():
+        if audit.get("mispredict"):
+            ins.SELECTOR_MISPREDICT.inc(kind=audit["mispredict"])
         ins.COMPRESS_CALLS.inc()
         ins.INPUT_BYTES.inc(result.original_bytes)
         ins.ARCHIVE_BYTES.inc(result.compressed_bytes)
@@ -223,6 +234,65 @@ def _compress_impl(data: np.ndarray, config: CompressorConfig) -> CompressionRes
         ins.LAST_RATIO.set_value(result.compression_ratio)
         ins.record_stage_metrics(root, op="compress")
     return result
+
+
+#: Archive sections that carry the coded quant stream (not outliers/meta),
+#: per workflow family: the Huffman group or the RLE value/length groups.
+_QUANT_SECTION_PREFIXES = ("q.", "r.", "rv.", "rl.")
+
+
+def _selector_audit(
+    diag: SelectorDiagnostics,
+    workflow: str,
+    stage_stats: dict[str, float],
+    section_sizes: dict[str, int],
+    n: int,
+    forced: bool,
+) -> dict:
+    """Predicted-vs-actual audit of the workflow selector's estimators.
+
+    Records the Gallager/Johnsen ⟨b⟩ bounds (R+/R-) and the RLE
+    bits-per-symbol estimate next to the bits the chosen coder actually
+    produced, and classifies mispredictions:
+
+    * ``huffman_bounds`` -- the realized Huffman ⟨b⟩ fell outside the
+      predicted [H+R-, H+R+] interval (estimator assumption broken);
+    * ``rle_regret`` -- RLE was chosen but coded more bits per symbol than
+      Huffman's predicted *worst case*, i.e. the selector made a losing
+      call.
+
+    Forced workflows are audited (the coded bits are still recorded) but
+    never counted as mispredictions: there was no prediction to get wrong.
+    """
+    coded_bytes = sum(
+        size for name, size in section_sizes.items()
+        if name.startswith(_QUANT_SECTION_PREFIXES)
+    )
+    actual_bits = coded_bytes * 8.0 / n if n else 0.0
+    actual_huffman = stage_stats.get("avg_bitlen")
+    rle_estimate = diag.rle_bitlen_estimate
+    audit = {
+        "decision": workflow,
+        "forced": forced,
+        "predicted_bitlen_lower": diag.bitlen_lower,
+        "predicted_bitlen_upper": diag.bitlen_upper,
+        "predicted_rle_bits_per_symbol": (
+            None if rle_estimate != rle_estimate else rle_estimate
+        ),
+        "actual_huffman_avg_bitlen": actual_huffman,
+        "actual_bits_per_symbol": actual_bits,
+        "mispredict": None,
+    }
+    if forced:
+        return audit
+    eps = 1e-9
+    if workflow in ("huffman", "huffman+lz") and actual_huffman is not None:
+        if not (diag.bitlen_lower - eps <= actual_huffman <= diag.bitlen_upper + eps):
+            audit["mispredict"] = "huffman_bounds"
+    elif workflow in ("rle", "rle+vle"):
+        if actual_bits > diag.bitlen_upper + eps:
+            audit["mispredict"] = "rle_regret"
+    return audit
 
 
 def decompress(blob: bytes) -> np.ndarray:

@@ -126,6 +126,7 @@ def _time(model: CostModel, report: PipelineReport, profile) -> None:
             sp.set(simulated_seconds=timing.seconds, simulated_gbps=round(timing.gbps, 3),
                    bound=timing.bound)
         ins.KERNEL_SIM_SECONDS.observe(timing.seconds, kernel=profile.name)
+        ins.record_kernel_profile(profile)
 
 
 def run_compression(

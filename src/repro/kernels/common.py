@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ..gpu.kernel import LaunchConfig
 
-__all__ = ["standard_launch", "scale_count"]
+__all__ = ["standard_launch", "scale_count", "tag_elements"]
 
 #: Default thread-block size used by all cuSZ/cuSZ+ kernels.
 BLOCK_THREADS = 256
@@ -42,3 +42,14 @@ def scale_count(count: int, n_actual: int, n_sim: int) -> int:
     if n_actual <= 0:
         return 0
     return int(round(count * (n_sim / n_actual)))
+
+
+def tag_elements(profile, n_elements: int):
+    """Record the profile-scale element count on a kernel profile.
+
+    The runtime feeds this tag into ``repro_kernel_elements_total`` so the
+    profiler can derive per-kernel elements/s and GB/s without re-parsing
+    launch geometry.
+    """
+    profile.tags["elements"] = int(n_elements)
+    return profile

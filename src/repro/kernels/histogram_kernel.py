@@ -14,7 +14,7 @@ import numpy as np
 from ..encoding.histogram import histogram, most_likely_probability
 from ..gpu.kernel import KernelProfile
 from .calibration import HISTOGRAM_CONTENTION_COEFF, get_calibration
-from .common import standard_launch
+from .common import standard_launch, tag_elements
 
 __all__ = ["histogram_kernel"]
 
@@ -39,4 +39,4 @@ def histogram_kernel(
         atomic_contention=HISTOGRAM_CONTENTION_COEFF * p1,
         tags={"p1": p1},
     )
-    return freqs, profile
+    return freqs, tag_elements(profile, n_sim)

@@ -24,7 +24,7 @@ from ..encoding.huffman import CanonicalCodebook, build_codebook
 from ..encoding.huffman_codec import HuffmanEncoded, decode as huff_decode, encode as huff_encode
 from ..gpu.kernel import KernelProfile
 from .calibration import HUFFMAN_DECODE_CYCLES_PER_BIT, get_calibration
-from .common import standard_launch
+from .common import standard_launch, tag_elements
 
 __all__ = ["huffman_encode_kernel", "huffman_decode_kernel"]
 
@@ -67,7 +67,7 @@ def huffman_encode_kernel(
         cycles_per_step=cal.serial_cycles,
         tags={"impl": impl, "avg_bits": avg_bits},
     )
-    return book, encoded, profile
+    return book, encoded, tag_elements(profile, n_sim)
 
 
 def huffman_decode_kernel(
@@ -95,4 +95,4 @@ def huffman_decode_kernel(
         cycles_per_step=cal.serial_cycles + HUFFMAN_DECODE_CYCLES_PER_BIT * avg_bits,
         tags={"avg_bits": avg_bits},
     )
-    return out, profile
+    return out, tag_elements(profile, n_sim)

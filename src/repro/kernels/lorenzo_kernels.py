@@ -27,7 +27,7 @@ from ..core.dual_quant import Quantized, fuse_quant_and_outliers, quantize_field
 from ..core.lorenzo import lorenzo_reconstruct
 from ..gpu.kernel import KernelProfile
 from .calibration import get_calibration
-from .common import scale_count, standard_launch
+from .common import scale_count, standard_launch, tag_elements
 
 __all__ = ["lorenzo_construct_kernel", "lorenzo_reconstruct_kernel"]
 
@@ -68,7 +68,7 @@ def lorenzo_construct_kernel(
         mem_efficiency=cal.mem_efficiency,
         tags={"impl": impl, "ndim": data.ndim},
     )
-    return bundle, eb_abs, profile
+    return bundle, eb_abs, tag_elements(profile, n_sim)
 
 
 def lorenzo_reconstruct_kernel(
@@ -141,4 +141,4 @@ def lorenzo_reconstruct_kernel(
         )
     else:
         raise ValueError(f"unknown reconstruction variant {variant!r}")
-    return out, profile
+    return out, tag_elements(profile, n_sim)

@@ -13,7 +13,7 @@ import numpy as np
 from ..core.dual_quant import Quantized
 from ..gpu.kernel import KernelProfile
 from .calibration import get_calibration
-from .common import scale_count, standard_launch
+from .common import scale_count, standard_launch, tag_elements
 from .lorenzo_kernels import OUTLIER_ENTRY_BYTES
 
 __all__ = ["gather_outlier_kernel", "scatter_outlier_kernel"]
@@ -44,7 +44,7 @@ def gather_outlier_kernel(
         cycles_per_step=cal.serial_cycles,
         tags={"outliers": bundle.n_outliers},
     )
-    return (bundle.outlier_indices, bundle.outlier_values), profile
+    return (bundle.outlier_indices, bundle.outlier_values), tag_elements(profile, n_sim)
 
 
 def scatter_outlier_kernel(
@@ -85,4 +85,4 @@ def scatter_outlier_kernel(
         mem_efficiency=cal.mem_efficiency,
         tags={"outliers": int(outlier_indices.size)},
     )
-    return fused, profile
+    return fused, tag_elements(profile, n_sim)

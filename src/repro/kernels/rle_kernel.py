@@ -15,7 +15,7 @@ from ..core.config import CompressorConfig
 from ..encoding.rle import RunLengthEncoded, rle_encode
 from ..gpu.kernel import KernelProfile
 from .calibration import get_calibration
-from .common import scale_count, standard_launch
+from .common import scale_count, standard_launch, tag_elements
 
 __all__ = ["rle_kernel", "rle_decode_kernel"]
 
@@ -47,7 +47,7 @@ def rle_kernel(
         cycles_per_step=cal.serial_cycles,
         tags={"n_runs": rle.n_runs, "mean_run": rle.mean_run_length},
     )
-    return rle, profile
+    return rle, tag_elements(profile, n_sim)
 
 
 def rle_decode_kernel(
@@ -75,4 +75,4 @@ def rle_decode_kernel(
         cycles_per_step=cal.serial_cycles,
         tags={"n_runs": rle.n_runs},
     )
-    return out, profile
+    return out, tag_elements(profile, n_sim)

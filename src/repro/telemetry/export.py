@@ -4,8 +4,10 @@ The Chrome format is the trace-event "JSON object format": a top-level
 object with a ``traceEvents`` array of complete (``"ph": "X"``) events,
 each carrying microsecond ``ts``/``dur`` against a shared process origin,
 ``pid``/``tid`` for row grouping, and an ``args`` payload with the byte
-counters and derived throughput.  Load the file at https://ui.perfetto.dev
-(or ``chrome://tracing``) to see the pipeline as a flame chart.
+counters and derived throughput.  Spans that moved bytes additionally emit
+counter (``"ph": "C"``) events so the viewer draws a throughput track under
+the flame chart.  Load the file at https://ui.perfetto.dev (or
+``chrome://tracing``) to see the pipeline as a flame chart.
 """
 
 from __future__ import annotations
@@ -42,11 +44,33 @@ def _span_event(span: Span, pid: int) -> dict:
     }
 
 
+def _counter_events(span: Span, pid: int) -> list[dict]:
+    """Throughput counter track: value while the span runs, zero after.
+
+    Chrome draws ``"ph": "C"`` samples as a step function per counter
+    ``name``; pairing each span's GB/s with a trailing zero at its end
+    keeps concurrent spans from smearing into each other.
+    """
+    gbps = span.throughput_gbps
+    if not gbps:
+        return []
+    common = {"cat": "repro", "ph": "C", "pid": pid, "tid": span.tid,
+              "name": "throughput_gbps"}
+    return [
+        {**common, "ts": round(span.start_us, 3),
+         "args": {span.name: round(gbps, 4)}},
+        {**common, "ts": round(span.start_us + span.duration * 1e6, 3),
+         "args": {span.name: 0}},
+    ]
+
+
 def to_chrome_trace(trace: Trace | Span) -> dict:
     """Build the Chrome trace-event JSON object for a trace (or one span)."""
-    spans = trace.spans() if isinstance(trace, Trace) else trace.walk()
+    spans = list(trace.spans() if isinstance(trace, Trace) else trace.walk())
     pid = os.getpid()
     events = [_span_event(s, pid) for s in spans]
+    for s in spans:
+        events.extend(_counter_events(s, pid))
     name = trace.name if isinstance(trace, Trace) else trace.name
     return {
         "traceEvents": events,

@@ -12,8 +12,15 @@ suffix on counters, base-unit ``_seconds``/``_bytes``):
 * ``repro_integrity_failures_total{kind=...}`` -- detected archive
   corruption by failure class (framing, header_digest, section_checksum)
 * ``repro_outliers_total``
+* ``repro_selector_mispredict_total{kind=...}`` -- selector estimator
+  mispredictions (actual coded bits outside the predicted R-/R+ bounds, or
+  an RLE pick that coded worse than Huffman's predicted worst case)
 * ``repro_stage_seconds{op=...,stage=...}`` -- per-stage latency histogram
 * ``repro_kernel_simulated_seconds{kernel=...}`` -- GPU-model kernel times
+* ``repro_kernel_elements_total{kernel=...}`` -- elements processed per
+  simulated kernel (at profile scale ``n_sim``)
+* ``repro_kernel_bytes_total{kernel=...,direction=...}`` -- DRAM bytes
+  moved per simulated kernel (read/written)
 * ``repro_last_compression_ratio`` (gauge)
 * ``repro_experiment_seconds{experiment=...}`` (gauge, bench harness)
 """
@@ -30,14 +37,18 @@ __all__ = [
     "ARCHIVE_BYTES",
     "SELECTOR_DECISIONS",
     "SELECTOR_FASTPATH",
+    "SELECTOR_MISPREDICT",
     "INTEGRITY_FAILURES",
     "OUTLIERS",
     "STAGE_SECONDS",
     "KERNEL_SIM_SECONDS",
+    "KERNEL_ELEMENTS",
+    "KERNEL_BYTES",
     "LAST_RATIO",
     "EXPERIMENT_SECONDS",
     "stage_stats_from_span",
     "record_stage_metrics",
+    "record_kernel_profile",
 ]
 
 COMPRESS_CALLS = REGISTRY.counter(
@@ -58,6 +69,9 @@ INTEGRITY_FAILURES = REGISTRY.counter(
     "Archive corruption detections by failure class")
 OUTLIERS = REGISTRY.counter(
     "repro_outliers_total", "Out-of-dictionary-range compensation deltas stored")
+SELECTOR_MISPREDICT = REGISTRY.counter(
+    "repro_selector_mispredict_total",
+    "Selector estimator mispredictions by kind (huffman_bounds, rle_regret)")
 STAGE_SECONDS = REGISTRY.histogram(
     "repro_stage_seconds", "Wall seconds per pipeline stage")
 KERNEL_SIM_SECONDS = REGISTRY.histogram(
@@ -65,6 +79,12 @@ KERNEL_SIM_SECONDS = REGISTRY.histogram(
     "Cost-model (simulated device) seconds per GPU kernel",
     buckets=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0),
 )
+KERNEL_ELEMENTS = REGISTRY.counter(
+    "repro_kernel_elements_total",
+    "Elements processed per simulated GPU kernel (profile scale)")
+KERNEL_BYTES = REGISTRY.counter(
+    "repro_kernel_bytes_total",
+    "DRAM bytes moved per simulated GPU kernel, by direction")
 LAST_RATIO = REGISTRY.gauge(
     "repro_last_compression_ratio", "Compression ratio of the last compress call")
 EXPERIMENT_SECONDS = REGISTRY.gauge(
@@ -83,6 +103,26 @@ def stage_stats_from_span(root: Span | None) -> dict[str, float]:
     stats = {f"{child.name}_seconds": child.duration for child in root.children}
     stats["total_seconds"] = root.duration
     return stats
+
+
+def record_kernel_profile(profile) -> None:
+    """Feed one simulated-kernel cost profile into the per-kernel counters.
+
+    ``profile`` is a :class:`repro.gpu.kernel.KernelProfile`; the element
+    count comes from its ``elements`` tag (attached by the kernels through
+    :func:`repro.kernels.common.tag_elements`) and the byte counters from
+    its raw read/write traffic, so ``bytes / simulated seconds`` reproduces
+    the cost model's GB/s per kernel.
+    """
+    if not enabled():
+        return
+    elements = int(profile.tags.get("elements", 0)) if profile.tags else 0
+    if elements:
+        KERNEL_ELEMENTS.inc(elements, kernel=profile.name)
+    if profile.bytes_read:
+        KERNEL_BYTES.inc(profile.bytes_read, kernel=profile.name, direction="read")
+    if profile.bytes_written:
+        KERNEL_BYTES.inc(profile.bytes_written, kernel=profile.name, direction="written")
 
 
 def record_stage_metrics(root: Span | None, op: str) -> None:

@@ -28,6 +28,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "SUMMARY_QUANTILES",
     "counter",
     "gauge",
     "histogram",
@@ -215,6 +216,15 @@ class Histogram(_Metric):
             counts = series[0] if series else [0] * len(self.buckets)
             return dict(zip(self.buckets, counts))
 
+    def quantile(self, q: float, **labels) -> float | None:
+        """Estimated q-quantile (0..1) for one label set, or None if empty."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None:
+                return None
+            counts, n = list(series[0]), series[1]
+        return _quantile_from_counts(self.buckets, counts, n, q)
+
     def render(self) -> list[str]:
         with self._lock:
             items = sorted((k, (list(c), n, s)) for k, (c, n, s) in self._series.items())
@@ -241,10 +251,45 @@ class Histogram(_Metric):
                         "bucket_counts": list(c),
                         "count": n,
                         "sum": s,
+                        "quantiles": {
+                            f"p{int(q * 100)}": _quantile_from_counts(
+                                self.buckets, c, n, q
+                            )
+                            for q in SUMMARY_QUANTILES
+                        },
                     }
                     for k, (c, n, s) in sorted(self._series.items())
                 ],
             }
+
+
+#: Quantiles reported in every histogram's JSON snapshot.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _quantile_from_counts(
+    bounds: tuple[float, ...], counts: list[int], n: int, q: float
+) -> float | None:
+    """Prometheus-style bucket quantile with linear interpolation.
+
+    Observations that landed above the last finite bound (the implicit
+    ``+Inf`` bucket) clamp to that bound -- the bucket layout caps what the
+    estimate can resolve, exactly as ``histogram_quantile`` does.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if n <= 0:
+        return None
+    target = q * n
+    prev_count = 0
+    prev_bound = 0.0
+    for bound, cum in zip(bounds, counts):
+        if cum >= target:
+            if cum == prev_count:
+                return bound
+            frac = (target - prev_count) / (cum - prev_count)
+            return prev_bound + (bound - prev_bound) * frac
+    return bounds[-1]
 
 
 def _num(v: float) -> str:

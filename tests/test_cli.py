@@ -71,11 +71,14 @@ class TestTelemetryFlags:
         rc, _ = self._compress(field_file, tmp_path, "--trace", str(trace_path))
         assert rc == 0
         payload = json.loads(trace_path.read_text())
-        names = {e["name"] for e in payload["traceEvents"]}
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in spans}
         assert {"compress", "quantize", "histogram", "select_workflow",
                 "encode", "outliers", "archive"} <= names
-        for e in payload["traceEvents"]:
-            assert e["ph"] == "X" and e["dur"] >= 0
+        for e in spans:
+            assert e["dur"] >= 0
+        # byte-moving stages additionally get a throughput counter track
+        assert any(e["ph"] == "C" for e in payload["traceEvents"])
         assert str(trace_path) in capsys.readouterr().out
 
     def test_stats_prints_stage_table(self, field_file, tmp_path, capsys):

@@ -301,6 +301,113 @@ class TestMetrics:
             t.join()
         assert c.value() == 4000
 
+    def test_thread_safety_under_churning_label_sets(self):
+        """Concurrent writers each minting new label sets must not corrupt
+        shared dicts, and concurrent renders must not crash mid-churn."""
+        reg = MetricsRegistry()
+        c = reg.counter("churn_total")
+        h = reg.histogram("churn_seconds", buckets=(0.01, 0.1, 1.0))
+        errors = []
+
+        def churn(worker: int):
+            try:
+                for i in range(500):
+                    c.inc(worker=str(worker), batch=str(i % 7))
+                    h.observe(0.05 * (i % 3), worker=str(worker), batch=str(i % 7))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def render():
+            try:
+                for _ in range(50):
+                    reg.render_prometheus()
+                    reg.render_json()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(w,)) for w in range(4)]
+        threads += [threading.Thread(target=render) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert c.total() == 4 * 500
+        # every (worker, batch) series is intact
+        total_observed = sum(
+            entry["count"] for entry in h.to_json()["values"]
+        )
+        assert total_observed == 4 * 500
+
+    def test_reset_isolates_consecutive_snapshots(self):
+        """The bench runner's contract: reset between runs means a record's
+        metrics snapshot reflects exactly that run."""
+        reg = MetricsRegistry()
+        c = reg.counter("runs_total")
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        c.inc(7, phase="warmup")
+        h.observe(0.5, phase="warmup")
+        reg.reset()
+        c.inc(2, phase="measured")
+        h.observe(0.05, phase="measured")
+        snapshot = reg.render_json()
+        assert snapshot["runs_total"]["values"] == [
+            {"labels": {"phase": "measured"}, "value": 2.0}
+        ]
+        labels = [e["labels"] for e in snapshot["lat_seconds"]["values"]]
+        assert labels == [{"phase": "measured"}]
+
+    def test_reset_during_concurrent_observation_keeps_invariants(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("r_seconds", buckets=(0.01, 1.0))
+        stop = threading.Event()
+
+        def observe():
+            while not stop.is_set():
+                h.observe(0.005, k="a")
+
+        t = threading.Thread(target=observe)
+        t.start()
+        try:
+            for _ in range(20):
+                reg.reset()
+        finally:
+            stop.set()
+            t.join()
+        # after the dust settles, cumulative invariant holds for the series
+        for entry in h.to_json()["values"]:
+            assert entry["bucket_counts"] == sorted(entry["bucket_counts"])
+            assert entry["bucket_counts"][-1] <= entry["count"]
+
+    def test_histogram_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("q_seconds", buckets=(0.1, 0.2, 0.4, 0.8))
+        for v in (0.05, 0.15, 0.15, 0.3, 0.3, 0.3, 0.5, 0.5, 0.6, 0.7):
+            h.observe(v)
+        p50 = h.quantile(0.5)
+        assert 0.2 <= p50 <= 0.4
+        p99 = h.quantile(0.99)
+        assert 0.4 <= p99 <= 0.8
+        assert h.quantile(0.0) <= p50 <= h.quantile(1.0)
+        # empty series and out-of-range q
+        assert h.quantile(0.5, missing="yes") is None
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_clamps_to_last_finite_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("big_seconds", buckets=(0.1, 1.0))
+        h.observe(50.0)  # lands in the implicit +Inf bucket
+        assert h.quantile(0.99) == 1.0
+
+    def test_json_snapshot_carries_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("s_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        entry = reg.render_json()["s_seconds"]["values"][0]
+        assert set(entry["quantiles"]) == {"p50", "p95", "p99"}
+        assert all(v is not None for v in entry["quantiles"].values())
+
 
 class TestChromeExport:
     def _capture(self):
@@ -317,17 +424,31 @@ class TestChromeExport:
         payload = json.loads(path.read_text())
         assert payload["displayTimeUnit"] == "ms"
         events = payload["traceEvents"]
-        assert {e["name"] for e in events} == {"root", "child"}
-        for e in events:
-            assert e["ph"] == "X"
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"root", "child"}
+        for e in spans:
             assert e["cat"] == "repro"
             assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
             assert e["ts"] >= 0
             assert e["dur"] >= 0
 
+    def test_counter_events_track_throughput(self):
+        payload = telemetry.to_chrome_trace(self._capture())
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        # "root" moved bytes, so it contributes a (value, zero) pair.
+        root_samples = [e for e in counters if "root" in e["args"]]
+        assert len(root_samples) == 2
+        assert all(e["name"] == "throughput_gbps" for e in root_samples)
+        first, last = sorted(root_samples, key=lambda e: e["ts"])
+        assert first["args"]["root"] > 0
+        assert last["args"]["root"] == 0
+        # "child" moved no bytes: no counter track for it.
+        assert not any("child" in e["args"] for e in counters)
+
     def test_child_interval_inside_parent(self):
         payload = telemetry.to_chrome_trace(self._capture())
-        by_name = {e["name"]: e for e in payload["traceEvents"]}
+        by_name = {e["name"]: e for e in payload["traceEvents"]
+                   if e["ph"] == "X"}
         root, child = by_name["root"], by_name["child"]
         assert child["ts"] >= root["ts"]
         assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-3
