@@ -43,7 +43,7 @@ from repro.data.synthetic import smooth_field
 
 rng = np.random.default_rng(0)
 wide = (10.0 ** (3.5 * smooth_field((256, 256), 6.0, rng))).astype(np.float32)
-res = repro.compress_pwrel(wide, rel_bound=1e-3)
+res = repro.compress(wide, eb=1e-3, mode="pwrel")
 out = repro.decompress(res.archive)
 rel = np.abs(out.astype(np.float64) - wide) / np.abs(wide)
 print(

@@ -21,10 +21,17 @@ from .core.compressor import (
     compress,
     decompress,
     decompress_with_stats,
+    sniff_container,
 )
 from .core.config import CompressorConfig, SelectorDiagnostics
 from .core.integrity import IntegrityReport, verify_archive
 from .core.pwrel import compress_pwrel
+from .core.streaming import (
+    StreamingCompressor,
+    compress_blocks,
+    decompress_blocks,
+)
+from .engine import CompressionEngine, default_jobs
 from .core.errors import (
     ArchiveError,
     CodebookOverflowError,
@@ -41,10 +48,16 @@ __version__ = "1.0.0"
 __all__ = [
     "compress",
     "compress_pwrel",
+    "compress_blocks",
     "decompress",
+    "decompress_blocks",
     "decompress_with_stats",
+    "sniff_container",
     "telemetry",
     "Compressor",
+    "CompressionEngine",
+    "default_jobs",
+    "StreamingCompressor",
     "CompressorConfig",
     "CompressionResult",
     "DecompressionResult",

@@ -19,7 +19,15 @@ __all__ = ["BenchCase", "Scenario", "SCENARIOS", "get_scenario"]
 
 @dataclass(frozen=True)
 class BenchCase:
-    """One (field, error bound, workflow) measurement point."""
+    """One (field, error bound, workflow) measurement point.
+
+    ``block_bytes``/``jobs`` switch the case to the multi-block engine path
+    (:func:`repro.core.streaming.compress_blocks`): the field is split into
+    blocks of at most ``block_bytes`` uncompressed bytes and compressed on
+    ``jobs`` workers.  The ``parallel`` scenario uses matching cases at
+    ``jobs=1`` and ``jobs>1`` to measure engine scaling; their archives are
+    byte-identical, so quality rows must agree exactly.
+    """
 
     name: str
     dataset: str
@@ -27,6 +35,8 @@ class BenchCase:
     eb: float
     workflow: str = "auto"
     eb_mode: str = "rel"
+    jobs: int | None = None
+    block_bytes: int | None = None
 
     def make_field(self) -> np.ndarray:
         from ..data import get_dataset
@@ -100,7 +110,23 @@ _FULL = Scenario(
     extra=_gpu_smoke_workload,
 )
 
-SCENARIOS: dict[str, Scenario] = {s.name: s for s in (_SMOKE, _SELECTOR, _FULL)}
+_PARALLEL = Scenario(
+    name="parallel",
+    description="engine scaling: identical block workload at 1 vs N workers",
+    cases=(
+        BenchCase("cesm_ps_1e-3_blocks_j1", "CESM", "PS", 1e-3,
+                  jobs=1, block_bytes=1 << 20),
+        BenchCase("cesm_ps_1e-3_blocks_j4", "CESM", "PS", 1e-3,
+                  jobs=4, block_bytes=1 << 20),
+        BenchCase("cesm_fsdsc_1e-2_blocks_j4", "CESM", "FSDSC", 1e-2,
+                  jobs=4, block_bytes=1 << 20),
+    ),
+    repeats=3,
+)
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s for s in (_SMOKE, _SELECTOR, _FULL, _PARALLEL)
+}
 
 
 def get_scenario(name: str) -> Scenario:

@@ -50,8 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--dims", type=int, nargs="+", required=True,
                     help="field dimensions, slowest-varying first")
     pc.add_argument("--eb", type=float, default=1e-4, help="error bound (default 1e-4)")
-    pc.add_argument("--mode", choices=["rel", "abs"], default="rel",
-                    help="bound interpretation (default: relative to value range)")
+    pc.add_argument("--mode", choices=["rel", "abs", "pwrel"], default="rel",
+                    help="bound interpretation: relative to value range "
+                         "(default), absolute, or point-wise relative")
     pc.add_argument("--workflow", choices=["auto", "huffman", "rle", "rle+vle"],
                     default="auto")
     pc.add_argument("--predictor", choices=["lorenzo", "regression", "interp", "auto"],
@@ -59,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--dict-size", type=int, default=1024)
     pc.add_argument("--dtype", choices=["f32", "f64"], default=None,
                     help="override dtype inference from the file suffix")
+    pc.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="compress blocks concurrently on N engine workers "
+                         "(emits a multi-block archive; output is "
+                         "byte-identical to --jobs 1)")
+    pc.add_argument("--block-bytes", type=int, default=None, metavar="BYTES",
+                    help="split the field into blocks of at most BYTES "
+                         "uncompressed bytes (implies a multi-block archive; "
+                         "default 64 MiB when --jobs is given)")
     _add_telemetry_flags(pc)
     pc.add_argument("--json", action="store_true", dest="as_json",
                     help="emit a machine-readable JSON result on stdout")
@@ -204,6 +213,8 @@ def _cmd_compress(args) -> int:
         predictor=args.predictor, dict_size=args.dict_size,
         telemetry=True if (args.trace or args.stats) else None,
     )
+    if args.jobs is not None or args.block_bytes is not None:
+        return _cmd_compress_blocks(args, field, config)
     scope_ctx, trace_ctx = _telemetry_capture(args)
     with scope_ctx, trace_ctx as tr:
         result = compress(field, config)
@@ -234,6 +245,42 @@ def _cmd_compress(args) -> int:
           f"eb_abs={result.eb_abs:.4g} outliers={result.n_outliers}")
     if args.stats:
         _print_stage_stats(result.stage_stats)
+    _note_trace(args)
+    return 0
+
+
+def _cmd_compress_blocks(args, field: np.ndarray, config: CompressorConfig) -> int:
+    """``repro compress --jobs N`` / ``--block-bytes``: multi-block archive."""
+    from .core.streaming import block_manifest, compress_blocks
+
+    max_block_bytes = args.block_bytes or (64 << 20)
+    scope_ctx, trace_ctx = _telemetry_capture(args)
+    with scope_ctx, trace_ctx as tr:
+        blob = compress_blocks(
+            field, config, max_block_bytes=max_block_bytes, jobs=args.jobs
+        )
+    args.output.write_bytes(blob)
+    _emit_trace(args, tr)
+    manifest = block_manifest(blob)
+    ratio = field.nbytes / len(blob)
+    if args.as_json:
+        print(json.dumps({
+            "command": "compress",
+            "input": str(args.input),
+            "output": str(args.output),
+            "original_bytes": int(field.nbytes),
+            "compressed_bytes": len(blob),
+            "compression_ratio": ratio,
+            "container": "blocks",
+            "n_blocks": manifest.n_blocks,
+            "jobs": args.jobs or 1,
+            "block_bytes": max_block_bytes,
+        }, indent=2))
+        return 0
+    print(f"{args.input} -> {args.output}")
+    print(f"  {field.nbytes} -> {len(blob)} bytes ({ratio:.2f}x)")
+    print(f"  blocks={manifest.n_blocks} (<= {max_block_bytes} bytes each) "
+          f"jobs={args.jobs or 1}")
     _note_trace(args)
     return 0
 
@@ -271,9 +318,21 @@ def _cmd_decompress(args) -> int:
 def _cmd_info(args) -> int:
     blob = args.archive.read_bytes()
     reader = ArchiveReader(blob)
-    from .core.compressor import _unpack_meta  # shared parsing
+    from .core.compressor import _unpack_meta, sniff_container  # shared parsing
 
-    meta = _unpack_meta(reader.get_bytes("meta"))
+    kind = sniff_container(blob)
+    if kind == "blocks":
+        return _info_blocks(args, blob, reader)
+    if kind == "pwrel":
+        # Describe the wrapped log-domain archive; the pw.* sections carry
+        # signs/zeros and the point-wise bound.
+        inner_reader = ArchiveReader(reader.get_bytes("pw.inner"))
+        meta = _unpack_meta(inner_reader.get_bytes("meta"))
+        rel_bound = float(np.frombuffer(reader.get_bytes("pw.meta")[:8], np.float64)[0])
+        meta["eb_abs"] = rel_bound
+        meta["workflow"] = f"pwrel({meta['workflow']})"
+    else:
+        meta = _unpack_meta(reader.get_bytes("meta"))
     if args.as_json:
         original = int(np.prod(meta["shape"])) * np.dtype(meta["dtype"]).itemsize
         print(json.dumps({
@@ -298,6 +357,32 @@ def _cmd_info(args) -> int:
     print(f"dict size  : {meta['dict_size']}  outliers={meta['n_outliers']}")
     original = int(np.prod(meta["shape"])) * np.dtype(meta["dtype"]).itemsize
     print(f"ratio      : {original / len(blob):.2f}x")
+    print("sections   :")
+    for name in reader.names():
+        print(f"  {name:10} {len(reader.get_bytes(name)):>12} bytes")
+    return 0
+
+
+def _info_blocks(args, blob: bytes, reader: ArchiveReader) -> int:
+    """``repro info`` on a multi-block container: geometry, not per-field meta."""
+    from .core.streaming import block_manifest
+
+    manifest = block_manifest(blob)
+    if args.as_json:
+        print(json.dumps({
+            "command": "info",
+            "archive": str(args.archive),
+            "archive_bytes": len(blob),
+            "container": "blocks",
+            "shape": list(manifest.shape),
+            "n_blocks": manifest.n_blocks,
+            "block_extents": list(manifest.extents),
+            "section_sizes": reader.section_sizes(),
+        }, indent=2))
+        return 0
+    print(f"archive    : {args.archive} ({len(blob)} bytes, format v{reader.version})")
+    print(f"container  : multi-block  shape={manifest.shape}")
+    print(f"blocks     : {manifest.n_blocks}  extents={list(manifest.extents)}")
     print("sections   :")
     for name in reader.names():
         print(f"  {name:10} {len(reader.get_bytes(name)):>12} bytes")

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import telemetry as tel
-from ..encoding.histogram import histogram
+from ..engine.cache import cached_histogram
 from ..telemetry import instruments as ins
 from .archive import ArchiveBuilder, ArchiveReader
 from .config import CompressorConfig, SelectorDiagnostics
@@ -49,6 +49,7 @@ __all__ = [
     "compress",
     "decompress",
     "decompress_with_stats",
+    "sniff_container",
 ]
 
 # Archive metadata section layout (little-endian):
@@ -127,12 +128,20 @@ def compress(data: np.ndarray, config: CompressorConfig | None = None, **kwargs)
     """Compress a 1..4-D float array into a self-contained archive.
 
     ``kwargs`` are convenience overrides for :class:`CompressorConfig`
-    fields, e.g. ``compress(x, eb=1e-3, workflow="huffman")``.
+    fields, e.g. ``compress(x, eb=1e-3, workflow="huffman")``.  The
+    configured error-bound mode drives the pipeline: ``"abs"``/``"rel"``
+    run the dual-quantization path directly, ``"pwrel"`` routes through the
+    point-wise-relative log transform (:mod:`repro.core.pwrel`) and wraps
+    the result in a ``pw.*`` container that :func:`decompress` recognizes.
     """
     if config is None:
         config = CompressorConfig(**kwargs)
     elif kwargs:
         config = config.with_(**kwargs)
+    if config.eb_mode == "pwrel":
+        from .pwrel import _compress_pwrel
+
+        return _compress_pwrel(np.asarray(data), config.eb, config)
     data = np.asarray(data)
     if data.dtype not in _DTYPE_CODES:
         if np.issubdtype(data.dtype, np.floating):
@@ -166,7 +175,7 @@ def _compress_impl(data: np.ndarray, config: CompressorConfig) -> CompressionRes
             sp.set(bytes_out=int(bundle.quant.nbytes), predictor=bundle.predictor,
                    n_outliers=bundle.n_outliers)
         with tel.span("histogram", bytes_in=int(bundle.quant.nbytes)):
-            freqs = histogram(bundle.quant, config.dict_size)
+            freqs = cached_histogram(bundle.quant, config.dict_size)
         with tel.span("select_workflow") as sp:
             diag = select_workflow(bundle.quant, freqs, config)
             workflow = diag.decision
@@ -295,24 +304,59 @@ def _selector_audit(
     return audit
 
 
-def decompress(blob: bytes) -> np.ndarray:
-    """Reconstruct the original-shaped array from an archive blob.
+def sniff_container(blob: bytes) -> str:
+    """Identify an archive blob's container kind without decoding it.
 
-    Transparently handles point-wise-relative containers produced by
-    :func:`repro.core.pwrel.compress_pwrel`.  For per-stage timings use
-    :func:`decompress_with_stats`.
+    Returns ``"single"`` (one field), ``"blocks"`` (multi-block container),
+    or ``"pwrel"`` (point-wise-relative wrapper).  Raises
+    :class:`ArchiveError` with a hint for anything unrecognizable.
+    """
+    reader = ArchiveReader(blob)
+    if reader.has("pw.inner"):
+        return "pwrel"
+    if reader.has("bmeta"):
+        return "blocks"
+    if reader.has("meta"):
+        return "single"
+    raise ArchiveError(
+        "blob has valid framing but no recognizable payload (expected a "
+        "'meta', 'bmeta', or 'pw.inner' section); it may be a partial "
+        f"write or not a repro archive. sections present: {reader.names()}"
+    )
+
+
+def decompress(blob: bytes) -> np.ndarray:
+    """Reconstruct the original-shaped array from any archive blob.
+
+    This is the single front door: it sniffs the container kind (single
+    archive, multi-block container, or point-wise-relative wrapper) from
+    the section manifest and dispatches accordingly.  Malformed blobs raise
+    :class:`ArchiveError` with a hint, never a bare ``struct.error``.  For
+    per-stage timings use :func:`decompress_with_stats`.
     """
     return decompress_with_stats(blob).data
 
 
 def decompress_with_stats(blob: bytes) -> DecompressionResult:
     """Like :func:`decompress`, returning the array plus stage reporting."""
-    reader = ArchiveReader(blob)
-    if reader.has("pw.inner"):
-        from .pwrel import decompress_pwrel_with_stats
+    try:
+        kind = sniff_container(blob)
+        if kind == "pwrel":
+            from .pwrel import decompress_pwrel_with_stats
 
-        return decompress_pwrel_with_stats(blob)
-    return _decompress_impl(reader, blob)
+            return decompress_pwrel_with_stats(blob)
+        if kind == "blocks":
+            from .streaming import decompress_blocks_with_stats
+
+            return decompress_blocks_with_stats(blob)
+        return _decompress_impl(ArchiveReader(blob), blob)
+    except struct.error as exc:
+        # Belt and braces: structured parsing is length-checked everywhere,
+        # but a raw struct.error must never leak to the caller.
+        raise ArchiveError(
+            f"archive metadata malformed ({exc}); the blob is likely "
+            "truncated or corrupt"
+        ) from None
 
 
 def _decompress_impl(reader: ArchiveReader, blob: bytes) -> DecompressionResult:
@@ -383,24 +427,115 @@ def _decompress_impl(reader: ArchiveReader, blob: bytes) -> DecompressionResult:
 
 
 class Compressor:
-    """Stateful convenience wrapper binding a configuration.
+    """Stateful front door binding a configuration to the full codec surface.
+
+    Every method applies ``self.config``; decompression auto-dispatches on
+    the container kind, so one ``Compressor`` round-trips single fields,
+    multi-block containers, batches, and streams alike.
 
     >>> comp = Compressor(eb=1e-3)
     >>> result = comp.compress(field)
     >>> restored = comp.decompress(result.archive)
+
+    Batch compression returns engine futures (submission order preserved):
+
+    >>> futures = comp.batch([field_a, field_b])
+    >>> results = [f.result() for f in futures]
+
+    Streams are context-managed; the sealed container appears on exit:
+
+    >>> with Compressor(eb=1e-3, eb_mode="abs").stream() as sc:
+    ...     for block in simulation_steps():
+    ...         sc.append(block)
+    >>> blob = sc.container
+
+    ``jobs`` sets the worker count of the lazily-created engine behind
+    :meth:`batch` and :meth:`compress_blocks` (default: the core count).
+    Use the ``Compressor`` as a context manager (or call :meth:`close`) to
+    shut that engine down eagerly.
     """
 
-    def __init__(self, config: CompressorConfig | None = None, **kwargs) -> None:
+    def __init__(
+        self,
+        config: CompressorConfig | None = None,
+        jobs: int | None = None,
+        **kwargs,
+    ) -> None:
         self.config = config.with_(**kwargs) if config and kwargs else (
             config or CompressorConfig(**kwargs)
         )
+        self.jobs = jobs
+        self._engine = None
 
-    def compress(self, data: np.ndarray) -> CompressionResult:
-        return compress(data, self.config)
+    # -- single fields ------------------------------------------------------
+
+    def compress(self, data: np.ndarray, **overrides) -> CompressionResult:
+        return compress(data, self.config, **overrides)
 
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:
         return decompress(blob)
+
+    @staticmethod
+    def decompress_with_stats(blob: bytes) -> DecompressionResult:
+        return decompress_with_stats(blob)
+
+    # -- blocks, batches, streams ------------------------------------------
+
+    def compress_blocks(
+        self,
+        data: np.ndarray,
+        max_block_bytes: int = 64 << 20,
+        jobs: int | None = None,
+    ) -> bytes:
+        """Block-split container via the engine (see
+        :func:`repro.core.streaming.compress_blocks`)."""
+        from .streaming import compress_blocks
+
+        engine = self.engine(jobs) if (jobs or self.jobs or self._engine) else None
+        return compress_blocks(
+            data, self.config, max_block_bytes=max_block_bytes, engine=engine
+        )
+
+    def batch(self, fields, **overrides) -> list:
+        """Submit every field to the engine; returns futures in order."""
+        return self.engine().batch(fields, self.config, **overrides)
+
+    def stream(self, jobs: int | None = None, **overrides):
+        """A context-managed :class:`~repro.core.streaming.StreamingCompressor`
+        bound to this configuration."""
+        from .streaming import StreamingCompressor
+
+        config = self.config.with_(**overrides) if overrides else self.config
+        engine = self.engine(jobs) if (jobs or self.jobs or self._engine) else None
+        return StreamingCompressor(config, engine=engine)
+
+    # -- engine lifecycle ---------------------------------------------------
+
+    def engine(self, jobs: int | None = None):
+        """The lazily-created shared :class:`~repro.engine.CompressionEngine`.
+
+        ``jobs`` applies only on first creation; afterwards the existing
+        pool is reused regardless.
+        """
+        if self._engine is None or self._engine.closed:
+            from ..engine.core import CompressionEngine
+
+            self._engine = CompressionEngine(self.config, jobs=jobs or self.jobs)
+        return self._engine
+
+    def close(self) -> None:
+        """Shut down the shared engine (no-op if none was created)."""
+        if self._engine is not None:
+            self._engine.shutdown(wait=True)
+            self._engine = None
+
+    def __enter__(self) -> "Compressor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 # ---------------------------------------------------------------------------

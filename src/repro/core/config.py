@@ -16,16 +16,19 @@ The defaults mirror cuSZ/cuSZ+ as described in the paper:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import InitVar, dataclass, field, replace
 from typing import Literal
 
 from .errors import ConfigError, DimensionalityError
 
 #: Supported error-bound interpretation modes.
-#:   ``abs``  -- the bound is an absolute value difference.
-#:   ``rel``  -- the bound is relative to the field's value range (the
-#:               paper's "relative to value range" bounds, e.g. 1e-4).
-ErrorBoundMode = Literal["abs", "rel"]
+#:   ``abs``   -- the bound is an absolute value difference.
+#:   ``rel``   -- the bound is relative to the field's value range (the
+#:                paper's "relative to value range" bounds, e.g. 1e-4).
+#:   ``pwrel`` -- the bound is point-wise relative, ``|d' - d| <= eb * |d|``
+#:                (paper Section VI; implemented via the log transform of
+#:                :mod:`repro.core.pwrel`).
+ErrorBoundMode = Literal["abs", "rel", "pwrel"]
 
 #: Workflow selection.  ``auto`` applies the paper's compressibility-aware
 #: rule; the other values force a specific pipeline.  ``huffman+lz`` appends
@@ -62,8 +65,11 @@ class CompressorConfig:
     eb:
         Error bound.  Interpreted according to ``eb_mode``.
     eb_mode:
-        ``"rel"`` (default, bound is ``eb * (max - min)`` of the field) or
-        ``"abs"``.
+        ``"rel"`` (default, bound is ``eb * (max - min)`` of the field),
+        ``"abs"``, or ``"pwrel"`` (point-wise relative,
+        ``|d' - d| <= eb * |d|``; requires ``1e-6 <= eb < 1``).  The
+        keyword ``mode`` is accepted as an alias at construction time:
+        ``CompressorConfig(mode="pwrel", eb=1e-3)``.
     dict_size:
         Number of quant-code symbols (histogram bins / Huffman alphabet).
         Must be an even positive integer; the quantization radius is
@@ -105,14 +111,25 @@ class CompressorConfig:
     rle_encode_lengths: bool = False
     rle_length_dtype: str = "uint16"
     telemetry: bool | None = None
+    #: Construction-time alias for ``eb_mode`` (the unified codec API's
+    #: spelling); it never survives as state -- ``eb_mode`` holds the truth.
+    mode: InitVar[str | None] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, mode: str | None = None) -> None:
+        if mode is not None:
+            object.__setattr__(self, "eb_mode", mode)
         if self.telemetry is not None and not isinstance(self.telemetry, bool):
             raise ConfigError(f"telemetry must be True, False or None, got {self.telemetry!r}")
         if not (self.eb > 0.0 and math.isfinite(self.eb)):
             raise ConfigError(f"error bound must be a positive finite number, got {self.eb!r}")
-        if self.eb_mode not in ("abs", "rel"):
-            raise ConfigError(f"eb_mode must be 'abs' or 'rel', got {self.eb_mode!r}")
+        if self.eb_mode not in ("abs", "rel", "pwrel"):
+            raise ConfigError(
+                f"eb_mode must be 'abs', 'rel' or 'pwrel', got {self.eb_mode!r}"
+            )
+        if self.eb_mode == "pwrel" and not 1e-6 <= self.eb < 1.0:
+            raise ConfigError(
+                f"point-wise relative bound must be in [1e-6, 1), got {self.eb!r}"
+            )
         if self.dict_size < 2 or self.dict_size % 2 != 0:
             raise ConfigError(f"dict_size must be an even integer >= 2, got {self.dict_size!r}")
         if self.workflow not in ("auto", "huffman", "rle", "rle+vle", "huffman+lz"):
@@ -156,8 +173,15 @@ class CompressorConfig:
         ``value_range`` is ``max - min`` of the field being compressed and is
         only consulted in ``rel`` mode.  A constant field (range 0) in
         relative mode degenerates to a tiny positive bound so quantization
-        stays well-defined.
+        stays well-defined.  A point-wise relative bound has no absolute
+        equivalent -- :func:`repro.compress` dispatches ``pwrel`` configs to
+        the log-transform path before quantization ever asks for one.
         """
+        if self.eb_mode == "pwrel":
+            raise ConfigError(
+                "a point-wise relative bound has no absolute equivalent; "
+                "pwrel compression goes through the log-transform path"
+            )
         if self.eb_mode == "abs":
             return self.eb
         if value_range <= 0.0:

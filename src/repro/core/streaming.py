@@ -7,20 +7,23 @@ implements both properties:
 
 * :func:`compress_blocks` splits a field along its slowest axis into blocks
   of bounded size and compresses each independently into one multi-block
-  container;
+  container -- serially, or concurrently across a
+  :class:`~repro.engine.CompressionEngine` worker pool (``jobs=N``), with
+  the parallel container byte-identical to the serial one;
 * :func:`decompress_blocks` restores the whole field;
 * :func:`decompress_block` / :func:`decompress_range` decode only the
   requested blocks -- coarse-grained random access without touching the
   rest of the archive;
 * :class:`StreamingCompressor` consumes blocks incrementally (e.g. straight
   from a simulation loop or an out-of-core reader) and emits the same
-  container.
+  container; with an engine attached, appended blocks compress in the
+  background while the producer keeps feeding.
 
 The error-bound contract is global: in relative mode the bound is resolved
 against the *whole field's* value range before splitting (a two-pass
 scheme).  The incremental path cannot see the full range up front, so it
-requires an absolute bound -- the honest choice, and what in-situ users have
-anyway.
+requires a bound that is meaningful per block: absolute, or point-wise
+relative (which needs no range at all).
 """
 
 from __future__ import annotations
@@ -28,18 +31,21 @@ from __future__ import annotations
 import struct
 import warnings
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable
 
 import numpy as np
 
+from .. import telemetry as tel
+from ..telemetry import instruments as ins
 from .archive import ArchiveBuilder, ArchiveReader
-from .compressor import compress, decompress
+from .compressor import DecompressionResult, compress, decompress, decompress_with_stats
 from .config import CompressorConfig
 from .errors import ArchiveError, ConfigError
 
 __all__ = [
     "compress_blocks",
     "decompress_blocks",
+    "decompress_blocks_with_stats",
     "decompress_block",
     "decompress_range",
     "block_manifest",
@@ -125,13 +131,22 @@ def compress_blocks(
     data: np.ndarray,
     config: CompressorConfig | None = None,
     max_block_bytes: int = 64 << 20,
+    jobs: int | None = None,
+    engine=None,
     **kwargs,
 ) -> bytes:
     """Compress a large field block-by-block into one container blob.
 
     The field is split along axis 0 so each uncompressed block stays under
     ``max_block_bytes``.  Relative bounds are resolved against the full
-    field's range so every block honors the same absolute bound.
+    field's range so every block honors the same absolute bound; point-wise
+    relative bounds need no range and pass through unchanged.
+
+    ``jobs=N`` compresses blocks concurrently on a transient
+    :class:`~repro.engine.CompressionEngine`; passing ``engine=`` reuses a
+    caller-owned pool (and its codebook cache) instead.  Blocks are
+    reassembled in submission order, so the container is **byte-identical**
+    regardless of worker count.
     """
     if config is None:
         config = CompressorConfig(**kwargs)
@@ -143,13 +158,59 @@ def compress_blocks(
     row_bytes = int(data.nbytes // data.shape[0]) or 1
     block_rows = max(int(max_block_bytes // row_bytes), 1)
     extents = _block_count_extents(data.shape[0], block_rows)
-    eb_abs = _resolve_global_bound(data, config)
-    block_config = config.with_(eb=eb_abs, eb_mode="abs")
+    if config.eb_mode == "pwrel":
+        # Point-wise bounds are local by construction: no global range pass.
+        block_config = config
+    else:
+        eb_abs = _resolve_global_bound(data, config)
+        block_config = config.with_(eb=eb_abs, eb_mode="abs")
+    manifest = BlockManifest(data.shape, tuple(extents))
     blocks = (
-        data[off : off + ext]
-        for off, ext in zip(BlockManifest(data.shape, tuple(extents)).offsets, extents)
+        data[off : off + ext] for off, ext in zip(manifest.offsets, extents)
     )
-    return _build_container(blocks, data.shape, extents, block_config)
+    with tel.span(
+        "compress_blocks", bytes_in=int(data.nbytes),
+        n_blocks=manifest.n_blocks, jobs=jobs or (engine.jobs if engine else 1),
+    ) as root:
+        if engine is not None or (jobs is not None and jobs != 1):
+            archives = _compress_blocks_parallel(blocks, block_config, jobs, engine)
+        else:
+            archives = [compress(block, block_config).archive for block in blocks]
+        blob = _assemble_container(archives, manifest)
+        root.set(bytes_out=len(blob))
+    return blob
+
+
+def _compress_blocks_parallel(
+    blocks: Iterable[np.ndarray],
+    block_config: CompressorConfig,
+    jobs: int | None,
+    engine,
+) -> list[bytes]:
+    """Fan blocks out over an engine; results return in submission order."""
+    from ..engine.core import CompressionEngine
+
+    own = engine is None
+    eng = engine if engine is not None else CompressionEngine(block_config, jobs=jobs)
+    try:
+        futures = [eng.submit(block, block_config) for block in blocks]
+        return [f.result().archive for f in futures]
+    finally:
+        if own:
+            eng.shutdown(wait=True)
+
+
+def _assemble_container(archives: list[bytes], manifest: BlockManifest) -> bytes:
+    """Deterministic container assembly: ``blk<k>`` sections in block order."""
+    if len(archives) != manifest.n_blocks:
+        raise ConfigError(
+            f"got {len(archives)} blocks, manifest expected {manifest.n_blocks}"
+        )
+    builder = ArchiveBuilder()
+    for k, archive in enumerate(archives):
+        builder.add_bytes(f"blk{k}", archive)
+    builder.add_bytes("bmeta", _pack_manifest(manifest))
+    return builder.to_bytes()
 
 
 def _resolve_global_bound(data: np.ndarray, config: CompressorConfig) -> float:
@@ -176,24 +237,6 @@ def _resolve_global_bound(data: np.ndarray, config: CompressorConfig) -> float:
         scale = max(abs(vmin), abs(vmax), 1.0)
         eb_abs = scale * float(np.finfo(np.float32).eps)
     return eb_abs
-
-
-def _build_container(
-    blocks: Iterable[np.ndarray],
-    shape: tuple[int, ...],
-    extents: list[int],
-    block_config: CompressorConfig,
-) -> bytes:
-    builder = ArchiveBuilder()
-    count = 0
-    for k, block in enumerate(blocks):
-        result = compress(block, block_config)
-        builder.add_bytes(f"blk{k}", result.archive)
-        count += 1
-    if count != len(extents):
-        raise ConfigError(f"got {count} blocks, manifest expected {len(extents)}")
-    builder.add_bytes("bmeta", _pack_manifest(BlockManifest(shape, tuple(extents))))
-    return builder.to_bytes()
 
 
 def block_manifest(blob: bytes) -> BlockManifest:
@@ -229,42 +272,94 @@ def decompress_range(blob: bytes, start: int, stop: int) -> np.ndarray:
 
 def decompress_blocks(blob: bytes) -> np.ndarray:
     """Restore the full field from a multi-block container."""
+    return decompress_blocks_with_stats(blob).data
+
+
+def decompress_blocks_with_stats(blob: bytes) -> DecompressionResult:
+    """Restore the full field plus aggregated per-block reporting.
+
+    ``workflow``/``predictor`` report the blocks' common value, or
+    ``"mixed"`` when the selector chose differently per block; outlier
+    counts are summed and ``eb_abs`` is the largest per-block bound (they
+    are identical for containers built by :func:`compress_blocks`, which
+    resolves the bound globally).
+    """
     manifest = block_manifest(blob)
     reader = ArchiveReader(blob)
-    pieces = [decompress(reader.get_bytes(f"blk{k}")) for k in range(manifest.n_blocks)]
-    out = np.concatenate(pieces, axis=0)
-    if out.shape != manifest.shape:
-        raise ArchiveError(f"blocks reassemble to {out.shape}, manifest says {manifest.shape}")
-    return out
+    with tel.span(
+        "decompress_blocks", bytes_in=len(blob), n_blocks=manifest.n_blocks
+    ) as root:
+        results = [
+            decompress_with_stats(reader.get_bytes(f"blk{k}"))
+            for k in range(manifest.n_blocks)
+        ]
+        out = np.concatenate([r.data for r in results], axis=0)
+        if out.shape != manifest.shape:
+            raise ArchiveError(
+                f"blocks reassemble to {out.shape}, manifest says {manifest.shape}"
+            )
+        root.set(bytes_out=int(out.nbytes))
+    workflows = {r.workflow for r in results}
+    predictors = {r.predictor for r in results}
+    return DecompressionResult(
+        data=out,
+        workflow=workflows.pop() if len(workflows) == 1 else "mixed",
+        predictor=predictors.pop() if len(predictors) == 1 else "mixed",
+        eb_abs=max(r.eb_abs for r in results),
+        n_outliers=sum(r.n_outliers for r in results),
+        section_sizes=reader.section_sizes(),
+        stage_stats=ins.stage_stats_from_span(root),
+    )
 
 
 class StreamingCompressor:
     """Incremental block-by-block compression (in-situ / out-of-core).
 
-    Feed blocks with :meth:`append`; call :meth:`finish` for the container.
-    Requires an absolute error bound -- the global value range is unknowable
-    mid-stream, so a relative bound could not be honored.
+    Feed blocks with :meth:`append`; call :meth:`finish` for the container,
+    or use it as a context manager and read :attr:`container` afterwards.
+    Requires a bound that is meaningful per block -- absolute, or point-wise
+    relative -- because the global value range is unknowable mid-stream.
 
     >>> sc = StreamingCompressor(CompressorConfig(eb=1e-3, eb_mode="abs"))
     >>> for block in simulation_steps():
     ...     sc.append(block)
     >>> blob = sc.finish()
+
+    With an engine attached (``jobs=N`` or ``engine=``), :meth:`append`
+    only *schedules* the block; compression proceeds on the worker pool
+    while the producer keeps feeding, and :meth:`finish` gathers results in
+    append order -- the container stays byte-identical to the serial one.
+    Worker-side failures surface at :meth:`finish`.
     """
 
-    def __init__(self, config: CompressorConfig) -> None:
-        if config.eb_mode != "abs":
+    def __init__(
+        self,
+        config: CompressorConfig,
+        jobs: int | None = None,
+        engine=None,
+    ) -> None:
+        if config.eb_mode == "rel":
             raise ConfigError(
-                "streaming compression requires an absolute error bound "
-                "(the full value range is not known up front)"
+                "streaming compression requires an absolute or point-wise "
+                "relative error bound (the full value range is not known "
+                "up front)"
             )
         self.config = config
-        self._builder = ArchiveBuilder()
+        self._engine = engine
+        self._own_engine = False
+        if engine is None and jobs is not None and jobs != 1:
+            from ..engine.core import CompressionEngine
+
+            self._engine = CompressionEngine(config, jobs=jobs)
+            self._own_engine = True
+        self._pending: list = []  # archive bytes, or futures when engined
         self._extents: list[int] = []
         self._tail_shape: tuple[int, ...] | None = None
         self._finished = False
+        self._container: bytes | None = None
 
     def append(self, block: np.ndarray) -> None:
-        """Compress and append one block (all blocks must share trailing dims)."""
+        """Compress (or schedule) one block; all blocks share trailing dims."""
         if self._finished:
             raise ConfigError("streaming compressor already finished")
         block = np.asarray(block)
@@ -277,21 +372,57 @@ class StreamingCompressor:
             raise ConfigError(
                 f"block trailing shape {tail} != first block's {self._tail_shape}"
             )
-        result = compress(block, self.config)
-        self._builder.add_bytes(f"blk{len(self._extents)}", result.archive)
+        if self._engine is not None:
+            self._pending.append(self._engine.submit(block, self.config))
+        else:
+            self._pending.append(compress(block, self.config).archive)
         self._extents.append(int(block.shape[0]))
 
     @property
     def n_blocks(self) -> int:
         return len(self._extents)
 
+    @property
+    def container(self) -> bytes:
+        """The sealed container blob (only after :meth:`finish`)."""
+        if self._container is None:
+            raise ConfigError("stream not finished yet; call finish() first")
+        return self._container
+
     def finish(self) -> bytes:
-        """Seal the container and return the blob."""
+        """Seal the container and return the blob (idempotent)."""
+        if self._finished:
+            return self.container
         if not self._extents:
             raise ConfigError("no blocks were appended")
         self._finished = True
+        try:
+            archives = [
+                p if isinstance(p, bytes) else p.result().archive
+                for p in self._pending
+            ]
+        finally:
+            self._release_engine()
         shape = (sum(self._extents), *(self._tail_shape or ()))
-        self._builder.add_bytes(
-            "bmeta", _pack_manifest(BlockManifest(shape, tuple(self._extents)))
+        self._container = _assemble_container(
+            archives, BlockManifest(shape, tuple(self._extents))
         )
-        return self._builder.to_bytes()
+        self._pending.clear()
+        return self._container
+
+    def _release_engine(self) -> None:
+        if self._own_engine and self._engine is not None:
+            self._engine.shutdown(wait=True)
+            self._engine = None
+            self._own_engine = False
+
+    def __enter__(self) -> "StreamingCompressor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.finish()
+        else:
+            self._finished = True
+            self._release_engine()
+        return False

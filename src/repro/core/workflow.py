@@ -18,9 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from .. import telemetry as tel
-from ..encoding.histogram import histogram
-from ..encoding.huffman import CanonicalCodebook, build_codebook
+from ..encoding.huffman import CanonicalCodebook
 from ..encoding.huffman_codec import HuffmanEncoded, decode as huff_decode, encode as huff_encode
+from ..engine.cache import cached_codebook, cached_histogram
 from ..encoding.rle import RunLengthEncoded, rle_decode, rle_encode
 from .archive import ArchiveBuilder, ArchiveReader
 from .config import CompressorConfig
@@ -37,11 +37,17 @@ __all__ = [
 def _huffman_encode_stream(
     symbols: np.ndarray, alphabet_size: int, chunk_size: int
 ) -> tuple[CanonicalCodebook, HuffmanEncoded, float]:
-    """Histogram -> codebook -> chunked encode; returns (book, stream, ⟨b⟩)."""
+    """Histogram -> codebook -> chunked encode; returns (book, stream, ⟨b⟩).
+
+    Both the histogram and the codebook go through the engine cache hooks:
+    inside an engine worker (:func:`repro.engine.cache.cache_scope`) blocks
+    with a previously-seen quant-code distribution skip tree construction;
+    outside an engine the hooks fall through to direct computation.
+    """
     with tel.span("huffman.histogram", bytes_in=int(symbols.nbytes)):
-        freqs = histogram(symbols, alphabet_size)
+        freqs = cached_histogram(symbols, alphabet_size)
     with tel.span("huffman.codebook"):
-        book = build_codebook(freqs)
+        book = cached_codebook(freqs)
     with tel.span("huffman.encode", bytes_in=int(symbols.nbytes)) as sp:
         encoded = huff_encode(symbols, book, chunk_size)
         sp.set(bytes_out=int(encoded.payload_bytes))

@@ -1,0 +1,42 @@
+"""Parallel batch/block compression engine (worker pool + shared cache).
+
+Public surface:
+
+* :class:`CompressionEngine` -- submit/result futures over a thread pool
+  with bounded in-flight backpressure and deterministic ordering;
+* :class:`QuantCache` / :func:`cache_scope` -- the cross-block
+  codebook/histogram cache keyed by quant-code distribution fingerprint;
+* :func:`default_jobs` -- the worker count used when none is requested.
+
+``repro.engine.core`` is imported lazily: :mod:`repro.core.workflow` pulls
+in the cache hooks at import time, and an eager import here would close a
+cycle back through :mod:`repro.core.compressor`.
+"""
+
+from __future__ import annotations
+
+from .cache import QuantCache, active_cache, cache_scope, cached_codebook, cached_histogram
+
+__all__ = [
+    "CompressionEngine",
+    "default_jobs",
+    "QuantCache",
+    "active_cache",
+    "cache_scope",
+    "cached_codebook",
+    "cached_histogram",
+]
+
+_LAZY = {"CompressionEngine", "default_jobs"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,201 @@
+"""Cross-block codebook/histogram cache keyed by distribution fingerprint.
+
+The coarse-grained block scheme (paper Section V-A.3) compresses many
+independent blocks with the same configuration, and neighbouring blocks of
+a smooth field frequently produce *identical* quant-code distributions
+(plateau regions, repeated fields in a batch, timesteps of a slowly-varying
+simulation).  Building the canonical Huffman tree is the one super-linear
+stage of the lossless path, and it depends only on the histogram -- so the
+engine shares one :class:`QuantCache` across its workers and skips tree
+construction whenever a block's distribution fingerprint has been seen
+before.
+
+Correctness: codebook construction is deterministic in the frequency
+vector (ties broken by symbol order), so keying on the *exact* histogram
+bytes guarantees a cache hit returns the byte-identical codebook the miss
+path would have built.  Parallel archives therefore stay byte-identical to
+serial ones, cache or no cache.
+
+The cache is activated per-thread through a ``contextvars.ContextVar``
+(:func:`cache_scope`); code outside an engine worker sees no cache and
+builds directly, keeping the single-shot :func:`repro.compress` path
+allocation-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+import numpy as np
+
+from ..encoding.histogram import histogram as _histogram
+from ..encoding.huffman import CanonicalCodebook, build_codebook
+
+__all__ = [
+    "QuantCache",
+    "CacheStats",
+    "active_cache",
+    "cache_scope",
+    "cached_histogram",
+    "cached_codebook",
+]
+
+#: The cache visible to the current context (engine workers), if any.
+_ACTIVE: ContextVar["QuantCache | None"] = ContextVar("repro_engine_cache", default=None)
+
+
+def _fingerprint(payload: bytes, *tags: int) -> bytes:
+    """Digest of a byte payload plus integer discriminator tags."""
+    h = hashlib.sha1(payload)
+    for tag in tags:
+        h.update(int(tag).to_bytes(8, "little", signed=True))
+    return h.digest()
+
+
+class CacheStats:
+    """Monotonic hit/miss totals for one :class:`QuantCache`."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheStats(hits={self.hits}, misses={self.misses})"
+
+
+class QuantCache:
+    """Bounded LRU over (histogram fingerprint -> codebook) and
+    (quant-stream fingerprint -> histogram).
+
+    Thread-safe: lookups and insertions take the cache lock, but builds run
+    outside it -- two workers racing on the same fresh fingerprint may both
+    build, which is harmless (the constructions are deterministic and the
+    second insert is a no-op overwrite of an identical value).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"cache needs at least one entry, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._books: OrderedDict[bytes, CanonicalCodebook] = OrderedDict()
+        self._hists: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- internal LRU plumbing ---------------------------------------------
+
+    def _get(self, store: OrderedDict, key: bytes):
+        with self._lock:
+            value = store.get(key)
+            if value is not None:
+                store.move_to_end(key)
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+            return value
+
+    def _put(self, store: OrderedDict, key: bytes, value) -> None:
+        with self._lock:
+            store[key] = value
+            store.move_to_end(key)
+            while len(store) > self.max_entries:
+                store.popitem(last=False)
+
+    # -- public lookups ----------------------------------------------------
+
+    def codebook_for(self, freqs: np.ndarray) -> CanonicalCodebook:
+        """The canonical codebook for a frequency vector, built at most once."""
+        freqs = np.ascontiguousarray(freqs, dtype=np.int64)
+        key = _fingerprint(freqs.tobytes(), freqs.size)
+        book = self._get(self._books, key)
+        if book is None:
+            book = build_codebook(freqs)
+            self._put(self._books, key, book)
+            self._record(hit=False)
+        else:
+            self._record(hit=True)
+        return book
+
+    def histogram_for(self, symbols: np.ndarray, dict_size: int) -> np.ndarray:
+        """The quant-code histogram for a symbol stream, computed at most once.
+
+        The returned array is marked read-only: it is shared between blocks,
+        and a caller mutating it would silently poison every later hit.
+        """
+        flat = np.ascontiguousarray(np.asarray(symbols).reshape(-1))
+        key = _fingerprint(flat.tobytes(), flat.size, int(dict_size), flat.dtype.num)
+        freqs = self._get(self._hists, key)
+        if freqs is None:
+            freqs = _histogram(flat, dict_size)
+            freqs.setflags(write=False)
+            self._put(self._hists, key, freqs)
+            self._record(hit=False)
+        else:
+            self._record(hit=True)
+        return freqs
+
+    @staticmethod
+    def _record(hit: bool) -> None:
+        from ..telemetry import instruments as ins
+        from ..telemetry.context import enabled
+
+        if not enabled():
+            return
+        if hit:
+            ins.ENGINE_CACHE_HITS.inc()
+        else:
+            ins.ENGINE_CACHE_MISSES.inc()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._books.clear()
+            self._hists.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._books) + len(self._hists)
+
+
+def active_cache() -> QuantCache | None:
+    """The cache installed for the current context, or None."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def cache_scope(cache: QuantCache | None):
+    """Install ``cache`` for the duration of the block (engine workers)."""
+    token = _ACTIVE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE.reset(token)
+
+
+def cached_histogram(symbols: np.ndarray, dict_size: int) -> np.ndarray:
+    """Histogram via the active cache, or a direct computation without one."""
+    cache = _ACTIVE.get()
+    if cache is None:
+        return _histogram(symbols, dict_size)
+    return cache.histogram_for(symbols, dict_size)
+
+
+def cached_codebook(freqs: np.ndarray) -> CanonicalCodebook:
+    """Codebook via the active cache, or a direct build without one."""
+    cache = _ACTIVE.get()
+    if cache is None:
+        return build_codebook(freqs)
+    return cache.codebook_for(freqs)

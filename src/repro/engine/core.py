@@ -1,0 +1,203 @@
+"""The parallel batch/block compression engine.
+
+The paper's coarse-grained block scheme exists so independent blocks can be
+processed concurrently; :class:`CompressionEngine` is the worker pool that
+finally exploits it.  Jobs run on a ``concurrent.futures`` thread pool --
+the hot kernels (``bincount``, ``diff``/``cumsum``, the vectorized Huffman
+coder) are numpy calls that release the GIL, so threads scale on real cores
+without the serialization cost of process pools.
+
+Guarantees:
+
+* **submit/result future semantics** -- :meth:`submit` returns a
+  ``concurrent.futures.Future`` resolving to a
+  :class:`~repro.core.compressor.CompressionResult`;
+* **bounded in-flight backpressure** -- at most ``max_inflight`` jobs are
+  queued or running; further submits block the producer instead of buffering
+  an unbounded batch in memory;
+* **deterministic output ordering** -- :meth:`map`/:meth:`batch` return
+  results in submission order, so a parallel multi-block container is
+  byte-identical to the serial one;
+* **cross-block codebook/histogram cache** -- workers share a
+  :class:`~repro.engine.cache.QuantCache`, so blocks with identical
+  quant-code distributions skip Huffman tree construction;
+* **telemetry continuity** -- each job runs in a ``contextvars`` copy of
+  the submitting context, so worker spans nest under the caller's open span
+  and per-call telemetry scopes propagate across the pool.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+
+from ..core.compressor import CompressionResult, compress
+from ..core.config import CompressorConfig
+from ..core.errors import ConfigError
+from ..telemetry import instruments as ins
+from ..telemetry.context import enabled as _tel_enabled
+from .cache import QuantCache, cache_scope
+
+__all__ = ["CompressionEngine", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """Worker count used when none is requested (the machine's core count)."""
+    return max(int(os.cpu_count() or 1), 1)
+
+
+class CompressionEngine:
+    """Schedules independent fields and blocks across a worker pool.
+
+    >>> with CompressionEngine(jobs=4) as eng:
+    ...     futures = [eng.submit(block) for block in blocks]
+    ...     results = [f.result() for f in futures]
+
+    Parameters
+    ----------
+    config:
+        Default :class:`CompressorConfig` bound to jobs that do not bring
+        their own.
+    jobs:
+        Worker thread count; defaults to the machine's core count.
+    max_inflight:
+        Backpressure bound on queued-plus-running jobs; defaults to
+        ``2 * jobs``.  :meth:`submit` blocks once the bound is reached.
+    cache_entries:
+        LRU capacity of the shared codebook/histogram cache.
+    """
+
+    def __init__(
+        self,
+        config: CompressorConfig | None = None,
+        jobs: int | None = None,
+        max_inflight: int | None = None,
+        cache_entries: int = 256,
+    ) -> None:
+        self.config = config or CompressorConfig()
+        self.jobs = int(jobs) if jobs else default_jobs()
+        if self.jobs < 1:
+            raise ConfigError(f"engine needs at least one worker, got {jobs}")
+        self.max_inflight = int(max_inflight) if max_inflight else 2 * self.jobs
+        if self.max_inflight < self.jobs:
+            raise ConfigError(
+                f"max_inflight ({self.max_inflight}) must be >= jobs ({self.jobs}); "
+                "a smaller bound would idle workers permanently"
+            )
+        self.cache = QuantCache(cache_entries)
+        self._slots = threading.BoundedSemaphore(self.max_inflight)
+        self._depth_lock = threading.Lock()
+        self._depth = 0
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="repro-engine"
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "CompressionEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown(wait=exc == (None, None, None))
+        return False
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and (optionally) wait for in-flight ones."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently queued or running (bounded by ``max_inflight``)."""
+        with self._depth_lock:
+            return self._depth
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        data: np.ndarray,
+        config: CompressorConfig | None = None,
+        **overrides,
+    ) -> "Future[CompressionResult]":
+        """Schedule one compression job; blocks when the pool is saturated.
+
+        The job runs :func:`repro.compress` on a worker thread under the
+        engine's shared cache, in a copy of the submitting context (so an
+        open telemetry span in the caller becomes the parent of the worker's
+        ``compress`` span, and ``telemetry.scope`` overrides propagate).
+        """
+        if self._closed:
+            raise ConfigError("engine is shut down; create a new CompressionEngine")
+        cfg = config or self.config
+        if overrides:
+            cfg = cfg.with_(**overrides)
+        self._slots.acquire()  # backpressure: block the producer, not memory
+        ctx = contextvars.copy_context()
+        self._note_depth(+1)
+        try:
+            return self._pool.submit(self._run_job, ctx, data, cfg)
+        except BaseException:
+            self._slots.release()
+            self._note_depth(-1)
+            raise
+
+    def batch(
+        self,
+        fields,
+        config: CompressorConfig | None = None,
+        **overrides,
+    ) -> "list[Future[CompressionResult]]":
+        """Submit every field; futures are returned in submission order."""
+        return [self.submit(field, config, **overrides) for field in fields]
+
+    def map(
+        self,
+        fields,
+        config: CompressorConfig | None = None,
+        **overrides,
+    ) -> list[CompressionResult]:
+        """Compress every field, returning results in input order."""
+        return [f.result() for f in self.batch(fields, config, **overrides)]
+
+    # -- worker side --------------------------------------------------------
+
+    def _run_job(
+        self, ctx: contextvars.Context, data: np.ndarray, cfg: CompressorConfig
+    ) -> CompressionResult:
+        # The whole job -- including the completion accounting -- runs in the
+        # submit-time context copy, so a caller's telemetry scope override
+        # governs the engine counters too, not just the inner spans.
+        return ctx.run(self._run_in_ctx, data, cfg)
+
+    def _run_in_ctx(self, data: np.ndarray, cfg: CompressorConfig) -> CompressionResult:
+        try:
+            with cache_scope(self.cache):
+                return compress(data, cfg)
+        finally:
+            self._slots.release()
+            self._note_depth(-1)
+            if _tel_enabled():
+                ins.ENGINE_JOBS.inc()
+
+    def _note_depth(self, delta: int) -> None:
+        with self._depth_lock:
+            self._depth += delta
+            depth = self._depth
+        if _tel_enabled():
+            ins.ENGINE_QUEUE_DEPTH.set_value(depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompressionEngine(jobs={self.jobs}, max_inflight={self.max_inflight}, "
+            f"depth={self.queue_depth}, cache={self.cache.stats!r})"
+        )

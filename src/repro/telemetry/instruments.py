@@ -23,6 +23,12 @@ suffix on counters, base-unit ``_seconds``/``_bytes``):
   moved per simulated kernel (read/written)
 * ``repro_last_compression_ratio`` (gauge)
 * ``repro_experiment_seconds{experiment=...}`` (gauge, bench harness)
+* ``repro_engine_jobs_total`` -- compression jobs completed by the parallel
+  engine's worker pool
+* ``repro_engine_cache_hits_total`` / ``repro_engine_cache_misses_total`` --
+  codebook/histogram cache outcomes (a hit skips Huffman tree construction)
+* ``repro_engine_queue_depth`` (gauge) -- engine jobs queued or running,
+  bounded by the engine's ``max_inflight`` backpressure limit
 """
 
 from __future__ import annotations
@@ -46,6 +52,10 @@ __all__ = [
     "KERNEL_BYTES",
     "LAST_RATIO",
     "EXPERIMENT_SECONDS",
+    "ENGINE_JOBS",
+    "ENGINE_CACHE_HITS",
+    "ENGINE_CACHE_MISSES",
+    "ENGINE_QUEUE_DEPTH",
     "stage_stats_from_span",
     "record_stage_metrics",
     "record_kernel_profile",
@@ -89,6 +99,17 @@ LAST_RATIO = REGISTRY.gauge(
     "repro_last_compression_ratio", "Compression ratio of the last compress call")
 EXPERIMENT_SECONDS = REGISTRY.gauge(
     "repro_experiment_seconds", "Wall seconds of the last run per bench experiment")
+ENGINE_JOBS = REGISTRY.counter(
+    "repro_engine_jobs_total", "Compression jobs completed by the engine worker pool")
+ENGINE_CACHE_HITS = REGISTRY.counter(
+    "repro_engine_cache_hits_total",
+    "Engine codebook/histogram cache hits (tree construction skipped)")
+ENGINE_CACHE_MISSES = REGISTRY.counter(
+    "repro_engine_cache_misses_total",
+    "Engine codebook/histogram cache misses (entry built and stored)")
+ENGINE_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_engine_queue_depth",
+    "Engine jobs currently queued or running (bounded by max_inflight)")
 
 
 def stage_stats_from_span(root: Span | None) -> dict[str, float]:

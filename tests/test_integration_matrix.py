@@ -84,7 +84,7 @@ def test_pwrel_x_workflow_forced():
     rng = np.random.default_rng(7)
     data = (10.0 ** rng.uniform(-4, 4, (100, 100))).astype(np.float32)
     for wf in ("huffman", "rle+vle"):
-        res = repro.compress_pwrel(data, 1e-2, CompressorConfig(workflow=wf))
+        res = repro.compress(data, CompressorConfig(workflow=wf, eb=1e-2, mode="pwrel"))
         out = repro.decompress(res.archive)
         rel = np.abs(out.astype(np.float64) - data) / np.abs(data)
         assert float(rel.max()) <= 1e-2
@@ -119,7 +119,7 @@ def test_autotune_x_pwrel_interplay():
     data = (1.0 + np.abs(rng.normal(0, 2, (120, 120)))).astype(np.float32)
     tuned = tune_for_psnr(data, 70.0)
     assert tuned.satisfied
-    res = repro.compress_pwrel(data, max(tuned.eb, 1e-5))
+    res = repro.compress(data, eb=max(tuned.eb, 1e-5), mode="pwrel")
     out = repro.decompress(res.archive)
     rel = np.abs(out.astype(np.float64) - data) / np.abs(data)
     assert float(rel.max()) <= max(tuned.eb, 1e-5)

@@ -172,7 +172,7 @@ class TestVerifyArchive:
 
     def test_pwrel_report_recurses(self):
         data = np.geomspace(1e-3, 1e3, 2048).astype(np.float32)
-        res = repro.compress_pwrel(data, rel_bound=1e-3)
+        res = repro.compress(data, eb=1e-3, mode="pwrel")
         report = verify_archive(res.archive, deep=True)
         assert report.kind == "pwrel"
         assert "pw.inner" in report.nested

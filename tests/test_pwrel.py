@@ -7,7 +7,13 @@ from hypothesis import strategies as st
 
 import repro
 from repro.core.errors import ConfigError
-from repro.core.pwrel import compress_pwrel, decompress_pwrel, is_pwrel_archive
+from repro.core.pwrel import decompress_pwrel_with_stats, is_pwrel_archive
+
+
+def compress_pwrel(data, r, config=None):
+    """Unified-API spelling of the old entry point (mode='pwrel')."""
+    base = config or repro.CompressorConfig()
+    return repro.compress(data, base.with_(eb=r, eb_mode="pwrel"))
 
 
 def rel_errors(original: np.ndarray, restored: np.ndarray) -> np.ndarray:
@@ -62,7 +68,7 @@ class TestPwrelRoundtrip:
         assert is_pwrel_archive(blob)
         assert not is_pwrel_archive(repro.compress(data, eb=1e-3).archive)
         np.testing.assert_array_equal(
-            repro.decompress(blob), decompress_pwrel(blob)
+            repro.decompress(blob), decompress_pwrel_with_stats(blob).data
         )
 
     def test_beats_abs_mode_on_wide_range(self):

@@ -577,7 +577,7 @@ class TestPipelineIntegration:
 class TestPwrelStages:
     def test_pwrel_records_transform_stage(self, field_2d):
         data = np.abs(field_2d) + 1.0
-        res = repro.compress_pwrel(data, rel_bound=1e-3)
+        res = repro.compress(data, eb=1e-3, mode="pwrel")
         for key in ("pwrel_transform_seconds", "compress_seconds",
                     "pwrel_container_seconds", "total_seconds"):
             assert key in res.stage_stats, key
@@ -586,7 +586,7 @@ class TestPwrelStages:
 
     def test_pwrel_decompress_stats(self, field_2d):
         data = np.abs(field_2d) + 1.0
-        res = repro.compress_pwrel(data, rel_bound=1e-3)
+        res = repro.compress(data, eb=1e-3, mode="pwrel")
         out = repro.decompress_with_stats(res.archive)
         assert "pwrel_inverse_seconds" in out.stage_stats
         assert "total_seconds" in out.stage_stats
