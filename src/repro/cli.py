@@ -10,6 +10,7 @@ Subcommands::
     python -m repro bench      compare OLD.json NEW.json
     python -m repro profile    [--scenario smoke] [--fold out.folded]
     python -m repro diagnose   [--json]
+    python -m repro conformance generate|check [--dir tests/vectors]
 
 Input fields are SDRBench-style headerless binaries (``.f32``/``.f64``);
 ``--dims`` is given slowest-varying first, exactly like the real tool.
@@ -158,6 +159,31 @@ def build_parser() -> argparse.ArgumentParser:
              "vs the actually coded bits, per field",
     )
     pdg.add_argument("--json", action="store_true", dest="as_json")
+
+    pcf = sub.add_parser(
+        "conformance",
+        help="golden-vector corpus tooling: (re)generate the committed "
+             "compatibility vectors or check them for format drift",
+    )
+    conf_sub = pcf.add_subparsers(dest="conformance_command", required=True)
+    pcg = conf_sub.add_parser(
+        "generate",
+        help="write every corpus vector plus manifest.json (policy: "
+             "committed vectors only change with a format version bump)",
+    )
+    pcg.add_argument("--out", type=Path, default=None,
+                     help="corpus directory (default: tests/vectors)")
+    pcc = conf_sub.add_parser(
+        "check",
+        help="decode every committed vector; fail on any byte-level or "
+             "behavioral drift",
+    )
+    pcc.add_argument("--dir", type=Path, default=None, dest="vector_dir",
+                     help="corpus directory (default: tests/vectors)")
+    pcc.add_argument("--jobs", type=int, default=2,
+                     help="worker count for the parallel-identity re-encode "
+                          "(default 2)")
+    pcc.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -552,6 +578,26 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    from .conformance import check_corpus, generate_corpus
+    from .conformance.corpus import default_vector_dir
+
+    if args.conformance_command == "generate":
+        out_dir = args.out or default_vector_dir()
+        manifest = generate_corpus(out_dir)
+        total = sum(e["archive_bytes"] for e in manifest["vectors"])
+        print(f"wrote {manifest['n_vectors']} vectors "
+              f"({total} archive bytes) + {out_dir}/manifest.json")
+        return 0
+
+    report = check_corpus(args.vector_dir, jobs=args.jobs)
+    if args.as_json:
+        print(json.dumps({"command": "conformance", **report.to_json()}, indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_diagnose(args) -> int:
     from .bench.diagnose import diagnose_report, render_report
 
@@ -575,6 +621,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "profile": _cmd_profile,
         "diagnose": _cmd_diagnose,
+        "conformance": _cmd_conformance,
     }[args.command]
     try:
         return handler(args)

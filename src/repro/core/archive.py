@@ -22,6 +22,8 @@ than pickle/JSON so archives are portable and their size is deterministic.
 from __future__ import annotations
 
 import struct
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,7 +31,7 @@ import numpy as np
 from .errors import ArchiveError, IntegrityError
 from .integrity import ALGO_NAMES, DEFAULT_ALGO, checksum
 
-__all__ = ["ArchiveBuilder", "ArchiveReader", "MAGIC", "VERSION"]
+__all__ = ["ArchiveBuilder", "ArchiveReader", "MAGIC", "VERSION", "pinned_format"]
 
 MAGIC = b"RPRSZP1\x00"
 VERSION = 2
@@ -48,6 +50,38 @@ _DIGEST = struct.Struct("<I")
 
 #: dtype tag for raw (untyped) byte sections.
 _RAW = b"raw"
+
+#: (version, checksum_algo) defaults pinned by :func:`pinned_format`; ``None``
+#: entries fall through to ``VERSION`` / ``DEFAULT_ALGO``.  A ContextVar so
+#: the pin survives into engine workers (they run in a copy of the submitting
+#: context) without threading a parameter through every producer.
+_PINNED_FORMAT: ContextVar[tuple[int | None, int | None]] = ContextVar(
+    "repro_pinned_archive_format", default=(None, None)
+)
+
+
+@contextmanager
+def pinned_format(version: int | None = None, checksum_algo: int | None = None):
+    """Pin the format every :class:`ArchiveBuilder` in this context writes.
+
+    Producers that do not pass an explicit ``version``/``checksum_algo`` --
+    which is all of them: :func:`repro.compress`, the block/streaming
+    containers, the pwrel wrapper, and checkpoint writers -- pick up the
+    pinned values instead of the library defaults.  The conformance corpus
+    generator uses this to emit byte-stable v1 *and* v2 archives with a
+    fixed checksum algorithm regardless of which CRC implementation the
+    host happens to have installed.  Engine workers inherit the pin because
+    jobs run in a copy of the submitting context.
+    """
+    if version is not None and version not in (1, 2):
+        raise ArchiveError(f"cannot pin archive version {version}")
+    if checksum_algo is not None and checksum_algo not in ALGO_NAMES:
+        raise ArchiveError(f"unknown checksum algorithm id {checksum_algo}")
+    token = _PINNED_FORMAT.set((version, checksum_algo))
+    try:
+        yield
+    finally:
+        _PINNED_FORMAT.reset(token)
 
 
 def _dtype_tag(dtype: np.dtype) -> bytes:
@@ -77,10 +111,17 @@ class ArchiveBuilder:
     """Accumulate named sections and serialize to one byte blob.
 
     Writes format v2 by default; ``version=1`` produces the legacy
-    checksum-free layout (compatibility tests, size experiments).
+    checksum-free layout (compatibility tests, size experiments).  Arguments
+    left as ``None`` honor an enclosing :func:`pinned_format` context before
+    falling back to ``VERSION`` / the environment's default checksum.
     """
 
-    def __init__(self, version: int = VERSION, checksum_algo: int | None = None) -> None:
+    def __init__(self, version: int | None = None, checksum_algo: int | None = None) -> None:
+        pin_version, pin_algo = _PINNED_FORMAT.get()
+        if version is None:
+            version = pin_version if pin_version is not None else VERSION
+        if checksum_algo is None:
+            checksum_algo = pin_algo
         if version not in (1, 2):
             raise ArchiveError(f"cannot write archive version {version}")
         algo = DEFAULT_ALGO if checksum_algo is None else checksum_algo
@@ -269,6 +310,14 @@ class ArchiveReader:
     def section_sizes(self) -> dict[str, int]:
         """Payload bytes per section, in archive order."""
         return {name: length for name, (_, _, length, _) in self._sections.items()}
+
+    def section_spans(self) -> dict[str, tuple[int, int]]:
+        """``name -> (payload byte offset, length)``, in archive order.
+
+        Lets tooling (the conformance checker's diff report) map a raw byte
+        offset in the blob back to the section it lands in.
+        """
+        return {name: (off, length) for name, (_, off, length, _) in self._sections.items()}
 
     def has(self, name: str) -> bool:
         return name in self._sections

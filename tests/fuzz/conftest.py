@@ -26,7 +26,7 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.register_profile(
-    "ci", max_examples=75, deadline=None,
+    "ci", max_examples=75, deadline=None, derandomize=True,
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))

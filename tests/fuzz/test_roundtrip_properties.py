@@ -99,3 +99,60 @@ def test_block_container_roundtrip_verifies_and_bounds(
     rng_span = float(np.ptp(field))
     eb_abs = 1e-3 * rng_span if rng_span > 0 else np.inf
     assert np.abs(field.astype(np.float64) - out.astype(np.float64)).max() <= eb_abs
+
+
+@given(
+    rows=st.integers(40, 160),
+    cols=st.integers(4, 24),
+    block_kb=st.sampled_from([2, 8]),
+    pattern=_PATTERNS,
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_parallel_block_container_matches_serial_bytes(
+    rows, cols, block_kb, pattern, seed
+):
+    """``jobs=2`` must produce the exact serial container, not just a valid one."""
+    field = _make_field((rows, cols), np.float32, pattern, seed)
+    serial = compress_blocks(field, eb=1e-3, max_block_bytes=block_kb * 1024, jobs=1)
+    parallel = compress_blocks(field, eb=1e-3, max_block_bytes=block_kb * 1024, jobs=2)
+    assert parallel == serial
+
+    report = verify_archive(parallel, deep=True)
+    assert report.kind == "blocks"
+    out = decompress_blocks(parallel)
+    rng_span = float(np.ptp(field))
+    eb_abs = 1e-3 * rng_span if rng_span > 0 else np.inf
+    assert np.abs(field.astype(np.float64) - out.astype(np.float64)).max() <= eb_abs
+
+
+@given(
+    shape=st.sampled_from([(64,), (257,), (16, 16), (33, 7), (8, 8, 8)]),
+    dtype=st.sampled_from([np.float32, np.float64]),
+    pattern=_PATTERNS,
+    eb_exp=st.integers(-4, -2),
+    workflow=st.sampled_from(["huffman", "rle", "rle+vle", "huffman+lz"]),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_pwrel_roundtrip_verifies_and_bounds(
+    shape, dtype, pattern, eb_exp, workflow, seed
+):
+    """Point-wise relative mode: zeros restored exactly, nonzeros within eb."""
+    field = _make_field(shape, dtype, pattern, seed)
+    eb = 10.0**eb_exp
+    result = repro.compress(field, eb=eb, eb_mode="pwrel", workflow=workflow)
+
+    report = verify_archive(result.archive, deep=True)
+    assert report.version == 2
+    assert report.kind == "pwrel"
+
+    out = repro.decompress(result.archive)
+    assert out.shape == field.shape
+    assert out.dtype == field.dtype
+
+    a = field.astype(np.float64).reshape(-1)
+    b = out.astype(np.float64).reshape(-1)
+    zeros = a == 0.0
+    assert np.array_equal(b[zeros], a[zeros]), "pwrel zeros must round-trip exactly"
+    if (~zeros).any():
+        rel = np.abs(b[~zeros] - a[~zeros]) / np.abs(a[~zeros])
+        assert float(rel.max()) <= eb * (1 + 1e-9)

@@ -1,0 +1,84 @@
+"""Tier-1 metamorphic suite: behavioral invariants across related runs.
+
+Parametrizes the checkers in ``repro.conformance.metamorphic`` over all four
+entropy workflows and all three container kinds (single-field, blocked,
+point-wise-relative).  Fields are kept small so the whole suite stays well
+under the 30-second tier-1 budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conformance.metamorphic import (
+    check_eb_monotonicity,
+    check_order_invariance,
+    check_recompression_idempotence,
+    check_rel_scale_covariance,
+    check_serial_parallel_identity,
+    check_transpose_consistency,
+)
+from repro.core.config import CompressorConfig
+
+WORKFLOWS = ["huffman", "rle", "rle+vle", "huffman+lz"]
+CONTAINERS = ["single", "blocks", "pwrel"]
+
+
+def _field_2d(rng_seed: int = 11, shape: tuple[int, int] = (16, 16)) -> np.ndarray:
+    """Small smooth-plus-noise field, strictly positive (pwrel-safe)."""
+    rng = np.random.default_rng(rng_seed)
+    y, x = np.mgrid[0 : shape[0], 0 : shape[1]]
+    data = 2.0 + np.sin(x / 3.0) * np.cos(y / 4.0) + 0.05 * rng.standard_normal(shape)
+    return data.astype(np.float32)
+
+
+def _config(container: str, workflow: str, eb: float = 1e-3) -> CompressorConfig:
+    mode = "pwrel" if container == "pwrel" else "rel"
+    return CompressorConfig(eb=eb, eb_mode=mode, workflow=workflow, dict_size=256)
+
+
+@pytest.mark.parametrize("workflow", WORKFLOWS)
+@pytest.mark.parametrize("container", CONTAINERS)
+class TestAllWorkflowsAllContainers:
+    def test_recompression_idempotence(self, container, workflow):
+        check_recompression_idempotence(
+            _field_2d(), _config(container, workflow), container
+        )
+
+    def test_eb_monotonicity(self, container, workflow):
+        check_eb_monotonicity(_field_2d(), _config(container, workflow), container)
+
+    def test_transpose_consistency(self, container, workflow):
+        check_transpose_consistency(
+            _field_2d(shape=(12, 20)), _config(container, workflow), container
+        )
+
+    def test_order_invariance(self, container, workflow):
+        check_order_invariance(
+            _field_2d(shape=(12, 20)), _config(container, workflow), container
+        )
+
+
+@pytest.mark.parametrize("workflow", WORKFLOWS)
+@pytest.mark.parametrize("container", ["single", "blocks"])
+def test_rel_scale_covariance(container, workflow):
+    check_rel_scale_covariance(_field_2d(), _config(container, workflow), container)
+
+
+@pytest.mark.parametrize("workflow", WORKFLOWS)
+@pytest.mark.parametrize("mode", ["rel", "pwrel"])
+def test_serial_parallel_identity(mode, workflow):
+    config = CompressorConfig(eb=1e-3, eb_mode=mode, workflow=workflow, dict_size=256)
+    check_serial_parallel_identity(_field_2d(), config, jobs=2)
+
+
+def test_idempotence_holds_in_3d():
+    rng = np.random.default_rng(3)
+    field = (1.0 + rng.random((6, 6, 6))).astype(np.float32)
+    check_recompression_idempotence(field, _config("single", "huffman"), "single")
+
+
+def test_covariance_rejects_non_power_of_two_scale():
+    with pytest.raises(AssertionError, match="power-of-two"):
+        check_rel_scale_covariance(
+            _field_2d(), _config("single", "huffman"), "single", scale=3.0
+        )

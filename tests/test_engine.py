@@ -6,6 +6,7 @@ front door across all three container kinds, the ``mode=`` config alias,
 and the deprecation shims for the historical pwrel entry points.
 """
 
+import threading
 import warnings
 
 import numpy as np
@@ -66,16 +67,87 @@ class TestEngineSemantics:
         with pytest.raises(ConfigError, match="max_inflight"):
             CompressionEngine(jobs=4, max_inflight=2)
 
-    def test_queue_depth_stays_within_inflight_bound(self):
-        fields = [make_field(s, shape=(64, 64)) for s in range(12)]
-        with CompressionEngine(jobs=2, max_inflight=3) as eng:
-            peak = 0
-            futures = []
-            for f in fields:
+    def test_queue_depth_stays_within_inflight_bound(self, monkeypatch):
+        """Backpressure, deterministically: park every worker on an Event so
+        the inflight count is exact, then prove the next ``submit`` blocks
+        until a slot frees.  No timing-sensitive sampling involved -- the
+        only waits are ones that can end early iff backpressure is broken.
+        """
+        import repro.engine.core as engine_core
+
+        gate = threading.Event()
+        real_compress = engine_core.compress
+
+        def gated_compress(data, cfg):
+            assert gate.wait(timeout=30), "test gate never opened"
+            return real_compress(data, cfg)
+
+        monkeypatch.setattr(engine_core, "compress", gated_compress)
+        fields = [make_field(s, shape=(16, 16)) for s in range(4)]
+        eng = CompressionEngine(jobs=2, max_inflight=3)
+        futures = []
+        try:
+            # Fill every backpressure slot; the workers are parked on the
+            # gate, so depth is exactly max_inflight -- no race.
+            for f in fields[:3]:
                 futures.append(eng.submit(f, eb=1e-3))
-                peak = max(peak, eng.queue_depth)
-            [f.result() for f in futures]
-            assert peak <= 3
+            assert eng.queue_depth == 3
+
+            # A fourth submit must block on the semaphore, not enqueue.
+            unblocked = threading.Event()
+
+            def submit_fourth():
+                futures.append(eng.submit(fields[3], eb=1e-3))
+                unblocked.set()
+
+            producer = threading.Thread(target=submit_fourth, daemon=True)
+            producer.start()
+            assert not unblocked.wait(timeout=0.2), (
+                "submit returned while all inflight slots were occupied"
+            )
+            assert eng.queue_depth == 3
+
+            gate.set()  # release the workers; the blocked submit proceeds
+            assert unblocked.wait(timeout=30), "submit never unblocked"
+            producer.join(timeout=30)
+            results = [f.result(timeout=30) for f in futures]
+        finally:
+            gate.set()
+            eng.shutdown()
+        assert len(results) == 4
+        assert eng.queue_depth == 0
+
+    def test_failed_job_releases_backpressure_slot_deterministically(
+        self, monkeypatch
+    ):
+        """A worker that raises must free its slot: park one poisoned job on
+        an Event, verify the slot is held, release it, and verify a new
+        submit can claim the slot without blocking."""
+        import repro.engine.core as engine_core
+
+        gate = threading.Event()
+        real_compress = engine_core.compress
+
+        def poisoned_compress(data, cfg):
+            assert gate.wait(timeout=30)
+            if data.size == 1:
+                raise ConfigError("poisoned job")
+            return real_compress(data, cfg)
+
+        monkeypatch.setattr(engine_core, "compress", poisoned_compress)
+        eng = CompressionEngine(jobs=1, max_inflight=1)
+        try:
+            bad = eng.submit(np.zeros(1, dtype=np.float32), eb=1e-3, eb_mode="abs")
+            assert eng.queue_depth == 1
+            gate.set()
+            with pytest.raises(ConfigError, match="poisoned"):
+                bad.result(timeout=30)
+            # The slot freed on failure: this submit must not deadlock.
+            good = eng.submit(make_field(1, shape=(8, 8)), eb=1e-3)
+            assert good.result(timeout=30).archive
+        finally:
+            gate.set()
+            eng.shutdown()
         assert eng.queue_depth == 0
 
     def test_worker_error_surfaces_on_future(self):
