@@ -23,6 +23,7 @@ from pathlib import Path
 
 __all__ = [
     "SCHEMA",
+    "RecordSchemaError",
     "RECORD_REQUIRED_KEYS",
     "RESULT_REQUIRED_KEYS",
     "environment_fingerprint",
@@ -36,6 +37,48 @@ __all__ = [
 
 #: Current record schema identifier.
 SCHEMA = "repro.bench/v1"
+
+#: Prefix shared by every version of the record schema.
+_SCHEMA_FAMILY = "repro.bench/v"
+
+
+class RecordSchemaError(ValueError):
+    """A record declares a ``repro.bench`` schema this tool cannot read.
+
+    Distinguished from plain :class:`ValueError` (malformed record) so the
+    CLI can exit with a dedicated status: a *newer* record is not corrupt,
+    the reader is just too old for it.  ``newer`` is True exactly in that
+    case.
+    """
+
+    def __init__(self, message: str, schema: str, newer: bool) -> None:
+        super().__init__(message)
+        self.schema = schema
+        self.newer = newer
+
+
+def _check_schema(schema: object) -> None:
+    """Version-aware schema check: newer majors get a distinct error."""
+    if schema == SCHEMA:
+        return
+    newer = False
+    if isinstance(schema, str) and schema.startswith(_SCHEMA_FAMILY):
+        try:
+            version = int(schema[len(_SCHEMA_FAMILY):])
+        except ValueError:
+            version = None
+        current = int(SCHEMA[len(_SCHEMA_FAMILY):])
+        newer = version is not None and version > current
+    if newer:
+        raise RecordSchemaError(
+            f"record schema {schema!r} is newer than this tool understands "
+            f"({SCHEMA!r}); upgrade repro to compare it",
+            schema=schema, newer=True,
+        )
+    raise RecordSchemaError(
+        f"unsupported record schema {schema!r}; expected {SCHEMA!r}",
+        schema=str(schema), newer=False,
+    )
 
 #: Keys every record must carry at the top level.
 RECORD_REQUIRED_KEYS = (
@@ -131,13 +174,12 @@ def validate_record(record: dict) -> None:
     """Raise ``ValueError`` unless ``record`` satisfies the v1 schema."""
     if not isinstance(record, dict):
         raise ValueError(f"record must be a dict, got {type(record).__name__}")
+    # Schema first: a record from a future writer may legitimately lack or
+    # rename keys, and "your tool is too old" beats "missing keys" there.
+    _check_schema(record.get("schema"))
     missing = [k for k in RECORD_REQUIRED_KEYS if k not in record]
     if missing:
         raise ValueError(f"record missing required keys: {missing}")
-    if record["schema"] != SCHEMA:
-        raise ValueError(
-            f"unsupported record schema {record['schema']!r}; expected {SCHEMA!r}"
-        )
     if not isinstance(record["results"], list) or not record["results"]:
         raise ValueError("record must carry a non-empty results list")
     for i, result in enumerate(record["results"]):

@@ -1,0 +1,128 @@
+"""Trajectory plots across committed BENCH records (``repro bench trend``).
+
+The regression detector answers "did *this* change regress against *that*
+baseline"; the trend view answers the longitudinal question -- how has a
+metric moved across every committed record.  It loads a set of
+``BENCH_<label>.json`` files, orders them by ``created_unix``, and renders
+one series per case for the chosen metric (ASCII plot + table, or JSON).
+
+Records written by a *newer* schema than this tool understands are skipped
+with a note rather than aborting the whole trend: old and new records
+routinely coexist in a results directory that spans tool versions.
+"""
+
+from __future__ import annotations
+
+import glob
+from pathlib import Path
+
+from .record import RecordSchemaError, load_record
+
+__all__ = ["METRICS", "collect_records", "trend_report", "render_trend"]
+
+#: metric name -> (extractor over one per-case result dict, axis label)
+METRICS = {
+    "ratio": (lambda r: r["quality"]["compression_ratio"], "compression ratio (x)"),
+    "psnr": (lambda r: r["quality"]["psnr_db"], "PSNR (dB)"),
+    "compress_ms": (
+        lambda r: r["timing"]["compress_total"]["min"] * 1e3,
+        "compress wall (ms, best)",
+    ),
+    "decompress_ms": (
+        lambda r: r["timing"]["decompress_total"]["min"] * 1e3,
+        "decompress wall (ms, best)",
+    ),
+}
+
+
+def collect_records(paths: list[Path]) -> tuple[list[dict], list[str]]:
+    """Load records (directories expand to their ``BENCH_*.json`` files).
+
+    Returns ``(records_sorted_by_created_unix, skipped_notes)``; unreadable
+    or future-schema files land in the notes instead of raising.
+    """
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(Path(p) for p in glob.glob(str(path / "BENCH_*.json"))))
+        else:
+            files.append(path)
+    records, notes = [], []
+    for file in files:
+        try:
+            records.append((load_record(file), file))
+        except RecordSchemaError as exc:
+            kind = "newer schema" if exc.newer else "unsupported schema"
+            notes.append(f"skipped {file}: {kind} {exc.schema!r}")
+        except (ValueError, OSError) as exc:
+            notes.append(f"skipped {file}: {exc}")
+    records.sort(key=lambda pair: pair[0]["created_unix"])
+    return [rec for rec, _ in records], notes
+
+
+def trend_report(records: list[dict], metric: str, case: str | None = None) -> dict:
+    """Per-case series of ``metric`` across ``records`` (oldest first)."""
+    try:
+        extract, axis_label = METRICS[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown trend metric {metric!r}; choose from {sorted(METRICS)}"
+        ) from None
+    series: dict[str, dict] = {}
+    for k, record in enumerate(records):
+        for result in record["results"]:
+            name = result["case"]
+            if case is not None and name != case:
+                continue
+            entry = series.setdefault(name, {"x": [], "y": [], "labels": []})
+            try:
+                value = float(extract(result))
+            except (KeyError, TypeError):
+                continue
+            entry["x"].append(float(k))
+            entry["y"].append(value)
+            entry["labels"].append(record["label"])
+    return {
+        "metric": metric,
+        "axis_label": axis_label,
+        "n_records": len(records),
+        "labels": [r["label"] for r in records],
+        "created_unix": [r["created_unix"] for r in records],
+        "series": series,
+    }
+
+
+def render_trend(report: dict, notes: list[str] | None = None) -> str:
+    """ASCII plot plus first/last/delta table for each case's series."""
+    from .harness import ascii_series, format_table
+
+    if not report["series"]:
+        return "no matching records/cases to plot"
+    # All series share the record index axis; pad nothing -- ascii_series
+    # takes the union x implicitly via per-series alignment, so plot on the
+    # longest series' x and feed NaN where a case is absent from a record.
+    n = report["n_records"]
+    x = [float(i) for i in range(n)]
+    ys = {}
+    for name, entry in report["series"].items():
+        by_index = dict(zip(entry["x"], entry["y"]))
+        ys[name] = [by_index.get(float(i), float("nan")) for i in range(n)]
+    plot = ascii_series(
+        x, ys, width=min(72, max(24, 6 * n)), height=12,
+        title=f"{report['axis_label']} across {n} records (oldest -> newest)",
+    )
+    rows = []
+    for name, entry in sorted(report["series"].items()):
+        first, last = entry["y"][0], entry["y"][-1]
+        delta = (last / first - 1.0) * 100.0 if first else float("nan")
+        rows.append([name, len(entry["y"]), f"{first:.3g}", f"{last:.3g}",
+                     f"{delta:+.1f}%"])
+    table = format_table(
+        ["case", "points", "first", "last", "change"], rows,
+        title=f"trend · metric={report['metric']}",
+    )
+    parts = [plot, "", table]
+    if notes:
+        parts += [""] + [f"note: {line}" for line in notes]
+    parts.append("records: " + ", ".join(report["labels"]))
+    return "\n".join(parts)

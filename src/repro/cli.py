@@ -8,9 +8,13 @@ Subcommands::
     python -m repro verify     INPUT OUT.rpsz --dims 1800 3600
     python -m repro bench      run --scenario smoke [--baseline BENCH.json]
     python -m repro bench      compare OLD.json NEW.json
+    python -m repro bench      trend results/ --metric ratio
     python -m repro profile    [--scenario smoke] [--fold out.folded]
     python -m repro diagnose   [--json]
     python -m repro conformance generate|check [--dir tests/vectors]
+    python -m repro obs        serve [--port 9464] [--once]
+    python -m repro obs        report [LEDGER.jsonl]
+    python -m repro obs        scaling --jobs 1,2,4
 
 Input fields are SDRBench-style headerless binaries (``.f32``/``.f64``);
 ``--dims`` is given slowest-varying first, exactly like the real tool.
@@ -139,6 +143,17 @@ def build_parser() -> argparse.ArgumentParser:
     pbc.add_argument("--all", action="store_true", dest="show_all",
                      help="show every row, not just notable ones")
     pbc.add_argument("--json", action="store_true", dest="as_json")
+    pbt = bench_sub.add_parser(
+        "trend",
+        help="plot a metric's trajectory across committed BENCH records")
+    pbt.add_argument("records", type=Path, nargs="+",
+                     help="record files and/or directories of BENCH_*.json")
+    pbt.add_argument("--metric", default="ratio",
+                     choices=["ratio", "psnr", "compress_ms", "decompress_ms"],
+                     help="which per-case figure to plot (default: ratio)")
+    pbt.add_argument("--case", default=None,
+                     help="restrict to one benchmark case")
+    pbt.add_argument("--json", action="store_true", dest="as_json")
 
     pp = sub.add_parser(
         "profile",
@@ -184,6 +199,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker count for the parallel-identity re-encode "
                           "(default 2)")
     pcc.add_argument("--json", action="store_true", dest="as_json")
+
+    po = sub.add_parser(
+        "obs",
+        help="continuous observability: run-ledger reports, the /metrics "
+             "endpoint, and engine scaling diagnostics",
+    )
+    obs_sub = po.add_subparsers(dest="obs_command", required=True)
+    pose = obs_sub.add_parser(
+        "serve",
+        help="serve the metrics registry over HTTP (/metrics Prometheus "
+             "text, /metrics.json JSON)",
+    )
+    pose.add_argument("--host", default="127.0.0.1")
+    pose.add_argument("--port", type=int, default=9464)
+    pose.add_argument("--once", action="store_true",
+                      help="print one Prometheus exposition to stdout and "
+                           "exit instead of serving")
+    porp = obs_sub.add_parser(
+        "report",
+        help="aggregate a run ledger into per-stage/per-workflow summaries",
+    )
+    porp.add_argument("ledger", type=Path, nargs="?", default=None,
+                      help="ledger JSONL path (default: $REPRO_LEDGER)")
+    porp.add_argument("--live-only", action="store_true",
+                      help="ignore rotated generations (ledger.1, ...)")
+    porp.add_argument("--json", action="store_true", dest="as_json")
+    posc = obs_sub.add_parser(
+        "scaling",
+        help="sweep engine worker counts and print the speedup curve with "
+             "a CPU-vs-lock-wait breakdown",
+    )
+    posc.add_argument("--jobs", default="1,2,4,8",
+                      help="comma-separated worker counts (default 1,2,4,8)")
+    posc.add_argument("--fields", type=int, default=8,
+                      help="fields per batch (default 8)")
+    posc.add_argument("--shape", type=int, nargs="+", default=[256, 256],
+                      help="per-field shape (default 256 256)")
+    posc.add_argument("--eb", type=float, default=1e-3)
+    posc.add_argument("--repeats", type=int, default=3,
+                      help="best-of repeats per point (default 3)")
+    posc.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -516,6 +572,23 @@ def _cmd_bench(args) -> int:
     from .bench.record import load_record, write_record
     from .bench.regression import compare_records
 
+    if args.bench_command == "trend":
+        from .bench.trend import collect_records, render_trend, trend_report
+
+        records, notes = collect_records(args.records)
+        if not records:
+            for note in notes:
+                print(note, file=sys.stderr)
+            print("error: no readable BENCH records found", file=sys.stderr)
+            return 2
+        report = trend_report(records, args.metric, case=args.case)
+        if args.as_json:
+            print(json.dumps({"command": "bench trend", **report,
+                              "skipped": notes}, indent=2))
+        else:
+            print(render_trend(report, notes))
+        return 0
+
     if args.bench_command == "compare":
         report = compare_records(
             load_record(args.old), load_record(args.new), args.cmp_profile
@@ -598,6 +671,74 @@ def _cmd_conformance(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_obs(args) -> int:
+    if args.obs_command == "serve":
+        return _cmd_obs_serve(args)
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    return _cmd_obs_scaling(args)
+
+
+def _cmd_obs_serve(args) -> int:
+    from .telemetry.exposition import serve_forever
+    from .telemetry.metrics import render_prometheus
+
+    if args.once:
+        sys.stdout.write(render_prometheus())
+        return 0
+    print(f"serving metrics on http://{args.host}:{args.port}/metrics "
+          f"(JSON at /metrics.json); Ctrl-C to stop", file=sys.stderr)
+    serve_forever(host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_obs_report(args) -> int:
+    import os
+
+    from .telemetry.ledger import aggregate_ledger, read_ledger, render_ledger_report
+
+    path = args.ledger or os.environ.get("REPRO_LEDGER")
+    if not path:
+        print("error: no ledger given and REPRO_LEDGER is not set",
+              file=sys.stderr)
+        return 2
+    path = Path(path)
+    if not path.exists():
+        print(f"error: ledger {path} does not exist", file=sys.stderr)
+        return 2
+    records = read_ledger(path, include_rotated=not args.live_only)
+    report = aggregate_ledger(records)
+    if args.as_json:
+        print(json.dumps({"command": "obs report", "ledger": str(path),
+                          **report}, indent=2))
+    else:
+        print(render_ledger_report(report))
+    return 0
+
+
+def _cmd_obs_scaling(args) -> int:
+    from .engine.diagnostics import run_scaling_sweep
+
+    try:
+        jobs_list = tuple(int(j) for j in str(args.jobs).split(",") if j.strip())
+    except ValueError:
+        print(f"error: --jobs must be comma-separated integers, got "
+              f"{args.jobs!r}", file=sys.stderr)
+        return 2
+    if not jobs_list or any(j < 1 for j in jobs_list):
+        print("error: --jobs needs positive worker counts", file=sys.stderr)
+        return 2
+    report = run_scaling_sweep(
+        jobs_list=jobs_list, n_fields=args.fields, shape=tuple(args.shape),
+        eb=args.eb, repeats=args.repeats,
+    )
+    if args.as_json:
+        print(json.dumps({"command": "obs scaling", **report.to_json()}, indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
 def _cmd_diagnose(args) -> int:
     from .bench.diagnose import diagnose_report, render_report
 
@@ -622,12 +763,19 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "diagnose": _cmd_diagnose,
         "conformance": _cmd_conformance,
+        "obs": _cmd_obs,
     }[args.command]
     try:
         return handler(args)
     except ValueError as exc:
-        # Record-schema/scenario-name problems from the bench harness.
+        from .bench.record import RecordSchemaError
+
         print(f"error: {exc}", file=sys.stderr)
+        # A record written by a newer tool is a distinct failure mode from
+        # a malformed one: exit 3 so CI can tell "upgrade me" from "broken".
+        if isinstance(exc, RecordSchemaError) and exc.newer:
+            return 3
+        # Record-schema/scenario-name problems from the bench harness.
         return 2
     except KeyError as exc:
         if args.command in ("bench", "profile", "diagnose"):

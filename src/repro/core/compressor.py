@@ -23,8 +23,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import telemetry as tel
-from ..engine.cache import cached_histogram
+from ..engine.cache import active_cache, cached_histogram
 from ..telemetry import instruments as ins
+from ..telemetry import ledger as ledger_mod
 from .archive import ArchiveBuilder, ArchiveReader
 from .config import CompressorConfig, SelectorDiagnostics
 from .dual_quant import (
@@ -154,6 +155,10 @@ def compress(data: np.ndarray, config: CompressorConfig | None = None, **kwargs)
 
 
 def _compress_impl(data: np.ndarray, config: CompressorConfig) -> CompressionResult:
+    led = ledger_mod.ledger_for(config)
+    if led is not None:
+        cache = active_cache()
+        cache0 = (cache.stats.hits, cache.stats.misses) if cache else None
     with tel.span("compress", bytes_in=int(data.nbytes)) as root:
         # Missing values (NaN masks are routine in observational/climate
         # data): record their positions losslessly and fill with the finite
@@ -242,6 +247,40 @@ def _compress_impl(data: np.ndarray, config: CompressorConfig) -> CompressionRes
             ins.OUTLIERS.inc(bundle.n_outliers)
         ins.LAST_RATIO.set_value(result.compression_ratio)
         ins.record_stage_metrics(root, op="compress")
+    if led is not None:
+        cache = active_cache()
+        cache_delta = None
+        if cache is not None and cache0 is not None:
+            cache_delta = {
+                "hits": cache.stats.hits - cache0[0],
+                "misses": cache.stats.misses - cache0[1],
+            }
+        led.record(
+            "compress",
+            fingerprint=ledger_mod.config_fingerprint(config),
+            config={
+                "eb": config.eb,
+                "eb_mode": config.eb_mode,
+                "workflow": config.workflow,
+                "predictor": config.predictor,
+                "dict_size": config.dict_size,
+            },
+            shape=[int(s) for s in bundle.shape],
+            dtype=str(data.dtype),
+            selector={
+                "decision": workflow,
+                "forced": config.workflow != "auto",
+                "mispredict": audit.get("mispredict"),
+            },
+            stages=ledger_mod.span_self_times(root),
+            sizes={
+                "original_bytes": result.original_bytes,
+                "compressed_bytes": result.compressed_bytes,
+                "ratio": result.compression_ratio,
+            },
+            outliers=bundle.n_outliers,
+            cache=cache_delta,
+        )
     return result
 
 
@@ -415,6 +454,22 @@ def _decompress_impl(reader: ArchiveReader, blob: bytes) -> DecompressionResult:
     if tel.enabled():
         ins.DECOMPRESS_CALLS.inc()
         ins.record_stage_metrics(root, op="decompress")
+    led = ledger_mod.ledger_for(None)
+    if led is not None:
+        led.record(
+            "decompress",
+            shape=[int(s) for s in meta["shape"]],
+            dtype=str(np.dtype(meta["dtype"])),
+            workflow=meta["workflow"],
+            predictor=meta["predictor"],
+            stages=ledger_mod.span_self_times(root),
+            sizes={
+                "compressed_bytes": len(blob),
+                "original_bytes": int(out.nbytes),
+                "ratio": (int(out.nbytes) / len(blob)) if len(blob) else 0.0,
+            },
+            outliers=meta["n_outliers"],
+        )
     return DecompressionResult(
         data=out,
         workflow=meta["workflow"],

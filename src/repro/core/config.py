@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import InitVar, dataclass, field, replace
+from pathlib import Path
 from typing import Literal
 
 from .errors import ConfigError, DimensionalityError
@@ -98,6 +99,12 @@ class CompressorConfig:
         metrics on/off for this compressor regardless of the global switch;
         ``None`` (default) follows ``repro.telemetry.enabled()`` (the
         ``REPRO_TELEMETRY`` environment variable).
+    ledger:
+        Optional path to a run-ledger JSONL file: every compress invocation
+        under this config appends one record describing what it did (see
+        :mod:`repro.telemetry.ledger`).  ``None`` (default) follows the
+        ``REPRO_LEDGER`` environment variable.  Observability only -- the
+        produced archive is byte-identical either way.
     """
 
     eb: float = 1e-4
@@ -111,6 +118,7 @@ class CompressorConfig:
     rle_encode_lengths: bool = False
     rle_length_dtype: str = "uint16"
     telemetry: bool | None = None
+    ledger: str | None = None
     #: Construction-time alias for ``eb_mode`` (the unified codec API's
     #: spelling); it never survives as state -- ``eb_mode`` holds the truth.
     mode: InitVar[str | None] = None
@@ -120,6 +128,8 @@ class CompressorConfig:
             object.__setattr__(self, "eb_mode", mode)
         if self.telemetry is not None and not isinstance(self.telemetry, bool):
             raise ConfigError(f"telemetry must be True, False or None, got {self.telemetry!r}")
+        if self.ledger is not None and not isinstance(self.ledger, (str, Path)):
+            raise ConfigError(f"ledger must be a path or None, got {self.ledger!r}")
         if not (self.eb > 0.0 and math.isfinite(self.eb)):
             raise ConfigError(f"error bound must be a positive finite number, got {self.eb!r}")
         if self.eb_mode not in ("abs", "rel", "pwrel"):

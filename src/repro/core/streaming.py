@@ -37,6 +37,7 @@ import numpy as np
 
 from .. import telemetry as tel
 from ..telemetry import instruments as ins
+from ..telemetry import ledger as ledger_mod
 from .archive import ArchiveBuilder, ArchiveReader
 from .compressor import DecompressionResult, compress, decompress, decompress_with_stats
 from .config import CompressorConfig
@@ -168,16 +169,45 @@ def compress_blocks(
     blocks = (
         data[off : off + ext] for off, ext in zip(manifest.offsets, extents)
     )
+    effective_jobs = jobs or (engine.jobs if engine else 1)
+    engine_snap: dict | None = None
     with tel.span(
         "compress_blocks", bytes_in=int(data.nbytes),
-        n_blocks=manifest.n_blocks, jobs=jobs or (engine.jobs if engine else 1),
+        n_blocks=manifest.n_blocks, jobs=effective_jobs,
     ) as root:
         if engine is not None or (jobs is not None and jobs != 1):
-            archives = _compress_blocks_parallel(blocks, block_config, jobs, engine)
+            archives, engine_snap = _compress_blocks_parallel(
+                blocks, block_config, jobs, engine
+            )
         else:
             archives = [compress(block, block_config).archive for block in blocks]
         blob = _assemble_container(archives, manifest)
         root.set(bytes_out=len(blob))
+    led = ledger_mod.ledger_for(config)
+    if led is not None:
+        record: dict = {
+            "fingerprint": ledger_mod.config_fingerprint(config),
+            "jobs": effective_jobs,
+            "n_blocks": manifest.n_blocks,
+            "shape": [int(s) for s in data.shape],
+            "dtype": str(data.dtype),
+            "stages": ledger_mod.span_self_times(root),
+            "sizes": {
+                "original_bytes": int(data.nbytes),
+                "compressed_bytes": len(blob),
+                "ratio": int(data.nbytes) / len(blob) if blob else 0.0,
+            },
+        }
+        if engine_snap is not None:
+            record["engine"] = {
+                "queue_depth_max": engine_snap["queue_depth_max"],
+                "submit_wait_seconds": engine_snap["submit_wait_seconds"],
+                "worker_wall_seconds": engine_snap["worker_wall_seconds"],
+                "worker_cpu_seconds": engine_snap["worker_cpu_seconds"],
+                "n_worker_threads": engine_snap["n_worker_threads"],
+                "cache": engine_snap["cache"],
+            }
+        led.record("engine_batch", **record)
     return blob
 
 
@@ -186,15 +216,22 @@ def _compress_blocks_parallel(
     block_config: CompressorConfig,
     jobs: int | None,
     engine,
-) -> list[bytes]:
-    """Fan blocks out over an engine; results return in submission order."""
+) -> tuple[list[bytes], dict]:
+    """Fan blocks out over an engine; results return in submission order.
+
+    Also returns the engine's diagnostics snapshot (taken after the batch
+    drains) so the caller can ledger queue-depth/wait accounting.  For a
+    caller-owned engine the snapshot is cumulative over the engine's life,
+    not just this batch.
+    """
     from ..engine.core import CompressionEngine
 
     own = engine is None
     eng = engine if engine is not None else CompressionEngine(block_config, jobs=jobs)
     try:
         futures = [eng.submit(block, block_config) for block in blocks]
-        return [f.result().archive for f in futures]
+        archives = [f.result().archive for f in futures]
+        return archives, eng.diagnostics_snapshot()
     finally:
         if own:
             eng.shutdown(wait=True)

@@ -6,7 +6,9 @@ Public surface:
   with bounded in-flight backpressure and deterministic ordering;
 * :class:`QuantCache` / :func:`cache_scope` -- the cross-block
   codebook/histogram cache keyed by quant-code distribution fingerprint;
-* :func:`default_jobs` -- the worker count used when none is requested.
+* :func:`default_jobs` -- the worker count used when none is requested;
+* :func:`run_scaling_sweep` / :class:`ScalingReport` -- worker-count sweep
+  with a per-point CPU-vs-lock-wait breakdown (``repro obs scaling``).
 
 ``repro.engine.core`` is imported lazily: :mod:`repro.core.workflow` pulls
 in the cache hooks at import time, and an eager import here would close a
@@ -25,9 +27,13 @@ __all__ = [
     "cache_scope",
     "cached_codebook",
     "cached_histogram",
+    "ScalingPoint",
+    "ScalingReport",
+    "run_scaling_sweep",
 ]
 
 _LAZY = {"CompressionEngine", "default_jobs"}
+_LAZY_DIAG = {"ScalingPoint", "ScalingReport", "run_scaling_sweep"}
 
 
 def __getattr__(name: str):
@@ -35,6 +41,10 @@ def __getattr__(name: str):
         from . import core
 
         return getattr(core, name)
+    if name in _LAZY_DIAG:
+        from . import diagnostics
+
+        return getattr(diagnostics, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

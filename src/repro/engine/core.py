@@ -31,6 +31,8 @@ from __future__ import annotations
 import contextvars
 import os
 import threading
+import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 
 import numpy as np
@@ -92,6 +94,17 @@ class CompressionEngine:
         self._slots = threading.BoundedSemaphore(self.max_inflight)
         self._depth_lock = threading.Lock()
         self._depth = 0
+        self._depth_max = 0
+        self._submit_wait = 0.0
+        # Per-worker-thread accounting: tid -> [wall_seconds, cpu_seconds,
+        # jobs].  Wall comes from perf_counter pairs, CPU from
+        # time.thread_time; their gap is lock/GIL wait inside jobs -- the
+        # quantity the scaling diagnostics exist to measure.
+        self._worker_lock = threading.Lock()
+        self._workers: dict[int, list] = {}
+        # Queue-depth timeline: (perf_counter, depth) at every transition,
+        # bounded so a long-lived engine cannot grow it without limit.
+        self._depth_samples: deque[tuple[float, int]] = deque(maxlen=4096)
         self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=self.jobs, thread_name_prefix="repro-engine"
@@ -121,6 +134,57 @@ class CompressionEngine:
         with self._depth_lock:
             return self._depth
 
+    @property
+    def queue_depth_max(self) -> int:
+        """High-water mark of :attr:`queue_depth` over this engine's life."""
+        with self._depth_lock:
+            return self._depth_max
+
+    @property
+    def submit_wait_seconds(self) -> float:
+        """Total producer time blocked on the ``max_inflight`` semaphore."""
+        with self._depth_lock:
+            return self._submit_wait
+
+    def worker_stats(self) -> dict[int, dict]:
+        """Per-worker-thread accounting: wall/CPU seconds and job count."""
+        with self._worker_lock:
+            return {
+                tid: {"wall_seconds": w, "cpu_seconds": c, "jobs": n}
+                for tid, (w, c, n) in self._workers.items()
+            }
+
+    def depth_timeline(self) -> list[tuple[float, int]]:
+        """Recent (perf_counter, depth) transition samples, oldest first."""
+        with self._depth_lock:
+            return list(self._depth_samples)
+
+    def diagnostics_snapshot(self) -> dict:
+        """One JSON-serializable view of everything the engine measured.
+
+        The scaling report (:mod:`repro.engine.diagnostics`) and the run
+        ledger both consume this; keys are additive, never renamed.
+        """
+        workers = self.worker_stats()
+        wall = sum(w["wall_seconds"] for w in workers.values())
+        cpu = sum(w["cpu_seconds"] for w in workers.values())
+        return {
+            "jobs": self.jobs,
+            "max_inflight": self.max_inflight,
+            "queue_depth": self.queue_depth,
+            "queue_depth_max": self.queue_depth_max,
+            "submit_wait_seconds": self.submit_wait_seconds,
+            "worker_wall_seconds": wall,
+            "worker_cpu_seconds": cpu,
+            "worker_wait_seconds": max(wall - cpu, 0.0),
+            "n_worker_threads": len(workers),
+            "jobs_completed": sum(w["jobs"] for w in workers.values()),
+            "workers": [
+                {"tid": tid, **stats} for tid, stats in sorted(workers.items())
+            ],
+            "cache": {"hits": self.cache.stats.hits, "misses": self.cache.stats.misses},
+        }
+
     # -- submission ---------------------------------------------------------
 
     def submit(
@@ -141,7 +205,16 @@ class CompressionEngine:
         cfg = config or self.config
         if overrides:
             cfg = cfg.with_(**overrides)
-        self._slots.acquire()  # backpressure: block the producer, not memory
+        # Backpressure: block the producer, not memory -- and account for
+        # how long it blocked, the saturation signal the scaling report
+        # and ledger surface.
+        t0 = time.perf_counter()
+        self._slots.acquire()
+        waited = time.perf_counter() - t0
+        with self._depth_lock:
+            self._submit_wait += waited
+        if _tel_enabled():
+            ins.ENGINE_SUBMIT_WAIT.observe(waited)
         ctx = contextvars.copy_context()
         self._note_depth(+1)
         try:
@@ -180,21 +253,38 @@ class CompressionEngine:
         return ctx.run(self._run_in_ctx, data, cfg)
 
     def _run_in_ctx(self, data: np.ndarray, cfg: CompressorConfig) -> CompressionResult:
+        wall0 = time.perf_counter()
+        cpu0 = time.thread_time()
         try:
             with cache_scope(self.cache):
                 return compress(data, cfg)
         finally:
+            wall = time.perf_counter() - wall0
+            cpu = time.thread_time() - cpu0
+            tid = threading.get_ident()
+            with self._worker_lock:
+                slot = self._workers.setdefault(tid, [0.0, 0.0, 0])
+                slot[0] += wall
+                slot[1] += cpu
+                slot[2] += 1
             self._slots.release()
             self._note_depth(-1)
             if _tel_enabled():
                 ins.ENGINE_JOBS.inc()
+                ins.ENGINE_WORKER_SECONDS.inc(wall, kind="wall")
+                ins.ENGINE_WORKER_SECONDS.inc(cpu, kind="cpu")
 
     def _note_depth(self, delta: int) -> None:
         with self._depth_lock:
             self._depth += delta
             depth = self._depth
+            if depth > self._depth_max:
+                self._depth_max = depth
+            depth_max = self._depth_max
+            self._depth_samples.append((time.perf_counter(), depth))
         if _tel_enabled():
             ins.ENGINE_QUEUE_DEPTH.set_value(depth)
+            ins.ENGINE_QUEUE_DEPTH_MAX.set_value(depth_max)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

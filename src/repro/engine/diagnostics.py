@@ -1,0 +1,230 @@
+"""Engine scaling diagnostics: where does parallel time actually go?
+
+The committed baselines show ``jobs=4`` no faster than ``jobs=1`` -- the
+engine is a GIL-bound thread pool over pure-Python/NumPy stages.  Before
+the process-based engine lands, this module quantifies that ceiling so
+the refactor has a before/after gate:
+
+* :func:`run_scaling_sweep` runs an identical batch workload at each
+  requested worker count on a fresh :class:`CompressionEngine` and folds
+  the engine's per-worker accounting (``perf_counter`` wall vs
+  ``time.thread_time`` CPU, semaphore wait, queue-depth high-water) into
+  a :class:`ScalingReport`;
+* the report's speedup curve comes with a CPU-bound-vs-wait breakdown
+  per point: ``worker_cpu_seconds`` is real compute, ``lock_wait_seconds``
+  (worker wall minus worker CPU) is GIL/lock stall, ``submit_wait_seconds``
+  is producer backpressure.  A flat speedup curve with ballooning
+  ``lock_wait_seconds`` is the GIL signature; a flat curve with growing
+  ``submit_wait_seconds`` means ``max_inflight`` is the bottleneck.
+
+``repro obs scaling --jobs 1,2,4`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import CompressorConfig
+from ..telemetry.log import get_logger
+from .core import CompressionEngine
+
+__all__ = ["ScalingPoint", "ScalingReport", "make_sweep_fields", "run_scaling_sweep"]
+
+_log = get_logger("repro.engine.diagnostics")
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One worker-count measurement of the sweep workload."""
+
+    jobs: int
+    wall_seconds: float
+    worker_wall_seconds: float
+    worker_cpu_seconds: float
+    lock_wait_seconds: float
+    submit_wait_seconds: float
+    queue_depth_max: int
+    n_worker_threads: int
+    jobs_completed: int
+    speedup: float
+    efficiency: float
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Fraction of in-job worker time that was real CPU work."""
+        if self.worker_wall_seconds <= 0.0:
+            return 0.0
+        return self.worker_cpu_seconds / self.worker_wall_seconds
+
+    def to_json(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "worker_wall_seconds": self.worker_wall_seconds,
+            "worker_cpu_seconds": self.worker_cpu_seconds,
+            "lock_wait_seconds": self.lock_wait_seconds,
+            "submit_wait_seconds": self.submit_wait_seconds,
+            "queue_depth_max": self.queue_depth_max,
+            "n_worker_threads": self.n_worker_threads,
+            "jobs_completed": self.jobs_completed,
+            "speedup": self.speedup,
+            "efficiency": self.efficiency,
+            "cpu_fraction": self.cpu_fraction,
+        }
+
+
+@dataclass
+class ScalingReport:
+    """Speedup curve plus the per-point CPU-vs-wait breakdown."""
+
+    n_fields: int
+    field_shape: tuple[int, ...]
+    field_bytes: int
+    repeats: int
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "workload": {
+                "n_fields": self.n_fields,
+                "field_shape": list(self.field_shape),
+                "field_bytes": self.field_bytes,
+                "repeats": self.repeats,
+            },
+            "points": [p.to_json() for p in self.points],
+            "verdict": self.verdict(),
+        }
+
+    def verdict(self) -> str:
+        """One-line reading of the curve: scaling, GIL-bound, or saturated."""
+        if len(self.points) < 2:
+            return "single point; no curve to judge"
+        last = self.points[-1]
+        if last.efficiency >= 0.7:
+            return f"scales: {last.speedup:.2f}x at jobs={last.jobs}"
+        if last.lock_wait_seconds > last.worker_cpu_seconds:
+            return (
+                f"GIL/lock-bound: jobs={last.jobs} spends "
+                f"{last.lock_wait_seconds:.3f} s waiting vs "
+                f"{last.worker_cpu_seconds:.3f} s computing"
+            )
+        return (
+            f"sub-linear: {last.speedup:.2f}x at jobs={last.jobs} "
+            f"(efficiency {last.efficiency:.0%})"
+        )
+
+    def render(self) -> str:
+        """Speedup curve (ASCII) plus the breakdown table and verdict."""
+        from ..bench.harness import ascii_series, format_table
+
+        rows = [
+            [p.jobs, f"{p.wall_seconds * 1e3:.1f}", f"{p.speedup:.2f}",
+             f"{p.efficiency:.0%}", f"{p.worker_cpu_seconds * 1e3:.1f}",
+             f"{p.lock_wait_seconds * 1e3:.1f}",
+             f"{p.submit_wait_seconds * 1e3:.1f}", p.queue_depth_max]
+            for p in self.points
+        ]
+        table = format_table(
+            ["jobs", "wall ms", "speedup", "eff", "cpu ms",
+             "lock-wait ms", "submit-wait ms", "depth max"],
+            rows,
+            title=(
+                f"engine scaling · {self.n_fields} fields of "
+                f"{self.field_shape} ({self.field_bytes} B each), "
+                f"best of {self.repeats}"
+            ),
+        )
+        x = [float(p.jobs) for p in self.points]
+        curve = ascii_series(
+            x,
+            {
+                "speedup": [p.speedup for p in self.points],
+                "ideal": [p.jobs / self.points[0].jobs for p in self.points],
+            },
+            width=48,
+            height=10,
+            title="speedup vs jobs",
+        )
+        return f"{table}\n\n{curve}\n\nverdict: {self.verdict()}"
+
+
+def make_sweep_fields(
+    n_fields: int, shape: tuple[int, ...], seed: int = 0
+) -> list[np.ndarray]:
+    """Deterministic, mutually distinct smooth fields for the sweep.
+
+    Each field gets its own seed so the engine's histogram/codebook cache
+    cannot short-circuit the workload into a cache-hit microbenchmark.
+    """
+    fields = []
+    x = np.linspace(0.0, 8.0, shape[-1], dtype=np.float32)
+    for k in range(n_fields):
+        rng = np.random.default_rng(seed + k)
+        base = rng.normal(0.0, 0.05, shape).astype(np.float32)
+        base += np.sin(x + k).astype(np.float32)  # broadcast along last axis
+        fields.append(base)
+    return fields
+
+
+def run_scaling_sweep(
+    jobs_list: tuple[int, ...] = (1, 2, 4, 8),
+    n_fields: int = 8,
+    shape: tuple[int, ...] = (256, 256),
+    eb: float = 1e-3,
+    repeats: int = 3,
+    config: CompressorConfig | None = None,
+) -> ScalingReport:
+    """Run the identical batch at each worker count; best-of-``repeats``.
+
+    Every point uses a fresh engine (fresh cache, fresh accounting) so the
+    breakdown attributes to that worker count alone.  The baseline for
+    speedup is the first entry of ``jobs_list`` (conventionally 1).
+    """
+    import time
+
+    if not jobs_list:
+        raise ValueError("jobs_list must name at least one worker count")
+    cfg = config or CompressorConfig(eb=eb)
+    fields = make_sweep_fields(n_fields, tuple(shape))
+    field_bytes = int(fields[0].nbytes)
+    report = ScalingReport(
+        n_fields=n_fields, field_shape=tuple(shape),
+        field_bytes=field_bytes, repeats=int(repeats),
+    )
+    baseline_wall: float | None = None
+    for jobs in jobs_list:
+        best_wall = float("inf")
+        best_snap: dict = {}
+        for _ in range(max(int(repeats), 1)):
+            with CompressionEngine(cfg, jobs=jobs) as engine:
+                t0 = time.perf_counter()
+                engine.map(fields)
+                wall = time.perf_counter() - t0
+                snap = engine.diagnostics_snapshot()
+            if wall < best_wall:
+                best_wall, best_snap = wall, snap
+        if baseline_wall is None:
+            baseline_wall = best_wall
+        speedup = baseline_wall / best_wall if best_wall > 0 else 0.0
+        rel_jobs = jobs / jobs_list[0]
+        point = ScalingPoint(
+            jobs=jobs,
+            wall_seconds=best_wall,
+            worker_wall_seconds=best_snap["worker_wall_seconds"],
+            worker_cpu_seconds=best_snap["worker_cpu_seconds"],
+            lock_wait_seconds=best_snap["worker_wait_seconds"],
+            submit_wait_seconds=best_snap["submit_wait_seconds"],
+            queue_depth_max=best_snap["queue_depth_max"],
+            n_worker_threads=best_snap["n_worker_threads"],
+            jobs_completed=best_snap["jobs_completed"],
+            speedup=speedup,
+            efficiency=speedup / rel_jobs if rel_jobs > 0 else 0.0,
+        )
+        report.points.append(point)
+        _log.event(
+            "scaling.point", jobs=jobs, wall_seconds=best_wall,
+            speedup=speedup, lock_wait_seconds=point.lock_wait_seconds,
+        )
+    return report

@@ -16,6 +16,15 @@ Prometheus-text and JSON exposition.  Export (:mod:`.export`) renders
 traces as Chrome trace-event JSON or indented text.  The whole layer
 switches off via ``REPRO_TELEMETRY=0`` (or :func:`set_enabled`), leaving
 only no-op spans behind; see ``docs/observability.md``.
+
+The continuous layer on top of the per-call one:
+
+* :mod:`.ledger` -- append-only JSONL run ledger (``REPRO_LEDGER=path``),
+  one record per compress/decompress/engine-batch invocation;
+* :mod:`.exposition` -- stdlib HTTP exporter serving the metrics registry
+  at ``/metrics`` (Prometheus text) and ``/metrics.json``;
+* :mod:`.log` -- span-correlated structured JSON log lines
+  (``REPRO_LOG=stderr`` or a path).
 """
 
 from .context import (
@@ -43,6 +52,19 @@ from .metrics import (
     render_prometheus,
     reset_metrics,
 )
+from .exposition import MetricsServer, lint_prometheus
+from .ledger import (
+    LEDGER_SCHEMA,
+    RunLedger,
+    aggregate_ledger,
+    config_fingerprint,
+    ledger_for,
+    read_ledger,
+    render_ledger_report,
+    reset_ledgers,
+    span_self_times,
+)
+from .log import get_logger
 
 __all__ = [
     # tracing
@@ -71,4 +93,18 @@ __all__ = [
     "render_prometheus",
     "render_json",
     "reset_metrics",
+    # ledger
+    "LEDGER_SCHEMA",
+    "RunLedger",
+    "ledger_for",
+    "read_ledger",
+    "aggregate_ledger",
+    "render_ledger_report",
+    "reset_ledgers",
+    "config_fingerprint",
+    "span_self_times",
+    # exposition / logging
+    "MetricsServer",
+    "lint_prometheus",
+    "get_logger",
 ]

@@ -1,0 +1,202 @@
+"""Live metrics exposition over HTTP (the ``/metrics`` front door).
+
+A stdlib-only exporter for the process-global metrics registry:
+
+* ``GET /metrics``       -- Prometheus text exposition format 0.0.4;
+* ``GET /metrics.json``  -- the registry's JSON snapshot;
+* ``GET /healthz``       -- liveness probe (``ok``).
+
+Two entry points:
+
+* ``repro obs serve [--host H] [--port P]`` runs it in the foreground
+  (``--once`` renders a single scrape to stdout and exits -- the CI
+  smoke path);
+* :class:`MetricsServer` embeds it: a daemon-threaded
+  ``ThreadingHTTPServer`` with context-manager lifecycle, which the
+  planned ``repro.server`` async front door mounts alongside the codec
+  endpoints.
+
+:func:`lint_prometheus` validates the text format the way ``promtool
+check metrics`` would: one ``# TYPE``/``# HELP`` per family, headers
+before samples, sample names derived from a declared family, trailing
+newline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .log import get_logger
+from .metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["MetricsServer", "lint_prometheus", "serve_forever"]
+
+_log = get_logger("repro.telemetry.exposition")
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Problems with a Prometheus text exposition payload (empty = clean).
+
+    Checks the invariants ``promtool check metrics`` enforces on the
+    0.0.4 text format: exactly one ``# TYPE`` (and at most one ``# HELP``,
+    appearing first) per metric family, samples only after their family's
+    headers, histogram sample suffixes (``_bucket``/``_sum``/``_count``)
+    resolving to a declared family, and a newline-terminated payload.
+    """
+    problems: list[str] = []
+    if text and not text.endswith("\n"):
+        problems.append("payload does not end with a newline")
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    sampled: set[str] = set()
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            family = line.split()[2]
+            if family in helped:
+                problems.append(f"line {i + 1}: duplicate # HELP for {family}")
+            if family in typed or family in sampled:
+                problems.append(f"line {i + 1}: # HELP for {family} after its TYPE/samples")
+            helped.add(family)
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            family, kind = parts[2], parts[3] if len(parts) > 3 else ""
+            if family in typed:
+                problems.append(f"line {i + 1}: duplicate # TYPE for {family}")
+            if family in sampled:
+                problems.append(f"line {i + 1}: # TYPE for {family} after its samples")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {i + 1}: unknown metric type {kind!r}")
+            typed[family] = kind
+        elif line.startswith("#"):
+            continue  # free-form comment
+        else:
+            name = line.split("{")[0].split()[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                    base = name[: -len(suffix)]
+                    break
+            if base not in typed:
+                problems.append(f"line {i + 1}: sample {name} has no # TYPE header")
+            else:
+                sampled.add(base)
+    return problems
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Routes the three endpoints; the registry arrives via the server."""
+
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        registry: MetricsRegistry = self.server.registry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = registry.render_prometheus().encode()
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = (json.dumps(registry.render_json(), indent=2) + "\n").encode()
+            ctype = "application/json"
+        elif path == "/healthz":
+            body = b"ok\n"
+            ctype = "text/plain"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        # Route http.server's stderr chatter through the structured log
+        # (silent unless REPRO_LOG is configured).
+        _log.event("server.request", detail=fmt % args)
+
+
+class MetricsServer:
+    """Embeddable ``/metrics`` exporter with context-manager lifecycle.
+
+    >>> with MetricsServer(port=0) as srv:      # port 0 = ephemeral
+    ...     print(srv.url)                      # http://127.0.0.1:<port>
+    ...     ...                                 # scrape away
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.host = host
+        self.requested_port = int(port)
+        self.registry = registry if registry is not None else REGISTRY
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            raise RuntimeError("metrics server already started")
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), _MetricsHandler
+        )
+        self._httpd.registry = self.registry  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.event("server.start", host=self.host, port=self.port)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        _log.event("server.stop", host=self.host, port=self.port)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- addressing ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral port 0 after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self.requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+
+def serve_forever(host: str = "127.0.0.1", port: int = 9464) -> None:
+    """Blocking foreground server (the ``repro obs serve`` body)."""
+    server = MetricsServer(host=host, port=port).start()
+    try:
+        while True:
+            server._thread.join(timeout=3600.0)  # type: ignore[union-attr]
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()

@@ -29,6 +29,14 @@ suffix on counters, base-unit ``_seconds``/``_bytes``):
   codebook/histogram cache outcomes (a hit skips Huffman tree construction)
 * ``repro_engine_queue_depth`` (gauge) -- engine jobs queued or running,
   bounded by the engine's ``max_inflight`` backpressure limit
+* ``repro_engine_queue_depth_max`` (gauge) -- high-water mark of the queue
+  depth, so ledger records and ``obs report`` can show saturation without
+  sampling the live gauge
+* ``repro_engine_submit_wait_seconds`` -- histogram of producer-side
+  blocking on the ``max_inflight`` semaphore (backpressure wait)
+* ``repro_engine_worker_seconds_total{kind=wall|cpu}`` -- wall vs
+  thread-CPU seconds spent inside engine jobs; the gap is lock/GIL wait
+* ``repro_ledger_records_total{op=...}`` -- run-ledger records appended
 """
 
 from __future__ import annotations
@@ -56,6 +64,10 @@ __all__ = [
     "ENGINE_CACHE_HITS",
     "ENGINE_CACHE_MISSES",
     "ENGINE_QUEUE_DEPTH",
+    "ENGINE_QUEUE_DEPTH_MAX",
+    "ENGINE_SUBMIT_WAIT",
+    "ENGINE_WORKER_SECONDS",
+    "LEDGER_RECORDS",
     "stage_stats_from_span",
     "record_stage_metrics",
     "record_kernel_profile",
@@ -110,6 +122,19 @@ ENGINE_CACHE_MISSES = REGISTRY.counter(
 ENGINE_QUEUE_DEPTH = REGISTRY.gauge(
     "repro_engine_queue_depth",
     "Engine jobs currently queued or running (bounded by max_inflight)")
+ENGINE_QUEUE_DEPTH_MAX = REGISTRY.gauge(
+    "repro_engine_queue_depth_max",
+    "High-water mark of the engine queue depth (saturation indicator)")
+ENGINE_SUBMIT_WAIT = REGISTRY.histogram(
+    "repro_engine_submit_wait_seconds",
+    "Producer-side blocking on the engine's max_inflight semaphore",
+    buckets=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0),
+)
+ENGINE_WORKER_SECONDS = REGISTRY.counter(
+    "repro_engine_worker_seconds_total",
+    "Wall vs thread-CPU seconds inside engine jobs (gap = lock/GIL wait)")
+LEDGER_RECORDS = REGISTRY.counter(
+    "repro_ledger_records_total", "Run-ledger records appended, by operation")
 
 
 def stage_stats_from_span(root: Span | None) -> dict[str, float]:

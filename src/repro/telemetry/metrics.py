@@ -336,12 +336,26 @@ class MetricsRegistry:
             return self._metrics.get(name)
 
     def render_prometheus(self) -> str:
-        """The Prometheus text exposition format (version 0.0.4)."""
+        """The Prometheus text exposition format (version 0.0.4).
+
+        Format contract (scrape targets and ``promtool check metrics``
+        depend on it): each metric family's ``# HELP``/``# TYPE`` headers
+        appear exactly once, immediately before its samples, and the
+        payload is newline-terminated.
+        """
         with self._lock:
             metrics = sorted(self._metrics.values(), key=lambda m: m.name)
         lines: list[str] = []
+        declared: set[str] = set()
         for m in metrics:
-            lines.extend(m.render())
+            rendered = m.render()
+            if m.name in declared:
+                # A family declares its headers once; strip repeats so a
+                # hypothetical duplicate registration can never produce an
+                # exposition payload scrapers reject.
+                rendered = [ln for ln in rendered if not ln.startswith("#")]
+            declared.add(m.name)
+            lines.extend(rendered)
         return "\n".join(lines) + ("\n" if lines else "")
 
     def render_json(self) -> dict:

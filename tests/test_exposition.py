@@ -1,0 +1,182 @@
+"""Tests for the /metrics HTTP exporter, the Prometheus text format
+contract (promtool-style lint), and the structured JSON log lines."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro
+from repro import telemetry as tel
+from repro.telemetry import instruments as ins
+from repro.telemetry.exposition import MetricsServer, lint_prometheus
+from repro.telemetry.metrics import MetricsRegistry, render_prometheus
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    tel.reset_metrics()
+    yield
+    tel.reset_metrics()
+
+
+def populate_registry():
+    field = np.sin(np.linspace(0, 8, 4096)).astype(np.float32).reshape(64, 64)
+    with tel.scope(True):  # instruments only tick when telemetry is on
+        repro.compress(field, eb=1e-3)
+
+
+class TestPrometheusFormat:
+    """Satellite: render_prometheus emits # TYPE/# HELP once per family
+    and terminates with a newline, promtool-style."""
+
+    def test_headers_once_per_family_and_trailing_newline(self):
+        populate_registry()
+        text = render_prometheus()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        types = [ln.split()[2] for ln in lines if ln.startswith("# TYPE ")]
+        helps = [ln.split()[2] for ln in lines if ln.startswith("# HELP ")]
+        assert len(types) == len(set(types)), "duplicate # TYPE family"
+        assert len(helps) == len(set(helps)), "duplicate # HELP family"
+        assert set(types) == set(helps)
+
+    def test_help_precedes_type_precedes_samples(self):
+        populate_registry()
+        text = render_prometheus()
+        assert lint_prometheus(text) == []
+
+    def test_histogram_suffixes_resolve_to_family(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("demo_seconds", "demo", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        text = reg.render_prometheus()
+        assert "# TYPE demo_seconds histogram" in text
+        assert "demo_seconds_bucket" in text
+        assert "demo_seconds_count" in text
+        assert lint_prometheus(text) == []
+
+    def test_empty_registry_renders_clean(self):
+        reg = MetricsRegistry()
+        text = reg.render_prometheus()
+        assert lint_prometheus(text) == []
+
+    def test_lint_catches_missing_newline(self):
+        assert lint_prometheus("# TYPE x counter\nx 1") != []
+
+    def test_lint_catches_duplicate_type(self):
+        bad = "# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n"
+        assert any("duplicate # TYPE" in p for p in lint_prometheus(bad))
+
+    def test_lint_catches_headerless_sample(self):
+        assert any(
+            "no # TYPE" in p for p in lint_prometheus("mystery_total 3\n")
+        )
+
+    def test_lint_catches_type_after_samples(self):
+        bad = "x 1\n# TYPE x counter\n"
+        problems = lint_prometheus(bad)
+        assert problems  # sample before its header
+
+
+class TestMetricsServer:
+    def test_scrape_metrics_over_http(self):
+        populate_registry()
+        with MetricsServer() as srv:
+            with urllib.request.urlopen(srv.url + "/metrics") as resp:
+                assert resp.status == 200
+                ctype = resp.headers["Content-Type"]
+                body = resp.read().decode()
+        assert "version=0.0.4" in ctype
+        assert body.endswith("\n")
+        assert "repro_compress_calls_total 1" in body
+        assert lint_prometheus(body) == []
+
+    def test_scrape_json(self):
+        populate_registry()
+        with MetricsServer() as srv:
+            with urllib.request.urlopen(srv.url + "/metrics.json") as resp:
+                snapshot = json.loads(resp.read())
+        assert snapshot["repro_compress_calls_total"]["type"] == "counter"
+
+    def test_healthz_and_404(self):
+        with MetricsServer() as srv:
+            with urllib.request.urlopen(srv.url + "/healthz") as resp:
+                assert resp.read() == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(srv.url + "/nope")
+            assert exc.value.code == 404
+
+    def test_ephemeral_port_resolves(self):
+        srv = MetricsServer(port=0)
+        assert srv.port == 0
+        with srv:
+            assert srv.port != 0
+            assert srv.url == f"http://127.0.0.1:{srv.port}"
+
+    def test_double_start_raises(self):
+        with MetricsServer() as srv:
+            with pytest.raises(RuntimeError):
+                srv.start()
+
+    def test_stop_is_idempotent(self):
+        srv = MetricsServer().start()
+        srv.stop()
+        srv.stop()
+
+    def test_custom_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("private_total", "private").inc(7)
+        with MetricsServer(registry=reg) as srv:
+            body = urllib.request.urlopen(srv.url + "/metrics").read().decode()
+        assert "private_total 7" in body
+        assert "repro_compress_calls_total" not in body
+
+    def test_live_updates_between_scrapes(self):
+        with MetricsServer() as srv:
+            before = urllib.request.urlopen(srv.url + "/metrics").read().decode()
+            populate_registry()
+            after = urllib.request.urlopen(srv.url + "/metrics").read().decode()
+        assert "repro_compress_calls_total 0" in before
+        assert "repro_compress_calls_total 1" in after
+
+
+class TestStructuredLog:
+    def test_off_by_default(self, capsys):
+        from repro.telemetry.log import get_logger
+
+        get_logger("test").event("nothing.happens", x=1)
+        assert capsys.readouterr().err == ""
+
+    def test_file_sink_emits_span_correlated_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", str(tmp_path / "log.jsonl"))
+        from repro.telemetry.log import get_logger
+
+        log = get_logger("test.sink")
+        with tel.scope(True), tel.span("outer"):
+            log.event("unit.test", answer=42)
+        log.event("unit.test", answer=43)
+        lines = [
+            json.loads(ln)
+            for ln in (tmp_path / "log.jsonl").read_text().splitlines()
+        ]
+        assert len(lines) == 2
+        assert lines[0]["event"] == "unit.test"
+        assert lines[0]["logger"] == "test.sink"
+        assert lines[0]["span"] == "outer"
+        assert lines[0]["answer"] == 42
+        assert lines[1]["span"] is None
+
+    def test_server_requests_logged(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", str(tmp_path / "log.jsonl"))
+        with MetricsServer() as srv:
+            urllib.request.urlopen(srv.url + "/healthz").read()
+        events = [
+            json.loads(ln)["event"]
+            for ln in (tmp_path / "log.jsonl").read_text().splitlines()
+        ]
+        assert "server.start" in events
+        assert "server.request" in events
+        assert "server.stop" in events
