@@ -138,17 +138,22 @@ def _cv(summary: dict) -> float:
 
 
 def _compare_timing(case: str, old_t: dict, new_t: dict, prof: ThresholdProfile,
-                    rows: list[CompareRow]) -> None:
-    for stage in sorted(set(old_t) | set(new_t)):
+                    rows: list[CompareRow],
+                    gate_stages: frozenset[str] = frozenset()) -> None:
+    for stage in sorted(set(old_t) | set(new_t) | gate_stages):
+        gated = stage in gate_stages
         o, n = old_t.get(stage), new_t.get(stage)
         if o is None or n is None:
+            # A gated stage must exist in both records: silently dropping it
+            # (e.g. a renamed span) would disable the gate without anyone
+            # noticing, so its absence is itself a regression.
             rows.append(CompareRow(case, stage, o and o["min"], n and n["min"],
-                                   None, None, "info"))
+                                   None, None, "missing" if gated else "info"))
             continue
         tol = max(prof.time_rel, prof.noise_sigma * max(_cv(o), _cv(n)))
         old_best, new_best = o["min"], n["min"]
         delta = _pct(old_best, new_best)
-        if old_best < prof.min_seconds:
+        if old_best < prof.min_seconds and not gated:
             status = "info"
         elif new_best > old_best * (1.0 + tol):
             status = "regression"
@@ -178,12 +183,21 @@ def _compare_quality(case: str, old_q: dict, new_q: dict, prof: ThresholdProfile
 
 
 def compare_records(
-    old: dict, new: dict, profile: str | ThresholdProfile = "default"
+    old: dict, new: dict, profile: str | ThresholdProfile = "default",
+    gate_stages=(),
 ) -> CompareReport:
-    """Compare two validated BENCH records case by case."""
+    """Compare two validated BENCH records case by case.
+
+    ``gate_stages`` names timing stages that are always gated: they are
+    compared even when the profile's ``min_seconds`` floor would demote
+    them to informational, and a gated stage missing from either record
+    counts as a regression (so a renamed span cannot silently disable its
+    gate).
+    """
     validate_record(old)
     validate_record(new)
     prof = PROFILES[profile] if isinstance(profile, str) else profile
+    gates = frozenset(gate_stages)
     report = CompareReport(profile=prof.name)
     old_cases = {r["case"]: r for r in old["results"]}
     new_cases = {r["case"]: r for r in new["results"]}
@@ -197,6 +211,7 @@ def compare_records(
                                           "new"))
             continue
         o, n = old_cases[name], new_cases[name]
-        _compare_timing(name, o["timing"], n["timing"], prof, report.rows)
+        _compare_timing(name, o["timing"], n["timing"], prof, report.rows,
+                        gates)
         _compare_quality(name, o["quality"], n["quality"], prof, report.rows)
     return report

@@ -81,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("archive", type=Path)
     pd.add_argument("-o", "--output", type=Path, required=True,
                     help="output flat binary path")
+    pd.add_argument("-j", "--jobs", type=int, default=None,
+                    help="decode with N parallel workers (across blocks, or "
+                         "across the byte-aligned chunk groups of a format-v3 "
+                         "archive); output is identical to the serial decode")
     _add_telemetry_flags(pd)
     pd.add_argument("--json", action="store_true", dest="as_json",
                     help="emit a machine-readable JSON result on stdout")
@@ -132,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     pbr.add_argument("--profile", dest="cmp_profile",
                      choices=["default", "ci"], default="default",
                      help="threshold profile for --baseline comparison")
+    pbr.add_argument("--gate-stage", dest="gate_stages", action="append",
+                     default=[], metavar="STAGE",
+                     help="timing stage to gate unconditionally in the "
+                          "--baseline comparison (repeatable); a gated stage "
+                          "missing from either record is a regression")
     pbr.add_argument("--json", action="store_true", dest="as_json",
                      help="print the record (and comparison) as JSON")
     pbc = bench_sub.add_parser(
@@ -140,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
     pbc.add_argument("new", type=Path, help="candidate record")
     pbc.add_argument("--profile", dest="cmp_profile",
                      choices=["default", "ci"], default="default")
+    pbc.add_argument("--gate-stage", dest="gate_stages", action="append",
+                     default=[], metavar="STAGE",
+                     help="timing stage to gate unconditionally, even below "
+                          "the profile's min-seconds floor (repeatable)")
     pbc.add_argument("--all", action="store_true", dest="show_all",
                      help="show every row, not just notable ones")
     pbc.add_argument("--json", action="store_true", dest="as_json")
@@ -371,7 +384,7 @@ def _cmd_decompress(args) -> int:
     blob = args.archive.read_bytes()
     scope_ctx, trace_ctx = _telemetry_capture(args)
     with scope_ctx, trace_ctx as tr:
-        result = decompress_with_stats(blob)
+        result = decompress_with_stats(blob, jobs=args.jobs)
     field = result.data
     np.ascontiguousarray(field).tofile(args.output)
     _emit_trace(args, tr)
@@ -415,12 +428,18 @@ def _cmd_info(args) -> int:
         meta["workflow"] = f"pwrel({meta['workflow']})"
     else:
         meta = _unpack_meta(reader.get_bytes("meta"))
+    # Format-v3 indexed payloads carry per-chunk sync points (the *.idx
+    # sections), which is what makes the archive parallel-decodable.
+    sync_sections = [n for n in reader.names() if n.endswith(".idx")
+                     and n != "o.idx"]
     if args.as_json:
         original = int(np.prod(meta["shape"])) * np.dtype(meta["dtype"]).itemsize
         print(json.dumps({
             "command": "info",
             "archive": str(args.archive),
             "archive_bytes": len(blob),
+            "format_version": reader.version,
+            "indexed_payload": bool(sync_sections),
             "shape": list(meta["shape"]),
             "dtype": np.dtype(meta["dtype"]).name,
             "workflow": meta["workflow"],
@@ -437,6 +456,9 @@ def _cmd_info(args) -> int:
     print(f"workflow   : {meta['workflow']}  predictor={meta['predictor']}")
     print(f"error bound: {meta['eb_abs']:.4g} (absolute, user bound)")
     print(f"dict size  : {meta['dict_size']}  outliers={meta['n_outliers']}")
+    if sync_sections:
+        print(f"sync points: {', '.join(sync_sections)} (indexed payload, "
+              "parallel-decodable)")
     original = int(np.prod(meta["shape"])) * np.dtype(meta["dtype"]).itemsize
     print(f"ratio      : {original / len(blob):.2f}x")
     print("sections   :")
@@ -591,7 +613,8 @@ def _cmd_bench(args) -> int:
 
     if args.bench_command == "compare":
         report = compare_records(
-            load_record(args.old), load_record(args.new), args.cmp_profile
+            load_record(args.old), load_record(args.new), args.cmp_profile,
+            gate_stages=args.gate_stages,
         )
         if args.as_json:
             print(json.dumps(report.to_json(), indent=2))
@@ -616,7 +639,8 @@ def _cmd_bench(args) -> int:
             )
     if args.baseline is None:
         return 0
-    report = compare_records(load_record(args.baseline), record, args.cmp_profile)
+    report = compare_records(load_record(args.baseline), record, args.cmp_profile,
+                             gate_stages=args.gate_stages)
     if args.as_json:
         print(json.dumps(report.to_json(), indent=2))
     else:

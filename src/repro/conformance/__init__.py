@@ -34,6 +34,8 @@ from .corpus import (
     make_field,
 )
 from .metamorphic import (
+    check_decode_serial_parallel_identity,
+    check_decoder_agreement,
     check_eb_monotonicity,
     check_order_invariance,
     check_recompression_idempotence,
@@ -59,4 +61,6 @@ __all__ = [
     "check_order_invariance",
     "check_rel_scale_covariance",
     "check_serial_parallel_identity",
+    "check_decoder_agreement",
+    "check_decode_serial_parallel_identity",
 ]

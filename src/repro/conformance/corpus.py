@@ -3,7 +3,7 @@
 Every vector is a tiny archive (16--64-element field) produced by one point
 of the format matrix
 
-    {format v1, v2} x {single, blocks, pwrel} x
+    {format v1, v2, v3} x {single, blocks, pwrel} x
     {huffman, rle, rle+vle, huffman+lz} x {f4, f8} x {1D, 2D, 3D}
 
 The single-field container carries the full workflow/dtype/dimensionality
@@ -74,7 +74,7 @@ _DICT_SIZE = 64
 class VectorSpec:
     """One point of the conformance matrix (fully determines the bytes)."""
 
-    version: int  # archive format version: 1 or 2
+    version: int  # archive format version: 1, 2 or 3
     container: str  # "single" | "blocks" | "pwrel"
     workflow: str  # "huffman" | "rle" | "rle+vle" | "huffman+lz"
     dtype: str  # "f4" | "f8"
@@ -115,7 +115,7 @@ class VectorSpec:
 def _full_cross(container: str) -> list[VectorSpec]:
     return [
         VectorSpec(version=v, container=container, workflow=wf, dtype=dt, ndim=nd)
-        for v in (1, 2)
+        for v in (1, 2, 3)
         for wf in ("huffman", "rle", "rle+vle", "huffman+lz")
         for dt in ("f4", "f8")
         for nd in (1, 2, 3)
@@ -126,7 +126,7 @@ def _axis_cover(container: str) -> list[VectorSpec]:
     """Cover every workflow, dtype and ndim for ``container`` without the
     full cross product (the inner archives reuse the single-field layout)."""
     specs = []
-    for v in (1, 2):
+    for v in (1, 2, 3):
         for wf in ("huffman", "rle", "rle+vle", "huffman+lz"):
             specs.append(VectorSpec(version=v, container=container, workflow=wf,
                                     dtype="f4", ndim=2))

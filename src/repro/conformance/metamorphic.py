@@ -17,7 +17,12 @@ corpus cannot (the corpus pins bytes; these pin behavior):
   the resolved bound exactly and reproduces the exact scaled reconstruction
   (quant codes are scale-free under a value-range-relative bound);
 * **serial/parallel identity** -- a ``jobs=N`` engine produces the same
-  container bytes as the serial path.
+  container bytes as the serial path;
+* **decoder agreement** -- the two-level LUT decoder, the lockstep
+  ``searchsorted`` decoder, and the bit-by-bit sequential reference decode
+  every Huffman stream of an archive to byte-identical symbols;
+* **decode serial/parallel identity** -- ``decompress(jobs=N)`` over a
+  format-v3 indexed payload reconstructs the byte-identical array.
 
 ``tests/test_conformance_metamorphic.py`` parametrizes these across all
 four workflows and all three container kinds.
@@ -40,6 +45,8 @@ __all__ = [
     "check_order_invariance",
     "check_rel_scale_covariance",
     "check_serial_parallel_identity",
+    "check_decoder_agreement",
+    "check_decode_serial_parallel_identity",
 ]
 
 
@@ -199,3 +206,65 @@ def check_serial_parallel_identity(
     serial = compress_blocks(field, config, max_block_bytes=block_bytes, jobs=1)
     parallel = compress_blocks(field, config, max_block_bytes=block_bytes, jobs=jobs)
     assert parallel == serial, f"jobs={jobs} container diverged from serial bytes"
+
+
+def check_decoder_agreement(
+    field: np.ndarray, config: CompressorConfig, container: str = "single"
+) -> None:
+    """The LUT, lockstep, and sequential Huffman decoders agree exactly.
+
+    Encodes the field's quant-code stream -- the very symbols the archive
+    carries under ``config`` -- through both payload layouts (dense v1/v2
+    and byte-aligned v3 with sync points) and decodes each with all three
+    decoders.  All six reconstructions must be byte-identical to the
+    symbols that went in; any divergence means one decoder misreads a
+    bitstream the others accept.
+    """
+    from ..core.dual_quant import quantize_field
+    from ..engine.cache import cached_codebook, cached_histogram
+    from ..encoding.huffman_codec import (
+        decode,
+        decode_lockstep,
+        decode_sequential,
+        encode,
+    )
+
+    bundle, _ = quantize_field(np.asarray(field), config)
+    symbols = bundle.quant.reshape(-1)
+    book = cached_codebook(cached_histogram(symbols, config.dict_size))
+    out_dtype = symbols.dtype
+    for aligned in (False, True):
+        encoded = encode(symbols, book, config.huffman_chunk, aligned=aligned)
+        layout = "aligned" if aligned else "dense"
+        lut = decode(encoded, book, out_dtype=out_dtype)
+        lockstep = decode_lockstep(encoded, book, out_dtype=out_dtype)
+        sequential = decode_sequential(encoded, book, out_dtype=out_dtype)
+        assert lut.tobytes() == symbols.tobytes(), (
+            f"LUT decoder diverged on the {layout} payload"
+        )
+        assert lockstep.tobytes() == symbols.tobytes(), (
+            f"lockstep decoder diverged on the {layout} payload"
+        )
+        assert sequential.tobytes() == symbols.tobytes(), (
+            f"sequential decoder diverged on the {layout} payload"
+        )
+
+
+def check_decode_serial_parallel_identity(
+    field: np.ndarray, config: CompressorConfig, container: str = "single",
+    jobs: int = 2,
+) -> None:
+    """``decompress(jobs=N)`` reconstructs byte-identical output.
+
+    Format v3 carries per-chunk sync points, so a parallel decode splits
+    the payload into independently decoded chunk groups; regardless of the
+    split the concatenated result must match the serial decode bit-for-bit
+    (not merely within the error bound).
+    """
+    blob, serial, _ = roundtrip(field, config, container)
+    parallel = decompress(blob, jobs=jobs)
+    assert serial.dtype == parallel.dtype and serial.shape == parallel.shape
+    np.testing.assert_array_equal(
+        parallel, serial,
+        err_msg=f"jobs={jobs} decode diverged from the serial reconstruction",
+    )

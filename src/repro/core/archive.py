@@ -7,13 +7,20 @@ honest: ``CR = original_bytes / len(archive)`` includes codebooks, chunk
 metadata, outliers, and the header itself (the paper's Table IV note about
 chunkwise metadata overhead).
 
-Format **v2** (the default) adds verifiable framing: the header records the
+Format **v2** adds verifiable framing: the header records the
 whole-archive byte count and a checksum algorithm id, every section-table
 entry carries a checksum of its payload, and a digest of the header +
 section table follows the table.  A flipped bit or truncated payload is
 therefore detected *before* it reaches Huffman decode and raises a typed
 :class:`IntegrityError`/:class:`ArchiveError` instead of silently decoding
-to garbage.  Format v1 archives (no checksums) remain readable.
+to garbage.
+
+Format **v3** (the default) keeps the v2 container byte layout unchanged --
+only the header's version field differs -- and signals *indexed Huffman
+payloads*: every Huffman chunk starts at a byte boundary and a sync-point
+section (``<prefix>.idx``, per-chunk byte offsets) accompanies each
+bitstream, so chunk groups decode independently and in parallel
+(arXiv:2201.09118's gap array).  v1 and v2 archives remain readable.
 
 The layout is deliberately explicit (struct-packed, little-endian) rather
 than pickle/JSON so archives are portable and their size is deterministic.
@@ -34,7 +41,7 @@ from .integrity import ALGO_NAMES, DEFAULT_ALGO, checksum
 __all__ = ["ArchiveBuilder", "ArchiveReader", "MAGIC", "VERSION", "pinned_format"]
 
 MAGIC = b"RPRSZP1\x00"
-VERSION = 2
+VERSION = 3
 
 #: v1 layout: header (magic, version, n_sections) + per-section
 #: (name, dtype, length) entries + concatenated payloads.
@@ -73,7 +80,7 @@ def pinned_format(version: int | None = None, checksum_algo: int | None = None):
     host happens to have installed.  Engine workers inherit the pin because
     jobs run in a copy of the submitting context.
     """
-    if version is not None and version not in (1, 2):
+    if version is not None and version not in (1, 2, 3):
         raise ArchiveError(f"cannot pin archive version {version}")
     if checksum_algo is not None and checksum_algo not in ALGO_NAMES:
         raise ArchiveError(f"unknown checksum algorithm id {checksum_algo}")
@@ -110,8 +117,10 @@ class _Section:
 class ArchiveBuilder:
     """Accumulate named sections and serialize to one byte blob.
 
-    Writes format v2 by default; ``version=1`` produces the legacy
-    checksum-free layout (compatibility tests, size experiments).  Arguments
+    Writes format v3 by default; ``version=2`` keeps the same checksummed
+    container without the indexed-payload marker, ``version=1`` produces the
+    legacy checksum-free layout (compatibility tests, size experiments).
+    Arguments
     left as ``None`` honor an enclosing :func:`pinned_format` context before
     falling back to ``VERSION`` / the environment's default checksum.
     """
@@ -122,7 +131,7 @@ class ArchiveBuilder:
             version = pin_version if pin_version is not None else VERSION
         if checksum_algo is None:
             checksum_algo = pin_algo
-        if version not in (1, 2):
+        if version not in (1, 2, 3):
             raise ArchiveError(f"cannot write archive version {version}")
         algo = DEFAULT_ALGO if checksum_algo is None else checksum_algo
         if algo not in ALGO_NAMES:
@@ -131,6 +140,12 @@ class ArchiveBuilder:
         self._algo = algo
         self._sections: list[_Section] = []
         self._names: set[str] = set()
+
+    @property
+    def version(self) -> int:
+        """The format version this builder writes (producers branch on it:
+        >= 3 means Huffman payloads are emitted indexed/byte-aligned)."""
+        return self._version
 
     def add_bytes(self, name: str, payload: bytes) -> "ArchiveBuilder":
         """Add an untyped byte section."""
@@ -207,7 +222,7 @@ class ArchiveBuilder:
 class ArchiveReader:
     """Parse an archive blob and expose sections by name.
 
-    Reads v1 and v2.  For v2 the constructor validates framing (declared
+    Reads v1, v2 and v3.  For v2/v3 the constructor validates framing (declared
     total size) and the header/table digest; each section's payload checksum
     is validated on first access (:meth:`get_bytes` / :meth:`get_array`), and
     :meth:`verify_all` forces validation of every section up front.
@@ -228,7 +243,9 @@ class ArchiveReader:
         self._verified: set[str] = set()
         if version == 1:
             self._parse_v1(blob)
-        elif version == 2:
+        elif version in (2, 3):
+            # v3 shares the v2 container layout byte-for-byte; the version
+            # field only signals indexed (byte-aligned) Huffman payloads.
             self._parse_v2(blob)
         else:
             raise ArchiveError(f"unsupported archive version {version}")

@@ -364,7 +364,7 @@ def sniff_container(blob: bytes) -> str:
     )
 
 
-def decompress(blob: bytes) -> np.ndarray:
+def decompress(blob: bytes, jobs: int | None = None, engine=None) -> np.ndarray:
     """Reconstruct the original-shaped array from any archive blob.
 
     This is the single front door: it sniffs the container kind (single
@@ -372,23 +372,37 @@ def decompress(blob: bytes) -> np.ndarray:
     the section manifest and dispatches accordingly.  Malformed blobs raise
     :class:`ArchiveError` with a hint, never a bare ``struct.error``.  For
     per-stage timings use :func:`decompress_with_stats`.
+
+    ``jobs=N`` decodes in parallel on a transient
+    :class:`~repro.engine.CompressionEngine` -- across blocks for a
+    multi-block container, across byte-aligned chunk groups for a single
+    format-v3 archive (v1/v2 payloads have no sync points and decode
+    serially).  ``engine=`` reuses a caller-owned pool instead.  The output
+    is identical to the serial decode regardless of worker count.
     """
-    return decompress_with_stats(blob).data
+    return decompress_with_stats(blob, jobs=jobs, engine=engine).data
 
 
-def decompress_with_stats(blob: bytes) -> DecompressionResult:
+def decompress_with_stats(
+    blob: bytes, jobs: int | None = None, engine=None
+) -> DecompressionResult:
     """Like :func:`decompress`, returning the array plus stage reporting."""
+    own_engine = None
+    if engine is None and jobs is not None and jobs > 1:
+        from ..engine.core import CompressionEngine
+
+        engine = own_engine = CompressionEngine(jobs=jobs)
     try:
         kind = sniff_container(blob)
         if kind == "pwrel":
             from .pwrel import decompress_pwrel_with_stats
 
-            return decompress_pwrel_with_stats(blob)
+            return decompress_pwrel_with_stats(blob, engine=engine)
         if kind == "blocks":
             from .streaming import decompress_blocks_with_stats
 
-            return decompress_blocks_with_stats(blob)
-        return _decompress_impl(ArchiveReader(blob), blob)
+            return decompress_blocks_with_stats(blob, engine=engine)
+        return _decompress_impl(ArchiveReader(blob), blob, engine=engine)
     except struct.error as exc:
         # Belt and braces: structured parsing is length-checked everywhere,
         # but a raw struct.error must never leak to the caller.
@@ -396,9 +410,14 @@ def decompress_with_stats(blob: bytes) -> DecompressionResult:
             f"archive metadata malformed ({exc}); the blob is likely "
             "truncated or corrupt"
         ) from None
+    finally:
+        if own_engine is not None:
+            own_engine.shutdown(wait=True)
 
 
-def _decompress_impl(reader: ArchiveReader, blob: bytes) -> DecompressionResult:
+def _decompress_impl(
+    reader: ArchiveReader, blob: bytes, engine=None
+) -> DecompressionResult:
     with tel.span("decompress", bytes_in=len(blob)) as root:
         with tel.span("archive_read", bytes_in=len(blob)):
             meta = _unpack_meta(reader.get_bytes("meta"))
@@ -414,11 +433,13 @@ def _decompress_impl(reader: ArchiveReader, blob: bytes) -> DecompressionResult:
         with tel.span("decode", workflow=meta["workflow"]) as sp:
             if meta["workflow"] in ("huffman", "huffman+lz"):
                 flat = read_huffman_sections(
-                    reader, n, meta["huffman_chunk"], out_dtype=quant_dtype
+                    reader, n, meta["huffman_chunk"], out_dtype=quant_dtype,
+                    engine=engine,
                 )
             else:
                 flat = read_rle_sections(
-                    reader, n, meta["n_runs"], config, quant_dtype=quant_dtype
+                    reader, n, meta["n_runs"], config, quant_dtype=quant_dtype,
+                    engine=engine,
                 )
             sp.set(bytes_out=int(flat.nbytes))
         if flat.size != n:
@@ -528,12 +549,14 @@ class Compressor:
         return compress(data, self.config, **overrides)
 
     @staticmethod
-    def decompress(blob: bytes) -> np.ndarray:
-        return decompress(blob)
+    def decompress(blob: bytes, jobs: int | None = None, engine=None) -> np.ndarray:
+        return decompress(blob, jobs=jobs, engine=engine)
 
     @staticmethod
-    def decompress_with_stats(blob: bytes) -> DecompressionResult:
-        return decompress_with_stats(blob)
+    def decompress_with_stats(
+        blob: bytes, jobs: int | None = None, engine=None
+    ) -> DecompressionResult:
+        return decompress_with_stats(blob, jobs=jobs, engine=engine)
 
     # -- blocks, batches, streams ------------------------------------------
 

@@ -260,12 +260,13 @@ def flip_bit(blob: bytes, bit_index: int) -> bytes:
 
 
 def _v2_table_span(blob: bytes) -> tuple[int, int, int]:
-    """(table_offset, entry_size, n_sections) of a v2 archive's section table."""
+    """(table_offset, entry_size, n_sections) of a v2/v3 archive's section
+    table (v3 shares the v2 container layout)."""
     from .archive import _ENTRY_V2, _HEADER_V2, MAGIC
 
     magic, version, n_sections = struct.unpack_from("<8sHI", blob, 0)
-    if magic != MAGIC or version != 2:
-        raise ArchiveError("not a v2 archive")
+    if magic != MAGIC or version not in (2, 3):
+        raise ArchiveError("not a v2/v3 archive")
     return _HEADER_V2.size, _ENTRY_V2.size, n_sections
 
 

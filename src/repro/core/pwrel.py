@@ -157,7 +157,7 @@ def decompress_pwrel(blob: bytes) -> np.ndarray:
     return decompress_pwrel_with_stats(blob).data
 
 
-def decompress_pwrel_with_stats(blob: bytes) -> DecompressionResult:
+def decompress_pwrel_with_stats(blob: bytes, engine=None) -> DecompressionResult:
     """Invert the pwrel container, returning per-stage reporting too."""
     from .compressor import decompress_with_stats
 
@@ -171,7 +171,7 @@ def decompress_pwrel_with_stats(blob: bytes) -> DecompressionResult:
             is_f64 = raw_meta[16] == 1
             out_dtype = np.float64 if is_f64 else np.float32
 
-        inner = decompress_with_stats(reader.get_bytes("pw.inner"))
+        inner = decompress_with_stats(reader.get_bytes("pw.inner"), engine=engine)
         logs = inner.data
         with tel.span("pwrel_inverse") as sp:
             mags = np.exp(logs.astype(np.float64)).reshape(-1)

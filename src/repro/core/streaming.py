@@ -307,29 +307,65 @@ def decompress_range(blob: bytes, start: int, stop: int) -> np.ndarray:
     return stacked[start - base : stop - base]
 
 
-def decompress_blocks(blob: bytes) -> np.ndarray:
-    """Restore the full field from a multi-block container."""
-    return decompress_blocks_with_stats(blob).data
+def decompress_blocks(
+    blob: bytes, jobs: int | None = None, engine=None
+) -> np.ndarray:
+    """Restore the full field from a multi-block container.
+
+    ``jobs=N`` decodes blocks concurrently on a transient
+    :class:`~repro.engine.CompressionEngine`; ``engine=`` reuses a
+    caller-owned pool.  Blocks are gathered in manifest order, so the
+    output is identical to the serial decode.
+    """
+    return decompress_blocks_with_stats(blob, jobs=jobs, engine=engine).data
 
 
-def decompress_blocks_with_stats(blob: bytes) -> DecompressionResult:
+def decompress_blocks_with_stats(
+    blob: bytes, jobs: int | None = None, engine=None
+) -> DecompressionResult:
     """Restore the full field plus aggregated per-block reporting.
 
     ``workflow``/``predictor`` report the blocks' common value, or
     ``"mixed"`` when the selector chose differently per block; outlier
     counts are summed and ``eb_abs`` is the largest per-block bound (they
     are identical for containers built by :func:`compress_blocks`, which
-    resolves the bound globally).
+    resolves the bound globally).  ``jobs``/``engine`` parallelize across
+    blocks (see :func:`decompress_blocks`).
     """
+    own_engine = None
+    if engine is None and jobs is not None and jobs > 1:
+        from ..engine.core import CompressionEngine
+
+        engine = own_engine = CompressionEngine(jobs=jobs)
+    try:
+        return _decompress_blocks_impl(blob, engine)
+    finally:
+        if own_engine is not None:
+            own_engine.shutdown(wait=True)
+
+
+def _decompress_blocks_impl(blob: bytes, engine) -> DecompressionResult:
     manifest = block_manifest(blob)
     reader = ArchiveReader(blob)
     with tel.span(
         "decompress_blocks", bytes_in=len(blob), n_blocks=manifest.n_blocks
     ) as root:
-        results = [
-            decompress_with_stats(reader.get_bytes(f"blk{k}"))
-            for k in range(manifest.n_blocks)
-        ]
+        if engine is not None and getattr(engine, "jobs", 1) > 1 and manifest.n_blocks > 1:
+            # One engine job per block, gathered in manifest order.  Workers
+            # decode their block serially (chunk-group fan-out from inside a
+            # worker would deadlock a saturated pool), which is the right
+            # granularity anyway: blocks outnumber cores long before chunk
+            # groups do.
+            futures = [
+                engine.run(decompress_with_stats, reader.get_bytes(f"blk{k}"))
+                for k in range(manifest.n_blocks)
+            ]
+            results = [f.result() for f in futures]
+        else:
+            results = [
+                decompress_with_stats(reader.get_bytes(f"blk{k}"), engine=engine)
+                for k in range(manifest.n_blocks)
+            ]
         out = np.concatenate([r.data for r in results], axis=0)
         if out.shape != manifest.shape:
             raise ArchiveError(

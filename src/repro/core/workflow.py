@@ -19,12 +19,21 @@ import numpy as np
 
 from .. import telemetry as tel
 from ..encoding.huffman import CanonicalCodebook
-from ..encoding.huffman_codec import HuffmanEncoded, decode as huff_decode, encode as huff_encode
-from ..engine.cache import cached_codebook, cached_histogram
+from ..encoding.huffman_codec import (
+    HuffmanEncoded,
+    decode as huff_decode,
+    encode as huff_encode,
+    split_chunk_groups,
+)
+from ..engine.cache import cached_codebook, cached_decode_table, cached_histogram
 from ..encoding.rle import RunLengthEncoded, rle_decode, rle_encode
 from .archive import ArchiveBuilder, ArchiveReader
 from .config import CompressorConfig
 from .errors import ArchiveError
+
+#: Fewest chunks per decode group worth a worker dispatch: below this the
+#: submit/context-copy overhead outweighs the parallel decode win.
+_MIN_CHUNKS_PER_GROUP = 4
 
 __all__ = [
     "emit_huffman_sections",
@@ -35,7 +44,7 @@ __all__ = [
 
 
 def _huffman_encode_stream(
-    symbols: np.ndarray, alphabet_size: int, chunk_size: int
+    symbols: np.ndarray, alphabet_size: int, chunk_size: int, aligned: bool = False
 ) -> tuple[CanonicalCodebook, HuffmanEncoded, float]:
     """Histogram -> codebook -> chunked encode; returns (book, stream, ⟨b⟩).
 
@@ -43,13 +52,16 @@ def _huffman_encode_stream(
     inside an engine worker (:func:`repro.engine.cache.cache_scope`) blocks
     with a previously-seen quant-code distribution skip tree construction;
     outside an engine the hooks fall through to direct computation.
+
+    ``aligned`` emits the format-v3 indexed payload (byte-aligned chunks
+    with recorded sync points).
     """
     with tel.span("huffman.histogram", bytes_in=int(symbols.nbytes)):
         freqs = cached_histogram(symbols, alphabet_size)
     with tel.span("huffman.codebook"):
         book = cached_codebook(freqs)
     with tel.span("huffman.encode", bytes_in=int(symbols.nbytes)) as sp:
-        encoded = huff_encode(symbols, book, chunk_size)
+        encoded = huff_encode(symbols, book, chunk_size, aligned=aligned)
         sp.set(bytes_out=int(encoded.payload_bytes))
     return book, encoded, book.average_bit_length(freqs)
 
@@ -65,6 +77,8 @@ def _add_huffman_group(
     builder.add_bytes(f"{prefix}.cb", raw_book)
     builder.add_array(f"{prefix}.bits", encoded.payload)
     builder.add_array(f"{prefix}.cbits", encoded.chunk_bits)
+    if encoded.chunk_offsets is not None:
+        builder.add_array(f"{prefix}.idx", encoded.chunk_offsets)
 
 
 def _huffman_group_bytes(book_bytes: bytes, encoded: HuffmanEncoded) -> int:
@@ -88,7 +102,9 @@ def emit_huffman_sections(
     """
     from ..encoding.lz77 import lz_compress
 
-    book, encoded, avg_bitlen = _huffman_encode_stream(symbols, alphabet_size, chunk_size)
+    book, encoded, avg_bitlen = _huffman_encode_stream(
+        symbols, alphabet_size, chunk_size, aligned=builder.version >= 3
+    )
     stats = {
         "avg_bitlen": avg_bitlen,
         "payload_bytes": float(encoded.payload_bytes),
@@ -102,6 +118,8 @@ def emit_huffman_sections(
             builder.add_bytes(f"{prefix}.cb", book.serialized())
             builder.add_bytes(f"{prefix}.lz", packed)
             builder.add_array(f"{prefix}.cbits", encoded.chunk_bits)
+            if encoded.chunk_offsets is not None:
+                builder.add_array(f"{prefix}.idx", encoded.chunk_offsets)
             stats["lz_bytes"] = float(len(packed))
             return stats
         stats["lz_skipped"] = 1.0
@@ -116,8 +134,16 @@ def read_huffman_sections(
     prefix: str = "q",
     out_dtype=np.uint16,
     sparse_codebook: bool = False,
+    engine=None,
 ) -> np.ndarray:
-    """Decode a Huffman section group written by :func:`emit_huffman_sections`."""
+    """Decode a Huffman section group written by :func:`emit_huffman_sections`.
+
+    ``engine`` (a :class:`~repro.engine.core.CompressionEngine`) fans the
+    decode out across workers when the stream carries sync points
+    (``<prefix>.idx``, format v3): chunk groups are self-contained, decode
+    concurrently, and are concatenated in submission order -- the output is
+    byte-identical to the serial decode.
+    """
     raw_book = reader.get_bytes(f"{prefix}.cb")
     if sparse_codebook:
         book = CanonicalCodebook.deserialized_sparse(raw_book)
@@ -134,16 +160,51 @@ def read_huffman_sections(
     else:
         payload = reader.get_array(f"{prefix}.bits")
     chunk_bits = reader.get_array(f"{prefix}.cbits")
+    chunk_offsets = None
+    if reader.has(f"{prefix}.idx"):
+        chunk_offsets = reader.get_array(f"{prefix}.idx")
+        # Sync points are derivable from the chunk bit lengths; cross-check
+        # them so a corrupted offset fails loudly instead of desynchronizing
+        # a chunk group.
+        byte_lens = (chunk_bits.astype(np.int64) + 7) >> 3
+        expected = np.concatenate(([0], np.cumsum(byte_lens)[:-1]))
+        if chunk_offsets.size != chunk_bits.size or not np.array_equal(
+            chunk_offsets.astype(np.int64), expected
+        ):
+            raise ArchiveError(
+                f"section {prefix}.idx: sync points disagree with chunk bit lengths"
+            )
     encoded = HuffmanEncoded(
         payload=payload,
         chunk_bits=chunk_bits,
         n_symbols=n_symbols,
         chunk_size=chunk_size,
+        chunk_offsets=chunk_offsets,
     )
+    table = cached_decode_table(book)
     with tel.span("huffman.decode", bytes_in=int(payload.nbytes)) as sp:
-        out = huff_decode(encoded, book, out_dtype=out_dtype)
+        out = _decode_stream(encoded, book, out_dtype, table, engine)
         sp.set(bytes_out=int(out.nbytes))
     return out
+
+
+def _decode_stream(encoded, book, out_dtype, table, engine):
+    """Serial decode, or sync-point-parallel decode when an engine is given."""
+    n_chunks = int(encoded.chunk_bits.size)
+    if (
+        engine is None
+        or encoded.chunk_offsets is None
+        or n_chunks < 2 * _MIN_CHUNKS_PER_GROUP
+        or getattr(engine, "jobs", 1) < 2
+    ):
+        return huff_decode(encoded, book, out_dtype=out_dtype, table=table)
+    n_groups = min(engine.jobs, n_chunks // _MIN_CHUNKS_PER_GROUP)
+    groups = split_chunk_groups(encoded, n_groups)
+    futures = [
+        engine.run(huff_decode, g, book, out_dtype=out_dtype, table=table)
+        for g in groups
+    ]
+    return np.concatenate([f.result() for f in futures])
 
 
 def emit_rle_sections(
@@ -170,7 +231,8 @@ def emit_rle_sections(
         # outright, so VLE only replaces raw when it actually shrinks.
         with tel.span("rle.vle_values", bytes_in=int(rle.values.nbytes)):
             book, encoded, avg_bitlen = _huffman_encode_stream(
-                rle.values, config.dict_size, config.huffman_chunk
+                rle.values, config.dict_size, config.huffman_chunk,
+                aligned=builder.version >= 3,
             )
         if _huffman_group_bytes(book.serialized(), encoded) < rle.values.nbytes:
             _add_huffman_group(builder, "rv", book, encoded)
@@ -186,7 +248,8 @@ def emit_rle_sections(
         length_alphabet = int(np.iinfo(rle.lengths.dtype).max) + 1
         with tel.span("rle.vle_lengths", bytes_in=int(rle.lengths.nbytes)):
             lbook, lencoded, lavg = _huffman_encode_stream(
-                rle.lengths.astype(np.uint32), length_alphabet, config.huffman_chunk
+                rle.lengths.astype(np.uint32), length_alphabet, config.huffman_chunk,
+                aligned=builder.version >= 3,
             )
         if _huffman_group_bytes(lbook.serialized_sparse(), lencoded) < rle.lengths.nbytes:
             _add_huffman_group(builder, "rl", lbook, lencoded, sparse_codebook=True)
@@ -205,6 +268,7 @@ def read_rle_sections(
     n_runs: int,
     config: CompressorConfig,
     quant_dtype=np.uint16,
+    engine=None,
 ) -> np.ndarray:
     """Invert :func:`emit_rle_sections` back to the flat quant stream."""
     if reader.has("r.len"):
@@ -213,6 +277,7 @@ def read_rle_sections(
         lengths = read_huffman_sections(
             reader, n_runs, config.huffman_chunk, prefix="rl",
             out_dtype=np.dtype(config.rle_length_dtype), sparse_codebook=True,
+            engine=engine,
         )
     if lengths.size != n_runs:
         raise ArchiveError(
@@ -222,7 +287,8 @@ def read_rle_sections(
         values = reader.get_array("r.val")
     else:
         values = read_huffman_sections(
-            reader, n_runs, config.huffman_chunk, prefix="rv", out_dtype=quant_dtype
+            reader, n_runs, config.huffman_chunk, prefix="rv", out_dtype=quant_dtype,
+            engine=engine,
         )
     rle = RunLengthEncoded(values=values, lengths=lengths, n_symbols=n_symbols)
     with tel.span("rle.decode", bytes_in=int(values.nbytes + lengths.nbytes)) as sp:

@@ -21,7 +21,13 @@ import numpy as np
 
 from ..core.errors import CodebookOverflowError, EncodingError
 
-__all__ = ["CanonicalCodebook", "build_code_lengths", "build_codebook"]
+__all__ = [
+    "CanonicalCodebook",
+    "DecodeTable",
+    "build_code_lengths",
+    "build_codebook",
+    "build_decode_table",
+]
 
 
 def build_code_lengths(freqs: np.ndarray) -> np.ndarray:
@@ -147,6 +153,11 @@ class CanonicalCodebook:
             raise EncodingError(f"sparse codebook: implausible alphabet {alphabet}")
         if symbols.size and int(symbols.max()) >= int(alphabet):
             raise EncodingError("sparse codebook: symbol outside its alphabet")
+        if np.unique(symbols).size != symbols.size:
+            # Last-write-wins scatter would silently drop entries, yielding a
+            # codebook whose length table no longer matches the serialized
+            # bytes -- a crafted archive must fail loudly instead.
+            raise EncodingError("sparse codebook: duplicate symbol entries")
         lengths = np.zeros(int(alphabet), dtype=np.uint8)
         lengths[symbols.astype(np.int64)] = lens
         return _from_lengths(lengths)
@@ -167,10 +178,15 @@ class CanonicalCodebook:
         present = np.flatnonzero(
             np.bincount(self.lengths[self.lengths > 0], minlength=self.max_length + 1)
         )
-        boundaries = np.array(
-            [int(self.first_code[L]) << (peek_width - int(L)) for L in present],
-            dtype=np.int64,
-        )
+        shifted = [int(self.first_code[L]) << (peek_width - int(L)) for L in present]
+        if any(b >= 1 << 63 for b in shifted):
+            # Cannot happen for a per-level-valid table (first_code[L] <
+            # 2**L and peek_width <= 63), but a guard beats an int64
+            # overflow for pathological near-63-bit codebooks.
+            raise EncodingError(
+                f"codebook too deep for a {peek_width}-bit decode boundary table"
+            )
+        boundaries = np.array(shifted, dtype=np.int64)
         return boundaries, present.astype(np.int64), self.first_index[present].astype(np.int64)
 
 
@@ -196,12 +212,16 @@ def _from_lengths(lengths: np.ndarray) -> CanonicalCodebook:
     code = 0
     index = 0
     for L in range(1, max_len + 1):
+        # Per-level Kraft check *before* the int64 store: a table that is
+        # over-full at an intermediate level (e.g. three 1-bit codes plus a
+        # deep tail) would otherwise push ``code`` past 2**63 and crash with
+        # an uncaught OverflowError instead of a typed error.
+        if code + int(counts[L]) > (1 << L):
+            raise EncodingError("invalid (over-full) canonical length table")
         first_code[L] = code
         first_index[L] = index
         code = (code + int(counts[L])) << 1
         index += int(counts[L])
-    if (first_code[max_len] + counts[max_len]) > (1 << max_len):
-        raise EncodingError("invalid (over-full) canonical length table")
     # Assign per-symbol codes.
     codes = np.zeros(lengths.size, dtype=np.uint64)
     within = np.arange(sorted_symbols.size, dtype=np.int64) - first_index[sorted_lengths]
@@ -219,6 +239,136 @@ def _from_lengths(lengths: np.ndarray) -> CanonicalCodebook:
 def build_codebook(freqs: np.ndarray) -> CanonicalCodebook:
     """Build a canonical codebook straight from a frequency histogram."""
     return _from_lengths(build_code_lengths(freqs))
+
+
+#: Fast-level index width bounds: at least 12 bits so highly-compressible
+#: streams pack many short codes per window, at most 14 to bound the dense
+#: table at 16 Ki entries.  Books whose longest code fits the window get no
+#: slow level at all.
+_FAST_BITS_MIN = 12
+_FAST_BITS_MAX = 14
+
+#: Max symbols resolved by a single fast-table hit.
+_MAX_PACK = 8
+
+
+@dataclass
+class DecodeTable:
+    """Two-level lookup table for canonical-Huffman decoding.
+
+    The *fast* level is a dense table indexed by the top ``fast_bits`` of
+    the peeked window.  Canonical codes of the same length are consecutive,
+    so left-aligned at ``fast_bits`` they tile a prefix of the table; each
+    entry resolves every whole codeword inside the window -- up to
+    ``max_pack`` symbols with their cumulative bit lengths -- in one gather.
+    Entries whose window starts a code longer than ``fast_bits`` carry
+    ``nsym == 0`` and fall through to the *slow* level, a compact
+    ``searchsorted`` boundary table restricted to the long code lengths
+    (the pre-existing lockstep decode path, now only for rare codes).
+
+    Attributes
+    ----------
+    fast_bits:
+        Fast-level index width F (bits peeked per fast step).
+    max_pack:
+        Symbol capacity K of one fast entry.
+    nsym:
+        ``(2**F,)`` whole codewords resolved by each entry (0 = slow path).
+    syms:
+        ``(2**F, K)`` decoded symbols (columns past ``nsym`` are padding).
+    cumlen:
+        ``(2**F, K)`` bits consumed after the first ``k + 1`` symbols.
+    slow_boundaries / slow_lengths / slow_bias:
+        ``decode_boundaries``-style tables covering only lengths > F,
+        left-aligned at ``max_length`` (all empty when every code fits).
+    """
+
+    fast_bits: int
+    max_pack: int
+    nsym: np.ndarray
+    syms: np.ndarray
+    cumlen: np.ndarray
+    slow_boundaries: np.ndarray
+    slow_lengths: np.ndarray
+    slow_bias: np.ndarray
+
+    @property
+    def has_slow_level(self) -> bool:
+        return bool(self.slow_boundaries.size)
+
+
+def build_decode_table(book: CanonicalCodebook, fast_bits: int | None = None) -> DecodeTable:
+    """Build the two-level decode table for ``book``.
+
+    Built once per codebook (and cached through the engine's
+    :class:`~repro.engine.cache.QuantCache` by the archive read path); the
+    construction is fully vectorized over the table.
+    """
+    if fast_bits is None:
+        fast_bits = min(max(book.max_length, _FAST_BITS_MIN), _FAST_BITS_MAX)
+    if not 1 <= fast_bits <= 24:
+        raise EncodingError(f"fast table width must be 1..24, got {fast_bits}")
+    F = int(fast_bits)
+    size = 1 << F
+    sorted_lengths = book.lengths[book.sorted_symbols].astype(np.int64)
+
+    # Fast level, one symbol deep: canonical codes of length L <= F,
+    # left-aligned at F bits, tile [0, S) contiguously in canonical order.
+    short = sorted_lengths <= F
+    ssym = book.sorted_symbols[short].astype(np.int32)
+    slen = sorted_lengths[short]
+    spans = (np.int64(1) << (F - slen)).astype(np.int64)
+    coverage = int(spans.sum())
+    sym1 = np.zeros(size, dtype=np.int32)
+    len1 = np.zeros(size, dtype=np.uint8)
+    sym1[:coverage] = np.repeat(ssym, spans)
+    len1[:coverage] = np.repeat(slen, spans)
+
+    # Pack follow-on symbols: a window's remaining bits (zero-extended) are
+    # themselves a fast-table index, and a candidate continuation is real
+    # exactly when its code length fits the bits actually peeked.
+    K = _MAX_PACK
+    nsym = (len1 > 0).astype(np.uint8)
+    syms = np.zeros((size, K), dtype=np.int32)
+    cumlen = np.zeros((size, K), dtype=np.uint8)
+    syms[:, 0] = sym1
+    cumlen[:, 0] = len1
+    tot = len1.astype(np.int64)
+    v = np.arange(size, dtype=np.int64)
+    for k in range(1, K):
+        alive = nsym == k
+        if not alive.any():
+            break
+        rem = (v << tot) & (size - 1)
+        ln2 = len1[rem].astype(np.int64)
+        can = alive & (ln2 > 0) & (tot + ln2 <= F)
+        if not can.any():
+            break
+        syms[can, k] = sym1[rem[can]]
+        tot[can] += ln2[can]
+        cumlen[can, k] = tot[can]
+        nsym[can] += 1
+
+    if book.max_length > F:
+        boundaries, lengths_per_bucket, bias = book.decode_boundaries(book.max_length)
+        deep = lengths_per_bucket > F
+        slow_boundaries = boundaries[deep]
+        slow_lengths = lengths_per_bucket[deep]
+        slow_bias = bias[deep]
+    else:
+        slow_boundaries = np.zeros(0, dtype=np.int64)
+        slow_lengths = np.zeros(0, dtype=np.int64)
+        slow_bias = np.zeros(0, dtype=np.int64)
+    return DecodeTable(
+        fast_bits=F,
+        max_pack=K,
+        nsym=nsym,
+        syms=syms,
+        cumlen=cumlen,
+        slow_boundaries=slow_boundaries,
+        slow_lengths=slow_lengths,
+        slow_bias=slow_bias,
+    )
 
 
 def lookup_codes(book: CanonicalCodebook, symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -5,12 +5,21 @@ cuSZ Huffman-encodes quant-codes in fixed-size chunks and then "deflates"
 length.  The chunk structure is not an implementation detail -- it is what
 makes GPU decoding parallel: each thread decodes one chunk independently.
 
-The decoder here mirrors that execution model exactly.  Instead of looping
-over symbols within a chunk, it runs *lockstep across chunks*: every chunk
-keeps a bit cursor, and at step ``k`` all active chunks decode their ``k``-th
-symbol simultaneously with vectorized peeks + ``searchsorted`` over the
-canonical code boundaries.  The number of Python-level iterations equals the
-chunk size, not the stream length -- the same work-depth as the GPU kernel.
+The primary decoder (:func:`decode`) runs *lockstep across chunks* like the
+GPU kernel, but resolves symbols through a two-level canonical lookup table
+(:class:`~repro.encoding.huffman.DecodeTable`): one gather of the dense
+fast level yields up to ``max_pack`` whole symbols and their cumulative bit
+lengths, so the number of Python-level steps is the chunk size divided by
+the per-window packing factor.  Codes longer than the fast index fall back
+to a compact ``searchsorted`` over the long-code boundaries -- the same
+value-based rule the previous per-step decoder (:func:`decode_lockstep`,
+kept as a reference) applies to every symbol.
+
+Format v3 archives byte-align every chunk ("indexed payload"): the encoder
+pads each chunk to a byte boundary and records per-chunk byte offsets
+(``chunk_offsets``), the gap-array sync points of arXiv:2201.09118.  Chunks
+then decode independently -- :func:`split_chunk_groups` partitions a stream
+into self-contained sub-streams for parallel workers.
 
 A plain sequential decoder is provided as the correctness reference.
 """
@@ -22,10 +31,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.errors import EncodingError
-from .bitio import pack_codes, peek_bits, peek_bits_prepadded, unpack_to_bits
-from .huffman import CanonicalCodebook, lookup_codes
+from .bitio import (
+    pack_codes,
+    pack_codes_at,
+    peek_bits,
+    peek_bits_prepadded,
+    unpack_to_bits,
+)
+from .huffman import CanonicalCodebook, DecodeTable, build_decode_table, lookup_codes
 
-__all__ = ["HuffmanEncoded", "encode", "decode", "decode_sequential"]
+__all__ = [
+    "HuffmanEncoded",
+    "encode",
+    "decode",
+    "decode_lockstep",
+    "decode_sequential",
+    "split_chunk_groups",
+]
+
+#: Longest code the packed word-at-a-time peek can read; deeper books use
+#: the bit-array fallback inside :func:`decode_lockstep`.
+_PACKED_PEEK_MAX = 56
 
 
 @dataclass
@@ -35,19 +61,26 @@ class HuffmanEncoded:
     Attributes
     ----------
     payload:
-        Dense bitstream bytes (chunks concatenated with no padding).
+        Dense bitstream bytes.  Without ``chunk_offsets`` the chunks are
+        concatenated with no padding; with them every chunk starts at a
+        byte boundary (format v3's indexed payload).
     chunk_bits:
         Bit length of each chunk's sub-stream (the deflate metadata).
     n_symbols:
         Total number of encoded symbols.
     chunk_size:
         Symbols per chunk (last chunk may be short).
+    chunk_offsets:
+        Per-chunk byte offsets into ``payload`` (``uint64``), or ``None``
+        for the dense v1/v2 layout.  These are the sync points that let
+        chunks decode independently.
     """
 
     payload: np.ndarray
     chunk_bits: np.ndarray
     n_symbols: int
     chunk_size: int
+    chunk_offsets: np.ndarray | None = None
 
     @property
     def total_bits(self) -> int:
@@ -59,25 +92,51 @@ class HuffmanEncoded:
 
     @property
     def metadata_bytes(self) -> int:
-        """Bytes of deflate metadata (per-chunk bit lengths as uint32)."""
-        return int(self.chunk_bits.size) * 4
+        """Bytes of deflate metadata (per-chunk bit lengths as uint32, plus
+        the sync-point offsets as uint64 for the indexed layout)."""
+        n_chunks = int(self.chunk_bits.size)
+        return n_chunks * 4 + (n_chunks * 8 if self.chunk_offsets is not None else 0)
 
 
-def encode(symbols: np.ndarray, book: CanonicalCodebook, chunk_size: int) -> HuffmanEncoded:
-    """Encode a symbol stream into a deflated chunked Huffman bitstream."""
+def encode(
+    symbols: np.ndarray,
+    book: CanonicalCodebook,
+    chunk_size: int,
+    aligned: bool = False,
+) -> HuffmanEncoded:
+    """Encode a symbol stream into a deflated chunked Huffman bitstream.
+
+    ``aligned`` pads every chunk to a byte boundary and records the
+    per-chunk byte offsets (the format-v3 indexed payload); the default
+    dense layout concatenates chunks with no padding.
+    """
     symbols = np.asarray(symbols).reshape(-1)
     if symbols.size == 0:
         raise EncodingError("cannot Huffman-encode an empty stream")
     if chunk_size < 1:
         raise EncodingError(f"chunk_size must be >= 1, got {chunk_size}")
     codes, lengths = lookup_codes(book, symbols)
-    packed, total_bits = pack_codes(codes, lengths)
     # Per-chunk bit lengths: sum of code lengths within each chunk.
     n_chunks = (symbols.size + chunk_size - 1) // chunk_size
     ends = np.cumsum(lengths.astype(np.int64))
     chunk_last = np.minimum(np.arange(1, n_chunks + 1) * chunk_size, symbols.size) - 1
     chunk_end_bits = ends[chunk_last]
     chunk_bits = np.diff(np.concatenate(([0], chunk_end_bits))).astype(np.uint32)
+    if aligned:
+        byte_lens = (chunk_bits.astype(np.int64) + 7) >> 3
+        offsets = np.concatenate(([0], np.cumsum(byte_lens)[:-1]))
+        chunk_of = np.arange(symbols.size, dtype=np.int64) // chunk_size
+        within = (ends - lengths) - np.concatenate(([0], chunk_end_bits[:-1]))[chunk_of]
+        starts = offsets[chunk_of] * 8 + within
+        packed = pack_codes_at(codes, lengths, starts, int(byte_lens.sum()) * 8)
+        return HuffmanEncoded(
+            payload=packed,
+            chunk_bits=chunk_bits,
+            n_symbols=int(symbols.size),
+            chunk_size=int(chunk_size),
+            chunk_offsets=offsets.astype(np.uint64),
+        )
+    packed, total_bits = pack_codes(codes, lengths)
     assert int(chunk_bits.sum()) == total_bits
     return HuffmanEncoded(
         payload=packed,
@@ -87,12 +146,149 @@ def encode(symbols: np.ndarray, book: CanonicalCodebook, chunk_size: int) -> Huf
     )
 
 
-def decode(encoded: HuffmanEncoded, book: CanonicalCodebook, out_dtype=np.uint16) -> np.ndarray:
-    """Decode lockstep-across-chunks (the GPU execution model, vectorized).
+def _chunk_layout(encoded: HuffmanEncoded) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validated (start_bits, chunk_bits, per_chunk_symbols) for a stream."""
+    chunk_bits = encoded.chunk_bits.astype(np.int64)
+    n_chunks = int(chunk_bits.size)
+    expected_chunks = -(-encoded.n_symbols // encoded.chunk_size)
+    if n_chunks != expected_chunks:
+        raise EncodingError(
+            f"corrupt Huffman stream: {n_chunks} chunks recorded, "
+            f"{expected_chunks} expected"
+        )
+    if encoded.chunk_offsets is not None:
+        offsets = np.asarray(encoded.chunk_offsets, dtype=np.int64)
+        if offsets.size != n_chunks:
+            raise EncodingError(
+                "corrupt Huffman stream: sync-point count mismatch"
+            )
+        if offsets.size and (int(offsets[0]) != 0 or np.any(np.diff(offsets) < 0)):
+            raise EncodingError("corrupt Huffman stream: unordered sync points")
+        starts = offsets * 8
+    else:
+        starts = np.concatenate(([0], np.cumsum(chunk_bits)[:-1]))
+    bit_limit = encoded.payload_bytes * 8
+    if n_chunks and int((starts + chunk_bits).max()) > bit_limit:
+        raise EncodingError("corrupt Huffman stream: chunk span outside payload")
+    per_chunk = np.full(n_chunks, encoded.chunk_size, dtype=np.int64)
+    if n_chunks:
+        per_chunk[-1] = encoded.n_symbols - encoded.chunk_size * (n_chunks - 1)
+    return starts, chunk_bits, per_chunk
 
-    Every chunk is an independent decode thread; step ``k`` advances all
-    cursors by one symbol using a single peek + ``searchsorted`` over the
-    canonical boundaries.
+
+def decode(
+    encoded: HuffmanEncoded,
+    book: CanonicalCodebook,
+    out_dtype=np.uint16,
+    table: DecodeTable | None = None,
+) -> np.ndarray:
+    """Decode via the two-level lookup table (the fast path).
+
+    Every chunk is an independent decode thread advancing in lockstep; one
+    fast-table gather resolves up to ``table.max_pack`` symbols per chunk
+    per step.  ``table`` is built from ``book`` when not supplied (the
+    archive read path passes a cached one).
+    """
+    n = encoded.n_symbols
+    if n == 0:
+        return np.zeros(0, dtype=out_dtype)
+    if book.max_length > _PACKED_PEEK_MAX:
+        # Pathological (>56-bit) books: the fast window cannot hold a whole
+        # long code; use the reference lockstep decoder's bit-array path.
+        return decode_lockstep(encoded, book, out_dtype=out_dtype)
+    if table is None:
+        table = build_decode_table(book)
+    starts, chunk_bits, per_chunk = _chunk_layout(encoded)
+    n_chunks = starts.size
+    payload = np.asarray(encoded.payload, dtype=np.uint8)
+    bit_limit = payload.size * 8
+    padded = np.concatenate([payload, np.zeros(8, dtype=np.uint8)])
+    # Big-endian 32-bit window at every byte offset: one gather + one shift
+    # peeks the fast index at any bit phase (fast_bits <= 24).
+    pb = padded.astype(np.uint32)
+    win = (
+        (pb[:-3] << np.uint32(24))
+        | (pb[1:-2] << np.uint32(16))
+        | (pb[2:-1] << np.uint32(8))
+        | pb[3:]
+    )
+    F = table.fast_bits
+    K = table.max_pack
+    W = book.max_length
+    fast_shift = np.int64(32 - F)
+    fast_mask = np.int64((1 << F) - 1)
+    koff = np.arange(K, dtype=np.int64)
+    nsym_tab, syms_tab, cumlen_tab = table.nsym, table.syms, table.cumlen
+    first_code, sorted_symbols = book.first_code, book.sorted_symbols
+
+    # Per-chunk scratch rows padded by K: a fast hit writes all K candidate
+    # symbols unconditionally; columns past the accepted count are junk that
+    # the next step (or the final trim) overwrites.
+    row_w = encoded.chunk_size + K
+    scratch = np.empty(n_chunks * row_w, dtype=out_dtype)
+    cursors = starts.copy()
+    exp_end = starts + chunk_bits
+    budget = per_chunk.copy()
+    dst = np.arange(n_chunks, dtype=np.int64) * row_w
+
+    while cursors.size:
+        v = (win[cursors >> 3] >> (fast_shift - (cursors & 7))) & fast_mask
+        ns = nsym_tab[v].astype(np.int64)
+        slow = ns == 0
+        any_slow = bool(slow.any())
+        scratch[dst[:, None] + koff] = syms_tab[v]
+        allowed = np.minimum(np.maximum(ns, 1), budget)
+        consumed = cumlen_tab[v, allowed - 1].astype(np.int64)
+        if any_slow:
+            # Rare long codes (or corrupt windows): value-based decode at
+            # full peek width, restricted to the lengths > fast_bits.
+            if not table.has_slow_level:
+                raise EncodingError(
+                    "corrupt Huffman stream: value below first code"
+                )
+            pos = cursors[slow]
+            vw = peek_bits_prepadded(padded, np.minimum(pos, bit_limit), W)
+            bucket = np.searchsorted(table.slow_boundaries, vw, side="right") - 1
+            if bucket.size and int(bucket.min()) < 0:
+                raise EncodingError(
+                    "corrupt Huffman stream: value below first code"
+                )
+            lens = table.slow_lengths[bucket]
+            idx = (vw >> (W - lens)) - first_code[lens] + table.slow_bias[bucket]
+            if idx.size and (
+                int(idx.max()) >= sorted_symbols.size or int(idx.min()) < 0
+            ):
+                raise EncodingError(
+                    "corrupt Huffman stream: symbol index out of range"
+                )
+            scratch[dst[slow]] = sorted_symbols[idx].astype(out_dtype)
+            consumed[slow] = lens
+        cursors = np.minimum(cursors + consumed, bit_limit)
+        dst += allowed
+        budget -= allowed
+        if int(budget.min()) == 0:
+            done = budget == 0
+            if not np.array_equal(cursors[done], exp_end[done]):
+                raise EncodingError(
+                    "corrupt Huffman stream: chunk length mismatch"
+                )
+            keep = ~done
+            cursors = cursors[keep]
+            exp_end = exp_end[keep]
+            budget = budget[keep]
+            dst = dst[keep]
+
+    return scratch.reshape(n_chunks, row_w)[:, : encoded.chunk_size].reshape(-1)[:n]
+
+
+def decode_lockstep(
+    encoded: HuffmanEncoded, book: CanonicalCodebook, out_dtype=np.uint16
+) -> np.ndarray:
+    """Decode one symbol per chunk per step (the previous primary decoder).
+
+    Kept as the table-free reference: every step advances all cursors by
+    one symbol with a single peek + ``searchsorted`` over the canonical
+    boundaries.  The metamorphic suite pins :func:`decode` against it.
     """
     n = encoded.n_symbols
     if n == 0:
@@ -101,7 +297,7 @@ def decode(encoded: HuffmanEncoded, book: CanonicalCodebook, out_dtype=np.uint16
     # Word-at-a-time peeks straight from the packed stream when the longest
     # code fits the 64-bit window; pathological (>56-bit) books fall back to
     # the bit-array path.
-    if width <= 56:
+    if width <= _PACKED_PEEK_MAX:
         padded = np.concatenate(
             [np.asarray(encoded.payload, dtype=np.uint8), np.zeros(8, dtype=np.uint8)]
         )
@@ -109,7 +305,9 @@ def decode(encoded: HuffmanEncoded, book: CanonicalCodebook, out_dtype=np.uint16
         def peek(pos):
             return peek_bits_prepadded(padded, pos, width)
     else:
-        bits = unpack_to_bits(encoded.payload, encoded.total_bits)
+        bits = unpack_to_bits(
+            encoded.payload, encoded.payload_bytes * 8
+        )
 
         def peek(pos):
             return peek_bits(bits, pos, width)
@@ -117,12 +315,9 @@ def decode(encoded: HuffmanEncoded, book: CanonicalCodebook, out_dtype=np.uint16
     first_code = book.first_code
     sorted_symbols = book.sorted_symbols
 
-    chunk_bits = encoded.chunk_bits.astype(np.int64)
-    cursors = np.concatenate(([0], np.cumsum(chunk_bits)[:-1]))
+    starts, chunk_bits, per_chunk = _chunk_layout(encoded)
+    cursors = starts.copy()
     n_chunks = cursors.size
-    # Symbols each chunk must produce.
-    per_chunk = np.full(n_chunks, encoded.chunk_size, dtype=np.int64)
-    per_chunk[-1] = n - encoded.chunk_size * (n_chunks - 1)
     out = np.empty(n, dtype=out_dtype)
     out_base = np.arange(n_chunks, dtype=np.int64) * encoded.chunk_size
 
@@ -145,8 +340,7 @@ def decode(encoded: HuffmanEncoded, book: CanonicalCodebook, out_dtype=np.uint16
         cursors[active] = pos + lens
         step += 1
     # Every cursor must land exactly on its chunk's end bit.
-    expected_ends = np.cumsum(chunk_bits)
-    if not np.array_equal(cursors, expected_ends):
+    if not np.array_equal(cursors, starts + chunk_bits):
         raise EncodingError("corrupt Huffman stream: chunk length mismatch")
     return out
 
@@ -155,7 +349,8 @@ def decode_sequential(
     encoded: HuffmanEncoded, book: CanonicalCodebook, out_dtype=np.uint16
 ) -> np.ndarray:
     """Bit-by-bit reference decoder (slow; for validation only)."""
-    bits = unpack_to_bits(encoded.payload, encoded.total_bits)
+    bits = unpack_to_bits(encoded.payload, encoded.payload_bytes * 8)
+    starts, _, per_chunk = _chunk_layout(encoded)
     out = np.empty(encoded.n_symbols, dtype=out_dtype)
     lengths = book.lengths
     codes = book.codes
@@ -164,18 +359,60 @@ def decode_sequential(
         (int(lengths[s]), int(codes[s])): int(s)
         for s in np.flatnonzero(lengths > 0)
     }
-    pos = 0
-    for i in range(encoded.n_symbols):
-        acc = 0
-        ln = 0
-        while True:
-            acc = (acc << 1) | int(bits[pos])
-            pos += 1
-            ln += 1
-            sym = table.get((ln, acc))
-            if sym is not None:
-                out[i] = sym
-                break
-            if ln > book.max_length:
-                raise EncodingError("corrupt Huffman stream (sequential decode)")
+    i = 0
+    for c in range(starts.size):
+        pos = int(starts[c])
+        for _ in range(int(per_chunk[c])):
+            acc = 0
+            ln = 0
+            while True:
+                acc = (acc << 1) | int(bits[pos])
+                pos += 1
+                ln += 1
+                sym = table.get((ln, acc))
+                if sym is not None:
+                    out[i] = sym
+                    i += 1
+                    break
+                if ln > book.max_length:
+                    raise EncodingError("corrupt Huffman stream (sequential decode)")
     return out
+
+
+def split_chunk_groups(encoded: HuffmanEncoded, n_groups: int) -> list[HuffmanEncoded]:
+    """Partition an indexed stream into independent contiguous sub-streams.
+
+    Requires ``chunk_offsets`` (the format-v3 sync points): each group's
+    payload slice starts at its first chunk's byte offset, so every group
+    is a fully self-contained :class:`HuffmanEncoded` that decodes on its
+    own worker.  Concatenating the groups' outputs in order reproduces the
+    serial decode exactly.
+    """
+    if encoded.chunk_offsets is None:
+        raise EncodingError("cannot split a stream without sync points")
+    offsets = np.asarray(encoded.chunk_offsets, dtype=np.int64)
+    n_chunks = int(offsets.size)
+    n_groups = max(1, min(int(n_groups), n_chunks))
+    edges = np.linspace(0, n_chunks, n_groups + 1, dtype=np.int64)
+    payload = np.asarray(encoded.payload, dtype=np.uint8)
+    groups = []
+    for g in range(n_groups):
+        a, b = int(edges[g]), int(edges[g + 1])
+        if a == b:
+            continue
+        byte0 = int(offsets[a])
+        byte1 = int(offsets[b]) if b < n_chunks else payload.size
+        if b < n_chunks:
+            n_sub = (b - a) * encoded.chunk_size
+        else:
+            n_sub = encoded.n_symbols - a * encoded.chunk_size
+        groups.append(
+            HuffmanEncoded(
+                payload=payload[byte0:byte1],
+                chunk_bits=encoded.chunk_bits[a:b],
+                n_symbols=int(n_sub),
+                chunk_size=encoded.chunk_size,
+                chunk_offsets=(offsets[a:b] - byte0).astype(np.uint64),
+            )
+        )
+    return groups

@@ -33,7 +33,12 @@ from contextvars import ContextVar
 import numpy as np
 
 from ..encoding.histogram import histogram as _histogram
-from ..encoding.huffman import CanonicalCodebook, build_codebook
+from ..encoding.huffman import (
+    CanonicalCodebook,
+    DecodeTable,
+    build_codebook,
+    build_decode_table,
+)
 
 __all__ = [
     "QuantCache",
@@ -42,6 +47,7 @@ __all__ = [
     "cache_scope",
     "cached_histogram",
     "cached_codebook",
+    "cached_decode_table",
 ]
 
 #: The cache visible to the current context (engine workers), if any.
@@ -94,6 +100,7 @@ class QuantCache:
         self._lock = threading.Lock()
         self._books: OrderedDict[bytes, CanonicalCodebook] = OrderedDict()
         self._hists: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self._tables: OrderedDict[bytes, DecodeTable] = OrderedDict()
         self.stats = CacheStats()
 
     # -- internal LRU plumbing ---------------------------------------------
@@ -148,6 +155,24 @@ class QuantCache:
             self._record(hit=True)
         return freqs
 
+    def decode_table_for(self, book: CanonicalCodebook) -> DecodeTable:
+        """The two-level decode table for a codebook, built at most once.
+
+        Keyed on the length table alone -- it fully determines the canonical
+        codes, hence the decode table.  Decoding many blocks (or chunk
+        groups) of one archive reuses a single table.
+        """
+        lengths = np.ascontiguousarray(book.lengths, dtype=np.uint8)
+        key = _fingerprint(lengths.tobytes(), lengths.size)
+        table = self._get(self._tables, key)
+        if table is None:
+            table = build_decode_table(book)
+            self._put(self._tables, key, table)
+            self._record(hit=False)
+        else:
+            self._record(hit=True)
+        return table
+
     @staticmethod
     def _record(hit: bool) -> None:
         from ..telemetry import instruments as ins
@@ -164,10 +189,11 @@ class QuantCache:
         with self._lock:
             self._books.clear()
             self._hists.clear()
+            self._tables.clear()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._books) + len(self._hists)
+            return len(self._books) + len(self._hists) + len(self._tables)
 
 
 def active_cache() -> QuantCache | None:
@@ -199,3 +225,11 @@ def cached_codebook(freqs: np.ndarray) -> CanonicalCodebook:
     if cache is None:
         return build_codebook(freqs)
     return cache.codebook_for(freqs)
+
+
+def cached_decode_table(book: CanonicalCodebook) -> DecodeTable:
+    """Decode table via the active cache, or a direct build without one."""
+    cache = _ACTIVE.get()
+    if cache is None:
+        return build_decode_table(book)
+    return cache.decode_table_for(book)

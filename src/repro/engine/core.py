@@ -200,11 +200,26 @@ class CompressionEngine:
         open telemetry span in the caller becomes the parent of the worker's
         ``compress`` span, and ``telemetry.scope`` overrides propagate).
         """
-        if self._closed:
-            raise ConfigError("engine is shut down; create a new CompressionEngine")
         cfg = config or self.config
         if overrides:
             cfg = cfg.with_(**overrides)
+        return self._schedule(compress, data, cfg)
+
+    def run(self, fn, *args, **kwargs) -> "Future":
+        """Schedule an arbitrary callable on the worker pool.
+
+        The decode-side counterpart of :meth:`submit`: the callable runs
+        under the engine's shared cache (so decode tables built for one
+        chunk group or block are reused by the next), inside a copy of the
+        submitting context, with the same backpressure, ordering, and
+        accounting guarantees.  ``decompress(jobs=...)`` uses this to fan
+        chunk groups and blocks out across workers.
+        """
+        return self._schedule(fn, *args, **kwargs)
+
+    def _schedule(self, fn, *args, **kwargs) -> "Future":
+        if self._closed:
+            raise ConfigError("engine is shut down; create a new CompressionEngine")
         # Backpressure: block the producer, not memory -- and account for
         # how long it blocked, the saturation signal the scaling report
         # and ledger surface.
@@ -218,7 +233,7 @@ class CompressionEngine:
         ctx = contextvars.copy_context()
         self._note_depth(+1)
         try:
-            return self._pool.submit(self._run_job, ctx, data, cfg)
+            return self._pool.submit(ctx.run, self._call_in_ctx, fn, args, kwargs)
         except BaseException:
             self._slots.release()
             self._note_depth(-1)
@@ -244,20 +259,15 @@ class CompressionEngine:
 
     # -- worker side --------------------------------------------------------
 
-    def _run_job(
-        self, ctx: contextvars.Context, data: np.ndarray, cfg: CompressorConfig
-    ) -> CompressionResult:
+    def _call_in_ctx(self, fn, args, kwargs):
         # The whole job -- including the completion accounting -- runs in the
         # submit-time context copy, so a caller's telemetry scope override
         # governs the engine counters too, not just the inner spans.
-        return ctx.run(self._run_in_ctx, data, cfg)
-
-    def _run_in_ctx(self, data: np.ndarray, cfg: CompressorConfig) -> CompressionResult:
         wall0 = time.perf_counter()
         cpu0 = time.thread_time()
         try:
             with cache_scope(self.cache):
-                return compress(data, cfg)
+                return fn(*args, **kwargs)
         finally:
             wall = time.perf_counter() - wall0
             cpu = time.thread_time() - cpu0

@@ -47,7 +47,7 @@ class TestUntampered:
     def test_clean_archive_verifies_and_decodes(self, producer_archives, producer):
         blob, decode = producer_archives[producer]
         report = verify_archive(blob, deep=True)
-        assert report.version == 2
+        assert report.version == 3
         out = decode(blob)
         assert np.isfinite(out).all()
 
@@ -133,6 +133,62 @@ class TestTableMutations:
             builder.add_bytes(name, raw)
         with pytest.raises(ArchiveError):
             verify_archive(builder.to_bytes())
+
+
+class TestSparseCodebookMutations:
+    """Duplicate-entry sparse codebooks must fail typed, not decode wrong.
+
+    The sparse serialization scatters ``(symbol, length)`` pairs into a
+    dense table; a crafted duplicate pair used to be silently last-write-
+    wins, yielding a codebook that disagrees with its own serialized bytes.
+    """
+
+    def _sparse_archive(self):
+        # Plateaus with two alternating widths: the quant stream becomes
+        # long same-code runs whose few distinct lengths make the sparse
+        # VLE length codebook (section ``rl.cb``) win over raw storage.
+        n_runs = 3000
+        lens = np.where(np.arange(n_runs) % 3 == 0, 30, 33)
+        vals = (np.arange(n_runs) % 8).astype(np.float32)
+        field = np.repeat(vals, lens)
+        blob = repro.compress(
+            field, eb=1e-2, eb_mode="abs", workflow="rle+vle"
+        ).archive
+        assert ArchiveReader(blob).has("rl.cb")
+        return blob
+
+    @staticmethod
+    def _with_duplicate_entry(raw: bytes) -> bytes:
+        symbols = np.frombuffer(raw[8:], dtype=np.uint32, count=int(
+            np.frombuffer(raw[4:8], dtype=np.uint32)[0]
+        )).copy()
+        symbols[1] = symbols[0]
+        return raw[:8] + symbols.tobytes() + raw[8 + symbols.nbytes:]
+
+    def test_unit_duplicate_symbol_entries_rejected(self):
+        from repro.core.errors import EncodingError
+        from repro.encoding.huffman import CanonicalCodebook, build_codebook
+
+        freqs = np.zeros(500, dtype=np.int64)
+        freqs[[3, 70, 200]] = [5, 3, 2]
+        raw = build_codebook(freqs).serialized_sparse()
+        with pytest.raises(EncodingError, match="duplicate symbol"):
+            CanonicalCodebook.deserialized_sparse(self._with_duplicate_entry(raw))
+
+    def test_archive_with_duplicated_entry_fails_loudly(self):
+        blob = self._sparse_archive()
+        reader = ArchiveReader(blob)
+        builder = ArchiveBuilder()
+        for name in reader.names():
+            raw = reader.get_bytes(name)
+            if name == "rl.cb":
+                raw = self._with_duplicate_entry(raw)
+            builder.add_bytes(name, raw)
+        bad = builder.to_bytes()
+        with pytest.raises(ReproError):
+            repro.decompress(bad)
+        with pytest.raises(ReproError):
+            verify_archive(bad, deep=True)
 
 
 class TestTelemetryCounters:

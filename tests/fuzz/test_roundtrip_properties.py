@@ -60,7 +60,7 @@ def test_compress_roundtrip_verifies_and_bounds(
     result = repro.compress(field, eb=10.0**eb_exp, eb_mode=eb_mode, workflow=workflow)
 
     report = verify_archive(result.archive, deep=True)
-    assert report.version == 2
+    assert report.version == 3
 
     out = repro.decompress(result.archive)
     assert out.shape == field.shape
@@ -142,7 +142,7 @@ def test_pwrel_roundtrip_verifies_and_bounds(
     result = repro.compress(field, eb=eb, eb_mode="pwrel", workflow=workflow)
 
     report = verify_archive(result.archive, deep=True)
-    assert report.version == 2
+    assert report.version == 3
     assert report.kind == "pwrel"
 
     out = repro.decompress(result.archive)

@@ -188,6 +188,50 @@ class TestRegressionDetector:
         assert "no regressions" in compare_records(rec, rec).render()
         assert set(PROFILES) == {"default", "ci"}
 
+    def test_gated_stage_ignores_min_seconds_floor(self):
+        old = fixture_record("old")
+        for result in old["results"]:
+            for summary in result["timing"].values():
+                for k in ("mean", "min", "max", "stdev"):
+                    summary[k] *= 1e-3  # under the floor: normally demoted
+        new = copy.deepcopy(old)
+        for result in new["results"]:
+            for summary in result["timing"].values():
+                for k in ("mean", "min", "max"):
+                    summary[k] *= 10.0
+        assert compare_records(old, new).ok  # ungated: info only
+        report = compare_records(old, new, gate_stages=["compress_total"])
+        assert not report.ok
+        assert any(r.metric == "compress_total" and r.status == "regression"
+                   for r in report.rows)
+
+    def test_gated_stage_missing_from_either_record_is_a_regression(self):
+        old = fixture_record("old")
+        for result in old["results"]:
+            timing = result["timing"]
+            timing["other_stage"] = copy.deepcopy(timing["compress_total"])
+        new = copy.deepcopy(old)
+        del new["results"][0]["timing"]["compress_total"]
+        report = compare_records(old, new, gate_stages=["compress_total"])
+        assert not report.ok
+        assert any(r.metric == "compress_total" and r.status == "missing"
+                   for r in report.rows)
+        # Same stage absent ungated: informational only.
+        assert compare_records(old, new).ok
+        # A gate naming a stage neither record has must fail, not no-op.
+        assert not compare_records(old, new, gate_stages=["no.such.stage"]).ok
+
+    def test_gated_improvement_still_passes(self):
+        old = fixture_record("old")
+        new = copy.deepcopy(old)
+        for result in new["results"]:
+            for summary in result["timing"].values():
+                for k in ("mean", "min", "max"):
+                    summary[k] *= 0.2
+        report = compare_records(old, new, gate_stages=["compress_total"])
+        assert report.ok
+        assert any(r.status == "improved" for r in report.rows)
+
 
 class TestProfiler:
     def test_profile_scenario_folds_and_kernels(self):
@@ -261,6 +305,28 @@ class TestBenchCli:
         assert rc == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False and payload["n_regressions"] >= 1
+
+    def test_bench_compare_gate_stage_flag(self, tmp_path, capsys):
+        old = fixture_record("old")
+        for result in old["results"]:
+            for summary in result["timing"].values():
+                for k in ("mean", "min", "max", "stdev"):
+                    summary[k] *= 1e-3  # below the min-seconds floor
+        new = copy.deepcopy(old)
+        new["label"] = "new"
+        for result in new["results"]:
+            for summary in result["timing"].values():
+                for k in ("mean", "min", "max"):
+                    summary[k] *= 10.0
+        old_path = write_record(old, tmp_path)
+        new_path = write_record(new, tmp_path)
+        # Without the gate the sub-floor stages are informational only.
+        assert main(["bench", "compare", str(old_path), str(new_path)]) == 0
+        capsys.readouterr()
+        rc = main(["bench", "compare", str(old_path), str(new_path),
+                   "--gate-stage", "compress_total"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
 
     def test_bench_compare_rejects_invalid_record(self, tmp_path, capsys):
         bad = tmp_path / "BENCH_bad.json"

@@ -6,7 +6,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.errors import EncodingError
-from repro.encoding.bitio import bits_to_bytes, pack_codes, peek_bits, unpack_to_bits
+from repro.encoding.bitio import (
+    bits_to_bytes,
+    pack_codes,
+    pack_codes_at,
+    peek_bits,
+    unpack_to_bits,
+)
 
 
 class TestPackCodes:
@@ -85,6 +91,58 @@ class TestPeekBits:
     def test_unpack_bounds_check(self):
         with pytest.raises(EncodingError):
             unpack_to_bits(np.zeros(1, dtype=np.uint8), 9)
+
+    def test_empty_stream_returns_zeros(self):
+        # Regression: the clamped gather (`bits[min(idx, n-1)]`) indexed at
+        # -1 on an empty stream and raised IndexError; an empty stream is
+        # all padding, so every window must read as zero.
+        vals = peek_bits(np.zeros(0, dtype=np.uint8), np.array([0, 3, 11]), 5)
+        np.testing.assert_array_equal(vals, [0, 0, 0])
+
+    def test_empty_stream_empty_positions(self):
+        vals = peek_bits(np.zeros(0, dtype=np.uint8), np.zeros(0, dtype=np.int64), 7)
+        assert vals.size == 0
+
+
+class TestPackCodesAt:
+    def test_dense_starts_match_pack_codes(self):
+        rng = np.random.default_rng(1)
+        lengths = rng.integers(1, 24, 64)
+        codes = np.array(
+            [rng.integers(0, 1 << int(l)) for l in lengths], dtype=np.uint64
+        )
+        dense, total = pack_codes(codes, lengths)
+        starts = np.cumsum(lengths) - lengths
+        scattered = pack_codes_at(codes, lengths, starts, total)
+        np.testing.assert_array_equal(scattered, dense)
+
+    def test_gap_bits_stay_zero(self):
+        # Two one-bit codes of value 1 scattered a byte apart: only the
+        # addressed bits may be set.
+        packed = pack_codes_at(
+            np.array([1, 1], dtype=np.uint64),
+            np.array([1, 1]),
+            np.array([0, 8]),
+            16,
+        )
+        np.testing.assert_array_equal(packed, [0b10000000, 0b10000000])
+
+    def test_span_outside_total_bits_raises(self):
+        with pytest.raises(EncodingError):
+            pack_codes_at(
+                np.array([1], dtype=np.uint64), np.array([4]), np.array([5]), 8
+            )
+        with pytest.raises(EncodingError):
+            pack_codes_at(
+                np.array([1], dtype=np.uint64), np.array([1]), np.array([-1]), 8
+            )
+
+    def test_empty_codes_give_zeroed_buffer(self):
+        packed = pack_codes_at(
+            np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64), 12,
+        )
+        assert packed.size == 2 and not packed.any()
 
 
 class TestPeekBitsPacked:

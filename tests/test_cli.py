@@ -45,6 +45,18 @@ class TestCompressDecompress:
             "--predictor", "regression", "--dict-size", "512",
         ]) == 0
 
+    def test_decompress_jobs_matches_serial(self, field_file, tmp_path, capsys):
+        path, _ = field_file
+        archive = tmp_path / "field.rpsz"
+        serial = tmp_path / "serial.f32"
+        threaded = tmp_path / "threaded.f32"
+        assert main(["compress", str(path), "-o", str(archive),
+                     "--dims", "120", "120", "--eb", "1e-3"]) == 0
+        assert main(["decompress", str(archive), "-o", str(serial)]) == 0
+        assert main(["decompress", str(archive), "-o", str(threaded),
+                     "--jobs", "2"]) == 0
+        assert serial.read_bytes() == threaded.read_bytes()
+
     def test_wrong_dims_fails_cleanly(self, field_file, tmp_path, capsys):
         path, _ = field_file
         rc = main(["compress", str(path), "-o", str(tmp_path / "x.rpsz"),
@@ -135,6 +147,8 @@ class TestJsonOutput:
         assert payload["shape"] == [120, 120]
         assert payload["archive_bytes"] == archive.stat().st_size
         assert sum(payload["section_sizes"].values()) <= payload["archive_bytes"]
+        assert payload["format_version"] == 3
+        assert payload["indexed_payload"] is True
 
     def test_verify_json(self, field_file, tmp_path, capsys):
         path, _ = field_file
@@ -158,6 +172,22 @@ class TestInfoVerify:
         assert "shape      : (120, 120)" in out
         assert "sections" in out
         assert "ratio" in out
+        assert "sync points" in out and "parallel-decodable" in out
+
+    def test_info_v2_archive_reports_no_sync_points(self, field_file, tmp_path,
+                                                    capsys):
+        from repro.core.archive import pinned_format
+
+        path, _ = field_file
+        archive = tmp_path / "f2.rpsz"
+        with pinned_format(version=2):
+            main(["compress", str(path), "-o", str(archive),
+                  "--dims", "120", "120"])
+        capsys.readouterr()
+        assert main(["info", str(archive), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format_version"] == 2
+        assert payload["indexed_payload"] is False
 
     def test_verify_pass(self, field_file, tmp_path, capsys):
         path, _ = field_file
@@ -197,7 +227,7 @@ class TestDeepVerify:
         assert main(["verify", str(archive), "--deep"]) == 0
         out = capsys.readouterr().out
         assert "integrity OK" in out
-        assert "format v2" in out
+        assert "format v3" in out
 
     def test_deep_verify_json(self, field_file, tmp_path, capsys):
         _, archive = self._archive(field_file, tmp_path)
@@ -205,7 +235,7 @@ class TestDeepVerify:
         assert main(["verify", str(archive), "--deep", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is True and payload["deep"] is True
-        assert payload["format_version"] == 2
+        assert payload["format_version"] == 3
         assert payload["sections_checked"] >= 1
 
     def test_deep_verify_detects_corruption(self, field_file, tmp_path, capsys):

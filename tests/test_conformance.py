@@ -48,7 +48,7 @@ class TestCommittedCorpus:
 
     def test_matrix_axes_are_all_covered(self, manifest):
         vectors = manifest["vectors"]
-        assert {v["version"] for v in vectors} == {1, 2}
+        assert {v["version"] for v in vectors} == {1, 2, 3}
         assert {v["container"] for v in vectors} == {"single", "blocks", "pwrel"}
         assert {v["workflow"] for v in vectors} == {
             "huffman", "rle", "rle+vle", "huffman+lz"}
@@ -56,7 +56,7 @@ class TestCommittedCorpus:
         assert {v["ndim"] for v in vectors} == {1, 2, 3}
         # The single-field container carries the full cross product.
         singles = [v for v in vectors if v["container"] == "single"]
-        assert len(singles) == 2 * 4 * 2 * 3
+        assert len(singles) == 3 * 4 * 2 * 3
 
     def test_committed_files_match_manifest_versions(self, manifest):
         for entry in manifest["vectors"]:
@@ -173,13 +173,13 @@ class TestPinnedFormat:
         field = np.linspace(0, 1, 64, dtype=np.float32)
         with pinned_format(version=1):
             v1 = repro.compress(field, eb=1e-3).archive
-        v2 = repro.compress(field, eb=1e-3).archive
+        v3 = repro.compress(field, eb=1e-3).archive
         assert ArchiveReader(v1).version == 1
-        assert ArchiveReader(v2).version == 2
+        assert ArchiveReader(v3).version == 3
 
     def test_pin_validates_inputs(self):
         with pytest.raises(ArchiveError):
-            with pinned_format(version=3):
+            with pinned_format(version=4):
                 pass
         with pytest.raises(ArchiveError):
             with pinned_format(checksum_algo=99):

@@ -10,6 +10,8 @@ import numpy as np
 import pytest
 
 from repro.conformance.metamorphic import (
+    check_decode_serial_parallel_identity,
+    check_decoder_agreement,
     check_eb_monotonicity,
     check_order_invariance,
     check_recompression_idempotence,
@@ -69,6 +71,26 @@ def test_rel_scale_covariance(container, workflow):
 def test_serial_parallel_identity(mode, workflow):
     config = CompressorConfig(eb=1e-3, eb_mode=mode, workflow=workflow, dict_size=256)
     check_serial_parallel_identity(_field_2d(), config, jobs=2)
+
+
+@pytest.mark.parametrize("workflow", WORKFLOWS)
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_decoder_agreement(dtype, workflow):
+    config = CompressorConfig(eb=1e-3, eb_mode="rel", workflow=workflow, dict_size=256)
+    check_decoder_agreement(_field_2d().astype(dtype), config)
+
+
+@pytest.mark.parametrize("workflow", WORKFLOWS)
+@pytest.mark.parametrize("container", CONTAINERS)
+def test_decode_serial_parallel_identity(container, workflow):
+    check_decode_serial_parallel_identity(
+        # Large enough that the single-field container clears the
+        # chunk-group dispatch threshold (>= 8 chunks of 64 symbols).
+        _field_2d(shape=(32, 32)),
+        _config(container, workflow).with_(huffman_chunk=64),
+        container,
+        jobs=2,
+    )
 
 
 def test_idempotence_holds_in_3d():

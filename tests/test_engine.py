@@ -63,6 +63,23 @@ class TestEngineSemantics:
         with pytest.raises(ConfigError, match="shut down"):
             eng.submit(make_field())
 
+    def test_run_schedules_arbitrary_functions(self):
+        with CompressionEngine(jobs=2) as eng:
+            futures = [eng.run(lambda a, b: a + b, i, b=i * 10) for i in range(8)]
+            assert [f.result() for f in futures] == [11 * i for i in range(8)]
+
+    def test_run_executes_under_engine_cache_scope(self):
+        from repro.engine.cache import active_cache
+
+        with CompressionEngine(jobs=1) as eng:
+            assert eng.run(lambda: active_cache() is eng.cache).result()
+
+    def test_run_after_shutdown_raises(self):
+        eng = CompressionEngine(jobs=1)
+        eng.shutdown()
+        with pytest.raises(ConfigError, match="shut down"):
+            eng.run(int)
+
     def test_backpressure_bound_configuration(self):
         with pytest.raises(ConfigError, match="max_inflight"):
             CompressionEngine(jobs=4, max_inflight=2)
@@ -249,6 +266,52 @@ class TestParallelByteIdentity:
             for c in chunks:
                 parallel.append(c)
         assert parallel.container == serial.finish()
+
+
+class TestParallelDecode:
+    """``decompress(jobs=N)`` fans v3 chunk groups / blocks across workers."""
+
+    def _chunky_archive(self):
+        # Small chunks so the single-field stream clears the chunk-group
+        # dispatch threshold and actually splits.
+        field = make_field(7, shape=(64, 64))
+        res = repro.compress(field, eb=1e-3, huffman_chunk=128)
+        return res.archive, field
+
+    def test_jobs_decode_matches_serial(self):
+        blob, _ = self._chunky_archive()
+        serial = repro.decompress(blob)
+        np.testing.assert_array_equal(repro.decompress(blob, jobs=2), serial)
+        np.testing.assert_array_equal(repro.decompress(blob, jobs=4), serial)
+
+    def test_shared_engine_decode_matches_serial(self):
+        blob, _ = self._chunky_archive()
+        serial = repro.decompress(blob)
+        with CompressionEngine(jobs=2) as eng:
+            np.testing.assert_array_equal(
+                repro.decompress(blob, engine=eng), serial
+            )
+            assert not eng.closed  # caller-owned pools are left running
+
+    def test_jobs_decode_blocks_container(self):
+        field = make_field(3)
+        blob = compress_blocks(field, repro.CompressorConfig(eb=1e-3),
+                               max_block_bytes=16_000)
+        np.testing.assert_array_equal(
+            decompress_blocks(blob, jobs=2), decompress_blocks(blob)
+        )
+
+    def test_v2_archive_decodes_serially_under_jobs(self):
+        # Pre-v3 payloads carry no sync points; jobs= must still give the
+        # identical result (serial fallback), not an error.
+        from repro.core.archive import pinned_format
+
+        field = make_field(5)
+        with pinned_format(version=2):
+            blob = repro.compress(field, eb=1e-3, huffman_chunk=128).archive
+        np.testing.assert_array_equal(
+            repro.decompress(blob, jobs=2), repro.decompress(blob)
+        )
 
 
 class TestUnifiedFrontDoor:

@@ -11,9 +11,16 @@ from repro.encoding.huffman import (
     CanonicalCodebook,
     build_code_lengths,
     build_codebook,
+    build_decode_table,
     lookup_codes,
 )
-from repro.encoding.huffman_codec import decode, decode_sequential, encode
+from repro.encoding.huffman_codec import (
+    decode,
+    decode_lockstep,
+    decode_sequential,
+    encode,
+    split_chunk_groups,
+)
 
 
 def random_symbols(rng, n, alphabet, skew=1.5):
@@ -178,3 +185,117 @@ class TestCodecRoundtrip:
         book = build_codebook(np.bincount(syms, minlength=alphabet))
         enc = encode(syms, book, chunk)
         np.testing.assert_array_equal(decode(enc, book), syms)
+
+
+class TestLengthTableValidation:
+    def test_overfull_first_level_rejected(self):
+        # Three 1-bit codes cannot exist; a crafted length table must fail
+        # with a typed error, not assign colliding codewords.
+        with pytest.raises(EncodingError, match="over-full"):
+            CanonicalCodebook.deserialized(bytes([1, 1, 1]))
+
+    def test_overfull_intermediate_level_rejected(self):
+        # Two 1-bit codes fill the tree; any deeper entry overflows level 2.
+        with pytest.raises(EncodingError, match="over-full"):
+            CanonicalCodebook.deserialized(bytes([1, 1, 2, 2, 2]))
+
+    def test_incomplete_table_still_accepted(self):
+        # Under-full (non-Kraft-complete) tables are legal: they decode, the
+        # unused value range is simply never produced by an honest encoder.
+        book = CanonicalCodebook.deserialized(bytes([2, 2, 2]))
+        assert book.max_length == 2
+
+    def test_boundary_table_overflow_guarded(self):
+        # first_code[2] == 2 shifted to a 70-bit peek exceeds int64; the
+        # typed guard must fire instead of an uncaught OverflowError.
+        book = CanonicalCodebook.deserialized(bytes([1, 2, 2]))
+        with pytest.raises(EncodingError, match="too deep"):
+            book.decode_boundaries(70)
+
+    def test_deepest_valid_chain_has_monotone_boundaries(self):
+        # A 63-deep Kraft-complete chain is the worst legal case for the
+        # int64 boundary table: it must build with ascending boundaries.
+        lengths = list(range(1, 63)) + [63, 63]
+        book = CanonicalCodebook.deserialized(bytes(lengths))
+        boundaries, _, _ = book.decode_boundaries(63)
+        assert np.all(np.diff(boundaries) > 0)
+
+
+class TestDeepCodebookFallback:
+    """Books deeper than the 56-bit packed peek use the bit-array path."""
+
+    LENGTHS = list(range(1, 58)) + [58, 58]  # Kraft-complete chain, depth 58
+
+    def _book(self):
+        return CanonicalCodebook.deserialized(bytes(self.LENGTHS))
+
+    def test_decode_falls_back_and_roundtrips(self):
+        book = self._book()
+        assert book.max_length == 58  # deeper than the packed-peek window
+        syms = np.array([0, 1, 0, 57, 58, 2, 0, 0, 1, 56], dtype=np.uint16)
+        enc = encode(syms, book, 3)
+        np.testing.assert_array_equal(decode(enc, book), syms)
+        np.testing.assert_array_equal(decode_lockstep(enc, book), syms)
+        np.testing.assert_array_equal(decode_sequential(enc, book), syms)
+
+    def test_corruption_still_detected_on_fallback_path(self):
+        book = self._book()
+        syms = np.array([0, 57, 0, 58], dtype=np.uint16)
+        enc = encode(syms, book, 2)
+        enc.chunk_bits = enc.chunk_bits.copy()
+        enc.chunk_bits[-1] += 1
+        with pytest.raises(EncodingError):
+            decode(enc, book)
+
+
+class TestAlignedLayout:
+    """Format-v3 indexed payload: byte-aligned chunks with sync points."""
+
+    def _stream(self, n=2000, alphabet=64, chunk=128, seed=21):
+        rng = np.random.default_rng(seed)
+        syms = random_symbols(rng, n, alphabet)
+        book = build_codebook(np.bincount(syms, minlength=alphabet))
+        return syms, book, encode(syms, book, chunk, aligned=True)
+
+    def test_offsets_are_exclusive_byte_cumsum(self):
+        _, _, enc = self._stream()
+        byte_lens = (enc.chunk_bits.astype(np.int64) + 7) >> 3
+        expected = np.concatenate(([0], np.cumsum(byte_lens)[:-1]))
+        np.testing.assert_array_equal(enc.chunk_offsets.astype(np.int64), expected)
+        assert enc.payload_bytes == int(byte_lens.sum())
+
+    def test_all_decoders_agree_on_aligned_payload(self):
+        syms, book, enc = self._stream()
+        table = build_decode_table(book)
+        np.testing.assert_array_equal(decode(enc, book, table=table), syms)
+        np.testing.assert_array_equal(decode_lockstep(enc, book), syms)
+        np.testing.assert_array_equal(decode_sequential(enc, book), syms)
+
+    def test_aligned_metadata_accounts_for_offsets(self):
+        _, _, enc = self._stream()
+        n_chunks = enc.chunk_bits.size
+        assert enc.metadata_bytes == n_chunks * 4 + n_chunks * 8
+
+    @pytest.mark.parametrize("n_groups", [1, 2, 3, 7, 100])
+    def test_split_groups_concat_reproduces_serial(self, n_groups):
+        syms, book, enc = self._stream(n=1111, chunk=64)
+        groups = split_chunk_groups(enc, n_groups)
+        assert len(groups) <= max(1, min(n_groups, enc.chunk_bits.size))
+        parts = [decode(g, book) for g in groups]
+        np.testing.assert_array_equal(np.concatenate(parts), syms)
+
+    def test_split_requires_sync_points(self):
+        rng = np.random.default_rng(5)
+        syms = random_symbols(rng, 500, 16)
+        book = build_codebook(np.bincount(syms, minlength=16))
+        enc = encode(syms, book, 64)  # dense layout, no offsets
+        with pytest.raises(EncodingError, match="sync points"):
+            split_chunk_groups(enc, 2)
+
+    def test_unordered_sync_points_rejected(self):
+        _, book, enc = self._stream()
+        bad = enc.chunk_offsets.astype(np.int64)
+        bad[1], bad[2] = bad[2], bad[1]
+        enc.chunk_offsets = bad.astype(np.uint64)
+        with pytest.raises(EncodingError, match="sync points"):
+            decode(enc, book)

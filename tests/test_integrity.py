@@ -55,10 +55,10 @@ class TestCrc32c:
 
 
 class TestV2Format:
-    def test_default_version_is_2(self):
+    def test_default_version_is_3(self):
         blob = ArchiveBuilder().add_bytes("a", b"x").to_bytes()
         reader = ArchiveReader(blob)
-        assert reader.version == VERSION == 2
+        assert reader.version == VERSION == 3
         assert reader.checksum_algo in (ALGO_CRC32, ALGO_CRC32C)
 
     def test_v1_still_writable_and_readable(self):
@@ -89,7 +89,7 @@ class TestV2Format:
 
     def test_bad_version_rejected(self):
         with pytest.raises(ArchiveError):
-            ArchiveBuilder(version=3)
+            ArchiveBuilder(version=4)
 
     def test_bad_algo_rejected(self):
         with pytest.raises(ArchiveError):
