@@ -13,6 +13,7 @@ from .record import (
 )
 from .regression import PROFILES, ThresholdProfile, compare_records
 from .runner import run_case, run_scenario
+from .scaling import check_scaling_gate, scaling_summary
 from .scenarios import SCENARIOS, BenchCase, Scenario, get_scenario
 
 __all__ = [
@@ -25,6 +26,8 @@ __all__ = [
     "load_record",
     "run_case",
     "run_scenario",
+    "check_scaling_gate",
+    "scaling_summary",
     "BenchCase",
     "Scenario",
     "SCENARIOS",

@@ -14,6 +14,7 @@ files, so additions are fine but renames/removals bump the version.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import statistics
 import subprocess
@@ -132,6 +133,7 @@ def environment_fingerprint() -> dict:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu": _cpu_model(),
+        "cpu_count": os.cpu_count() or 1,
     }
 
 

@@ -94,9 +94,14 @@ def _run_block_case(case: BenchCase, repeats: int) -> dict:
     The trace roots are ``compress_blocks``/``decompress_blocks``; their
     totals are reported under the standard ``compress_total`` /
     ``decompress_total`` keys so regression comparison and throughput math
-    work unchanged across serial and block cases.
+    work unchanged across serial and block cases, and mirrored as
+    ``blocks.compress``/``blocks.decompress`` stages so scaling gates can
+    target the block path by name.  A ``case.backend`` builds a fresh
+    engine per repeat (pool spawn is part of the honest cost) and both the
+    compress and decompress legs run through it.
     """
     from ..core.streaming import compress_blocks, decompress_blocks_with_stats
+    from ..engine.backends import get_executor
 
     field = case.make_field()
     config = CompressorConfig(
@@ -105,12 +110,24 @@ def _run_block_case(case: BenchCase, repeats: int) -> dict:
     block_bytes = case.block_bytes or (64 << 20)
     samples: dict[str, list[float]] = {}
     blob = restored = None
+    engine_snap: dict | None = None
     for _ in range(max(int(repeats), 1)):
-        with tel.scope(True), tel.trace(case.name) as tr:
-            blob = compress_blocks(
-                field, config, max_block_bytes=block_bytes, jobs=case.jobs
-            )
-            restored = decompress_blocks_with_stats(blob)
+        eng = (
+            get_executor(case.backend, jobs=case.jobs, config=config)
+            if case.backend is not None else None
+        )
+        try:
+            with tel.scope(True), tel.trace(case.name) as tr:
+                blob = compress_blocks(
+                    field, config, max_block_bytes=block_bytes,
+                    jobs=case.jobs, backend=eng,
+                )
+                restored = decompress_blocks_with_stats(blob, backend=eng)
+            if eng is not None:
+                engine_snap = eng.diagnostics_snapshot()
+        finally:
+            if eng is not None:
+                eng.shutdown(wait=True)
         raw = {
             **_stage_samples(tr, "compress_blocks"),
             **_stage_samples(tr, "decompress_blocks"),
@@ -121,6 +138,12 @@ def _run_block_case(case: BenchCase, repeats: int) -> dict:
                 "decompress_blocks_total": "decompress_total",
             }.get(stage, stage)
             samples.setdefault(key, []).append(seconds)
+            alias = {
+                "compress_blocks_total": "blocks.compress",
+                "decompress_blocks_total": "blocks.decompress",
+            }.get(stage)
+            if alias:
+                samples.setdefault(alias, []).append(seconds)
     quality = evaluate_quality(field, restored.data, restored.eb_abs)
     timing = {stage: summarize(vals) for stage, vals in sorted(samples.items())}
     best_compress = timing.get("compress_total", {}).get("min", 0.0)
@@ -156,7 +179,14 @@ def _run_block_case(case: BenchCase, repeats: int) -> dict:
         },
         "selector": {},
         "workflow_selected": restored.workflow,
-        "engine": {"jobs": case.jobs or 1, "block_bytes": block_bytes},
+        "engine": {
+            "jobs": case.jobs or 1,
+            "block_bytes": block_bytes,
+            "backend": (
+                engine_snap["backend"] if engine_snap is not None
+                else (case.backend or "thread")
+            ),
+        },
     }
 
 
@@ -180,10 +210,13 @@ def run_scenario(
             scenario.extra()
         results = [run_case(case, k) for case in scenario.cases]
         metrics = tel.render_json()
+    config = {"repeats": k, "cases": [c.name for c in scenario.cases]}
+    if scenario.summary is not None:
+        config.update(scenario.summary(results))
     return build_record(
         label=label or scenario.name,
         scenario=scenario.name,
         results=results,
-        config={"repeats": k, "cases": [c.name for c in scenario.cases]},
+        config=config,
         metrics=metrics,
     )

@@ -1,0 +1,142 @@
+"""Scaling-scenario analysis: speedup curves and the CI speedup gate.
+
+The ``scaling`` scenario (:mod:`repro.bench.scenarios`) runs an identical
+block workload at 1/2/4/8 jobs on the thread and process backends.  This
+module turns those per-case results into:
+
+* :func:`scaling_summary` -- per-backend speedup curves (relative to that
+  backend's ``jobs=1`` case) plus a CPU-vs-IPC breakdown, merged into the
+  record's ``config`` block so the curve ships inside ``BENCH_scaling.json``
+  itself;
+* :func:`check_scaling_gate` -- the CI gate: the process backend at
+  ``jobs=4`` must beat its own ``jobs=1`` by ``min_speedup`` on the block
+  compress stage.  On hosts with fewer than ``min_cores`` cores the gate
+  *skips with a notice* instead of failing -- a 1-core runner cannot
+  demonstrate parallel speedup, and a fabricated pass would be worse than
+  an honest skip.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GATE_STAGE", "check_scaling_gate", "scaling_summary"]
+
+#: Timing-stage key the scaling gate reads (see ``_run_block_case``).
+GATE_STAGE = "blocks.compress"
+
+
+def _case_key(result: dict) -> tuple[str, int]:
+    """(backend, jobs) for one scaling-scenario case result."""
+    engine = result.get("engine", {})
+    return (
+        str(engine.get("backend", "thread")),
+        int(engine.get("jobs", 1)),
+    )
+
+
+def _stage_min(result: dict, stage: str) -> float | None:
+    summary = result.get("timing", {}).get(stage)
+    if not summary:
+        return None
+    return float(summary.get("min", 0.0))
+
+
+def scaling_summary(results: list, stage: str = GATE_STAGE) -> dict:
+    """Per-backend speedup curves from the scaling scenario's case results.
+
+    For each backend present, the curve reports best-of-repeats wall time
+    at every job count and the speedup relative to that backend's own
+    ``jobs=1`` point (so thread and process are each judged against their
+    own serial dispatch cost, not against each other).  The cross-backend
+    comparison lives in ``fastest_backend``.
+    """
+    curves: dict[str, list[dict]] = {}
+    for result in results:
+        backend, jobs = _case_key(result)
+        wall = _stage_min(result, stage)
+        if wall is None:
+            wall = _stage_min(result, "compress_total")
+        if wall is None:
+            continue
+        curves.setdefault(backend, []).append({
+            "case": result.get("case", ""),
+            "jobs": jobs,
+            "wall_seconds": wall,
+        })
+    summary: dict[str, dict] = {}
+    fastest: tuple[float, str] | None = None
+    for backend, points in curves.items():
+        points.sort(key=lambda p: p["jobs"])
+        base = next(
+            (p["wall_seconds"] for p in points if p["jobs"] == 1),
+            points[0]["wall_seconds"],
+        )
+        for p in points:
+            p["speedup"] = base / p["wall_seconds"] if p["wall_seconds"] else 0.0
+            p["efficiency"] = p["speedup"] / max(p["jobs"], 1)
+        best_wall = min(p["wall_seconds"] for p in points)
+        if fastest is None or best_wall < fastest[0]:
+            fastest = (best_wall, backend)
+        summary[backend] = {
+            "stage": stage,
+            "points": points,
+            "max_speedup": max(p["speedup"] for p in points),
+        }
+    return {
+        "scaling": summary,
+        "fastest_backend": fastest[1] if fastest else "thread",
+    }
+
+
+def check_scaling_gate(
+    record: dict,
+    min_speedup: float = 1.5,
+    min_cores: int = 4,
+    stage: str = GATE_STAGE,
+    backend: str = "process",
+    jobs: int = 4,
+) -> tuple[str, str]:
+    """Judge a scaling record against the CI speedup gate.
+
+    Returns ``(status, message)`` with status one of:
+
+    * ``"pass"``  -- ``backend`` at ``jobs`` reached ``min_speedup``x over
+      its own ``jobs=1`` case on ``stage``;
+    * ``"fail"``  -- the curve exists but falls short;
+    * ``"skip"``  -- the host cannot demonstrate the speedup (fewer than
+      ``min_cores`` cores recorded in the environment fingerprint) or the
+      record lacks the needed cases.  CI treats skip as success-with-notice.
+    """
+    cores = int(record.get("environment", {}).get("cpu_count") or 0)
+    if cores and cores < min_cores:
+        return (
+            "skip",
+            f"scaling gate skipped: host has {cores} core(s), "
+            f"need >= {min_cores} to demonstrate a {min_speedup:.2f}x "
+            f"speedup honestly",
+        )
+    walls: dict[int, float] = {}
+    for result in record.get("results", []):
+        b, j = _case_key(result)
+        if b != backend:
+            continue
+        wall = _stage_min(result, stage) or _stage_min(result, "compress_total")
+        if wall is not None:
+            walls[j] = wall
+    if 1 not in walls or jobs not in walls:
+        have = sorted(walls) or ["none"]
+        return (
+            "skip",
+            f"scaling gate skipped: record lacks {backend} jobs=1/jobs={jobs} "
+            f"cases for stage {stage!r} (have jobs={have})",
+        )
+    if walls[jobs] <= 0.0:
+        return "skip", f"scaling gate skipped: zero wall time at jobs={jobs}"
+    speedup = walls[1] / walls[jobs]
+    detail = (
+        f"{backend} backend {stage}: jobs={jobs} {walls[jobs] * 1e3:.1f} ms "
+        f"vs jobs=1 {walls[1] * 1e3:.1f} ms -> {speedup:.2f}x "
+        f"(gate {min_speedup:.2f}x)"
+    )
+    if speedup >= min_speedup:
+        return "pass", detail
+    return "fail", detail

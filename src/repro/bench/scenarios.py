@@ -37,6 +37,10 @@ class BenchCase:
     eb_mode: str = "rel"
     jobs: int | None = None
     block_bytes: int | None = None
+    #: Executor backend for the engine path (``None`` keeps the library
+    #: default resolution); the ``scaling`` scenario runs matched cases on
+    #: ``thread`` vs ``process`` to compare the two pools honestly.
+    backend: str | None = None
 
     def make_field(self) -> np.ndarray:
         from ..data import get_dataset
@@ -55,6 +59,10 @@ class Scenario:
     #: Optional extra workload run once per bench (not timed per repeat),
     #: e.g. the simulated-GPU pipeline that populates kernel counters.
     extra: Callable[[], None] | None = field(default=None, compare=False)
+    #: Optional post-processor over the per-case results; its return dict is
+    #: merged into the record's ``config`` (the ``scaling`` scenario derives
+    #: per-backend speedup curves and the CI gate block there).
+    summary: Callable[[list], dict] | None = field(default=None, compare=False)
 
 
 def _gpu_smoke_workload() -> None:
@@ -124,8 +132,38 @@ _PARALLEL = Scenario(
     repeats=3,
 )
 
+def _scaling_cases() -> tuple[BenchCase, ...]:
+    cases = []
+    for backend in ("thread", "process"):
+        for jobs in (1, 2, 4, 8):
+            cases.append(
+                BenchCase(
+                    f"cesm_ps_1e-3_blocks_{backend}_j{jobs}", "CESM", "PS", 1e-3,
+                    jobs=jobs, block_bytes=1 << 20, backend=backend,
+                )
+            )
+    return tuple(cases)
+
+
+def _scaling_summary(results: list) -> dict:
+    from .scaling import scaling_summary
+
+    return scaling_summary(results)
+
+
+_SCALING = Scenario(
+    name="scaling",
+    description=(
+        "executor-backend speedup curves: identical block workload at "
+        "1/2/4/8 jobs on the thread vs process backends"
+    ),
+    cases=_scaling_cases(),
+    repeats=3,
+    summary=_scaling_summary,
+)
+
 SCENARIOS: dict[str, Scenario] = {
-    s.name: s for s in (_SMOKE, _SELECTOR, _FULL, _PARALLEL)
+    s.name: s for s in (_SMOKE, _SELECTOR, _FULL, _PARALLEL, _SCALING)
 }
 
 

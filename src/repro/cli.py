@@ -9,12 +9,13 @@ Subcommands::
     python -m repro bench      run --scenario smoke [--baseline BENCH.json]
     python -m repro bench      compare OLD.json NEW.json
     python -m repro bench      trend results/ --metric ratio
+    python -m repro bench      scaling-gate BENCH_scaling.json [--min-speedup 1.5]
     python -m repro profile    [--scenario smoke] [--fold out.folded]
     python -m repro diagnose   [--json]
     python -m repro conformance generate|check [--dir tests/vectors]
     python -m repro obs        serve [--port 9464] [--once]
     python -m repro obs        report [LEDGER.jsonl]
-    python -m repro obs        scaling --jobs 1,2,4
+    python -m repro obs        scaling --jobs 1,2,4 --backends thread,process
 
 Input fields are SDRBench-style headerless binaries (``.f32``/``.f64``);
 ``--dims`` is given slowest-varying first, exactly like the real tool.
@@ -65,10 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--dict-size", type=int, default=1024)
     pc.add_argument("--dtype", choices=["f32", "f64"], default=None,
                     help="override dtype inference from the file suffix")
-    pc.add_argument("--jobs", type=int, default=None, metavar="N",
+    pc.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
                     help="compress blocks concurrently on N engine workers "
                          "(emits a multi-block archive; output is "
                          "byte-identical to --jobs 1)")
+    pc.add_argument("--backend", choices=["serial", "thread", "process"],
+                    default=None,
+                    help="executor backend for --jobs (default: thread, or "
+                         "$REPRO_ENGINE_BACKEND); output bytes are identical "
+                         "across backends")
     pc.add_argument("--block-bytes", type=int, default=None, metavar="BYTES",
                     help="split the field into blocks of at most BYTES "
                          "uncompressed bytes (implies a multi-block archive; "
@@ -85,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="decode with N parallel workers (across blocks, or "
                          "across the byte-aligned chunk groups of a format-v3 "
                          "archive); output is identical to the serial decode")
+    pd.add_argument("--backend", choices=["serial", "thread", "process"],
+                    default=None,
+                    help="executor backend for --jobs (default: thread, or "
+                         "$REPRO_ENGINE_BACKEND)")
     _add_telemetry_flags(pd)
     pd.add_argument("--json", action="store_true", dest="as_json",
                     help="emit a machine-readable JSON result on stdout")
@@ -167,6 +177,26 @@ def build_parser() -> argparse.ArgumentParser:
     pbt.add_argument("--case", default=None,
                      help="restrict to one benchmark case")
     pbt.add_argument("--json", action="store_true", dest="as_json")
+    pbg = bench_sub.add_parser(
+        "scaling-gate",
+        help="judge a scaling-scenario record against the parallel-speedup "
+             "gate (process jobs=4 vs jobs=1 on the block compress stage); "
+             "skips with a notice on hosts with too few cores",
+    )
+    pbg.add_argument("record", type=Path, help="BENCH_scaling.json record")
+    pbg.add_argument("--min-speedup", type=float, default=1.5,
+                     help="required speedup of jobs=4 over jobs=1 (default 1.5)")
+    pbg.add_argument("--min-cores", type=int, default=4,
+                     help="cores below which the gate skips with a notice "
+                          "(default 4)")
+    pbg.add_argument("--stage", default="blocks.compress",
+                     help="timing stage to gate (default blocks.compress)")
+    pbg.add_argument("--backend", default="process",
+                     choices=["serial", "thread", "process"],
+                     help="backend whose curve is gated (default process)")
+    pbg.add_argument("--gate-jobs", type=int, default=4,
+                     help="job count compared against jobs=1 (default 4)")
+    pbg.add_argument("--json", action="store_true", dest="as_json")
 
     pp = sub.add_parser(
         "profile",
@@ -211,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
     pcc.add_argument("--jobs", type=int, default=2,
                      help="worker count for the parallel-identity re-encode "
                           "(default 2)")
+    pcc.add_argument("--backend", choices=["serial", "thread", "process"],
+                     default=None,
+                     help="executor backend for the parallel-identity "
+                          "re-encode (default: thread)")
     pcc.add_argument("--json", action="store_true", dest="as_json")
 
     po = sub.add_parser(
@@ -240,11 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
     porp.add_argument("--json", action="store_true", dest="as_json")
     posc = obs_sub.add_parser(
         "scaling",
-        help="sweep engine worker counts and print the speedup curve with "
-             "a CPU-vs-lock-wait breakdown",
+        help="sweep engine worker counts per backend and print the speedup "
+             "curves with a CPU-vs-lock-wait-vs-IPC breakdown and a backend "
+             "recommendation",
     )
     posc.add_argument("--jobs", default="1,2,4,8",
                       help="comma-separated worker counts (default 1,2,4,8)")
+    posc.add_argument("--backends", default="thread,process",
+                      help="comma-separated executor backends to sweep "
+                           "(default thread,process)")
     posc.add_argument("--fields", type=int, default=8,
                       help="fields per batch (default 8)")
     posc.add_argument("--shape", type=int, nargs="+", default=[256, 256],
@@ -308,7 +346,8 @@ def _cmd_compress(args) -> int:
         predictor=args.predictor, dict_size=args.dict_size,
         telemetry=True if (args.trace or args.stats) else None,
     )
-    if args.jobs is not None or args.block_bytes is not None:
+    if (args.jobs is not None or args.block_bytes is not None
+            or args.backend is not None):
         return _cmd_compress_blocks(args, field, config)
     scope_ctx, trace_ctx = _telemetry_capture(args)
     with scope_ctx, trace_ctx as tr:
@@ -352,7 +391,8 @@ def _cmd_compress_blocks(args, field: np.ndarray, config: CompressorConfig) -> i
     scope_ctx, trace_ctx = _telemetry_capture(args)
     with scope_ctx, trace_ctx as tr:
         blob = compress_blocks(
-            field, config, max_block_bytes=max_block_bytes, jobs=args.jobs
+            field, config, max_block_bytes=max_block_bytes, jobs=args.jobs,
+            backend=args.backend,
         )
     args.output.write_bytes(blob)
     _emit_trace(args, tr)
@@ -369,13 +409,14 @@ def _cmd_compress_blocks(args, field: np.ndarray, config: CompressorConfig) -> i
             "container": "blocks",
             "n_blocks": manifest.n_blocks,
             "jobs": args.jobs or 1,
+            "backend": args.backend or "thread",
             "block_bytes": max_block_bytes,
         }, indent=2))
         return 0
     print(f"{args.input} -> {args.output}")
     print(f"  {field.nbytes} -> {len(blob)} bytes ({ratio:.2f}x)")
     print(f"  blocks={manifest.n_blocks} (<= {max_block_bytes} bytes each) "
-          f"jobs={args.jobs or 1}")
+          f"jobs={args.jobs or 1} backend={args.backend or 'thread'}")
     _note_trace(args)
     return 0
 
@@ -384,7 +425,7 @@ def _cmd_decompress(args) -> int:
     blob = args.archive.read_bytes()
     scope_ctx, trace_ctx = _telemetry_capture(args)
     with scope_ctx, trace_ctx as tr:
-        result = decompress_with_stats(blob, jobs=args.jobs)
+        result = decompress_with_stats(blob, jobs=args.jobs, backend=args.backend)
     field = result.data
     np.ascontiguousarray(field).tofile(args.output)
     _emit_trace(args, tr)
@@ -622,6 +663,9 @@ def _cmd_bench(args) -> int:
             print(report.render(all_rows=args.show_all))
         return report.exit_code
 
+    if args.bench_command == "scaling-gate":
+        return _cmd_bench_scaling_gate(args)
+
     from .bench.runner import run_scenario
 
     record = run_scenario(args.scenario, repeats=args.repeats, label=args.label)
@@ -646,6 +690,28 @@ def _cmd_bench(args) -> int:
     else:
         print(report.render())
     return report.exit_code
+
+
+def _cmd_bench_scaling_gate(args) -> int:
+    """``repro bench scaling-gate``: pass/fail/skip on the speedup gate."""
+    from .bench.record import load_record
+    from .bench.scaling import check_scaling_gate
+
+    record = load_record(args.record)
+    status, message = check_scaling_gate(
+        record, min_speedup=args.min_speedup, min_cores=args.min_cores,
+        stage=args.stage, backend=args.backend, jobs=args.gate_jobs,
+    )
+    if args.as_json:
+        print(json.dumps({
+            "command": "bench scaling-gate",
+            "record": str(args.record),
+            "status": status,
+            "message": message,
+        }, indent=2))
+    else:
+        print(f"scaling gate: {status.upper()} -- {message}")
+    return 1 if status == "fail" else 0
 
 
 def _cmd_profile(args) -> int:
@@ -687,7 +753,7 @@ def _cmd_conformance(args) -> int:
               f"({total} archive bytes) + {out_dir}/manifest.json")
         return 0
 
-    report = check_corpus(args.vector_dir, jobs=args.jobs)
+    report = check_corpus(args.vector_dir, jobs=args.jobs, backend=args.backend)
     if args.as_json:
         print(json.dumps({"command": "conformance", **report.to_json()}, indent=2))
     else:
@@ -741,7 +807,8 @@ def _cmd_obs_report(args) -> int:
 
 
 def _cmd_obs_scaling(args) -> int:
-    from .engine.diagnostics import run_scaling_sweep
+    from .engine.backends import BACKEND_NAMES
+    from .engine.diagnostics import compare_backends, recommend_backend
 
     try:
         jobs_list = tuple(int(j) for j in str(args.jobs).split(",") if j.strip())
@@ -752,14 +819,28 @@ def _cmd_obs_scaling(args) -> int:
     if not jobs_list or any(j < 1 for j in jobs_list):
         print("error: --jobs needs positive worker counts", file=sys.stderr)
         return 2
-    report = run_scaling_sweep(
-        jobs_list=jobs_list, n_fields=args.fields, shape=tuple(args.shape),
-        eb=args.eb, repeats=args.repeats,
+    backends = tuple(b.strip() for b in str(args.backends).split(",") if b.strip())
+    bad = [b for b in backends if b not in BACKEND_NAMES]
+    if not backends or bad:
+        print(f"error: --backends must name backends from "
+              f"{list(BACKEND_NAMES)}, got {args.backends!r}", file=sys.stderr)
+        return 2
+    reports = compare_backends(
+        jobs_list=jobs_list, backends=backends, n_fields=args.fields,
+        shape=tuple(args.shape), eb=args.eb, repeats=args.repeats,
     )
+    recommendation = recommend_backend(reports)
     if args.as_json:
-        print(json.dumps({"command": "obs scaling", **report.to_json()}, indent=2))
-    else:
-        print(report.render())
+        print(json.dumps({
+            "command": "obs scaling",
+            "backends": {name: rep.to_json() for name, rep in reports.items()},
+            "recommendation": recommendation,
+        }, indent=2))
+        return 0
+    for rep in reports.values():
+        print(rep.render())
+        print()
+    print(f"recommended backend: {recommendation}")
     return 0
 
 

@@ -172,11 +172,14 @@ def check_corpus(
     vector_dir: Path | str | None = None,
     names: list[str] | None = None,
     jobs: int = 2,
+    backend: str | None = None,
 ) -> ConformanceReport:
     """Run every conformance check over the committed corpus.
 
     ``names`` restricts the run to specific vectors (test speed-up);
-    ``jobs`` is the worker count of the parallel-identity re-encode.
+    ``jobs``/``backend`` configure the parallel-identity re-encode engine
+    (``--backend process`` asserts the process pool's zero-copy path emits
+    the committed bytes too).
     """
     from ..core.compressor import decompress
     from .corpus import default_vector_dir
@@ -235,10 +238,11 @@ def check_corpus(
             if bound_problem:
                 fail("error-bound", bound_problem)
 
-        parallel = build_vector(spec, jobs=jobs)
+        parallel = build_vector(spec, jobs=jobs, backend=backend)
         if parallel != rebuilt:
             fail("parallel-identity",
-                 f"jobs={jobs} re-encode diverges from the serial build: "
+                 f"jobs={jobs} backend={backend or 'thread'} re-encode "
+                 "diverges from the serial build: "
                  + locate_divergence(rebuilt, parallel))
 
         report.n_checked += 1

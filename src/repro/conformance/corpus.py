@@ -172,24 +172,28 @@ def spec_config(spec: VectorSpec) -> CompressorConfig:
     )
 
 
-def build_vector(spec: VectorSpec, jobs: int | None = None) -> bytes:
+def build_vector(
+    spec: VectorSpec, jobs: int | None = None, backend: str | None = None
+) -> bytes:
     """Produce the archive bytes for one spec (pinned format + checksum).
 
-    ``jobs`` routes encoding through a :class:`~repro.engine.CompressionEngine`
-    worker pool; the result must be byte-identical to the serial build --
-    the checker asserts exactly that.
+    ``jobs``/``backend`` route encoding through a
+    :class:`~repro.engine.CompressionEngine` worker pool; the result must
+    be byte-identical to the serial build -- the checker asserts exactly
+    that, for every backend.
     """
     field = make_field(spec)
     config = spec_config(spec)
     with pinned_format(version=spec.version, checksum_algo=VECTOR_CHECKSUM_ALGO):
         if spec.container == "blocks":
             return compress_blocks(
-                field, config, max_block_bytes=spec.block_bytes, jobs=jobs
+                field, config, max_block_bytes=spec.block_bytes,
+                jobs=jobs, backend=backend,
             )
-        if jobs is not None and jobs != 1:
-            from ..engine.core import CompressionEngine
+        if backend is not None or (jobs is not None and jobs != 1):
+            from ..engine.backends import get_executor
 
-            with CompressionEngine(config, jobs=jobs) as engine:
+            with get_executor(backend, jobs=jobs, config=config) as engine:
                 return engine.submit(field, config).result().archive
         return compress(field, config).archive
 

@@ -22,7 +22,11 @@ corpus cannot (the corpus pins bytes; these pin behavior):
   ``searchsorted`` decoder, and the bit-by-bit sequential reference decode
   every Huffman stream of an archive to byte-identical symbols;
 * **decode serial/parallel identity** -- ``decompress(jobs=N)`` over a
-  format-v3 indexed payload reconstructs the byte-identical array.
+  format-v3 indexed payload reconstructs the byte-identical array;
+* **backend identity** -- the ``serial``, ``thread``, and ``process``
+  executor backends emit byte-identical containers and byte-identical
+  decodes (the process backend's shared-memory handoff and worker-state
+  re-initialization must be invisible in the output).
 
 ``tests/test_conformance_metamorphic.py`` parametrizes these across all
 four workflows and all three container kinds.
@@ -47,6 +51,7 @@ __all__ = [
     "check_serial_parallel_identity",
     "check_decoder_agreement",
     "check_decode_serial_parallel_identity",
+    "check_backend_identity",
 ]
 
 
@@ -268,3 +273,56 @@ def check_decode_serial_parallel_identity(
         parallel, serial,
         err_msg=f"jobs={jobs} decode diverged from the serial reconstruction",
     )
+
+
+def check_backend_identity(
+    field: np.ndarray, config: CompressorConfig, container: str = "single",
+    jobs: int = 2, backends: tuple[str, ...] = ("serial", "thread", "process"),
+    engines: dict | None = None,
+) -> None:
+    """Every executor backend emits the serial path's exact bytes and decode.
+
+    Compresses the field through each backend (block container via
+    ``compress_blocks(backend=...)``, single/pwrel archives via
+    ``engine.submit``) and asserts byte-identity against the inline serial
+    reference; then decodes the reference blob through each backend and
+    asserts array identity (which exercises the v3 chunk-group fan-out when
+    the config's payload carries sync points).
+
+    ``engines`` may map backend names to prebuilt
+    :class:`~repro.engine.CompressionEngine` instances so a test session can
+    amortize process-pool spawn across many parametrized cases; missing
+    entries get a transient engine.
+    """
+    from ..engine.backends import get_executor
+
+    block_bytes = _half_split(field)
+    if container == "blocks":
+        reference = compress_blocks(field, config, max_block_bytes=block_bytes)
+    else:
+        reference = compress(field, config).archive
+    serial_out = decompress(reference)
+    for name in backends:
+        eng = engines.get(name) if engines else None
+        own = eng is None
+        if eng is None:
+            eng = get_executor(name, jobs=1 if name == "serial" else jobs, config=config)
+        try:
+            if container == "blocks":
+                blob = compress_blocks(
+                    field, config, max_block_bytes=block_bytes, backend=eng
+                )
+            else:
+                blob = eng.submit(field, config).result().archive
+            assert blob == reference, (
+                f"backend={name} container diverged from the serial bytes"
+            )
+            out = decompress(reference, backend=eng)
+            assert out.dtype == serial_out.dtype and out.shape == serial_out.shape
+            np.testing.assert_array_equal(
+                out, serial_out,
+                err_msg=f"backend={name} decode diverged from the serial reconstruction",
+            )
+        finally:
+            if own:
+                eng.shutdown(wait=True)

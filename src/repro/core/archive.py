@@ -38,7 +38,14 @@ import numpy as np
 from .errors import ArchiveError, IntegrityError
 from .integrity import ALGO_NAMES, DEFAULT_ALGO, checksum
 
-__all__ = ["ArchiveBuilder", "ArchiveReader", "MAGIC", "VERSION", "pinned_format"]
+__all__ = [
+    "ArchiveBuilder",
+    "ArchiveReader",
+    "MAGIC",
+    "VERSION",
+    "current_pinned_format",
+    "pinned_format",
+]
 
 MAGIC = b"RPRSZP1\x00"
 VERSION = 3
@@ -89,6 +96,15 @@ def pinned_format(version: int | None = None, checksum_algo: int | None = None):
         yield
     finally:
         _PINNED_FORMAT.reset(token)
+
+
+def current_pinned_format() -> tuple[int | None, int | None]:
+    """The ``(version, checksum_algo)`` pinned in this context, if any.
+
+    The engine's process backend captures this at submit time and re-pins it
+    inside worker processes, which (unlike engine threads) do not inherit the
+    submitting context."""
+    return _PINNED_FORMAT.get()
 
 
 def _dtype_tag(dtype: np.dtype) -> bytes:

@@ -170,8 +170,15 @@ def _compress_impl(data: np.ndarray, config: CompressorConfig) -> CompressionRes
             with tel.span("nan_mask"):
                 finite = data[~nan_mask]
                 if finite.size == 0:
-                    raise ConfigError("field is entirely NaN; nothing to compress")
-                fill = float(finite.mean())
+                    # A relative bound has no range to resolve against.  An
+                    # absolute bound is still well-defined (the mask alone
+                    # restores every value exactly), and all-NaN *blocks*
+                    # are routine once a masked field is split on axis 0.
+                    if config.eb_mode != "abs":
+                        raise ConfigError("field is entirely NaN; nothing to compress")
+                    fill = 0.0
+                else:
+                    fill = float(finite.mean())
                 data = np.where(nan_mask, np.asarray(fill, dtype=data.dtype), data)
                 nan_payload = _encode_nan_mask(nan_mask)
 
@@ -364,7 +371,9 @@ def sniff_container(blob: bytes) -> str:
     )
 
 
-def decompress(blob: bytes, jobs: int | None = None, engine=None) -> np.ndarray:
+def decompress(
+    blob: bytes, jobs: int | None = None, backend=None, engine=None
+) -> np.ndarray:
     """Reconstruct the original-shaped array from any archive blob.
 
     This is the single front door: it sniffs the container kind (single
@@ -377,32 +386,43 @@ def decompress(blob: bytes, jobs: int | None = None, engine=None) -> np.ndarray:
     :class:`~repro.engine.CompressionEngine` -- across blocks for a
     multi-block container, across byte-aligned chunk groups for a single
     format-v3 archive (v1/v2 payloads have no sync points and decode
-    serially).  ``engine=`` reuses a caller-owned pool instead.  The output
-    is identical to the serial decode regardless of worker count.
+    serially).  ``backend=`` selects its executor
+    (``"serial"``/``"thread"``/``"process"``), or reuses a caller-owned
+    engine passed in its place.  The output is identical to the serial
+    decode regardless of backend and worker count.
+
+    .. deprecated:: the ``engine=`` keyword; pass the engine as ``backend=``.
     """
-    return decompress_with_stats(blob, jobs=jobs, engine=engine).data
+    from ..engine.backends import deprecate_engine_kwarg
+
+    if engine is not None and backend is None:
+        backend = deprecate_engine_kwarg("decompress", engine)
+    return decompress_with_stats(blob, jobs=jobs, backend=backend).data
 
 
 def decompress_with_stats(
-    blob: bytes, jobs: int | None = None, engine=None
+    blob: bytes, jobs: int | None = None, backend=None, engine=None
 ) -> DecompressionResult:
-    """Like :func:`decompress`, returning the array plus stage reporting."""
-    own_engine = None
-    if engine is None and jobs is not None and jobs > 1:
-        from ..engine.core import CompressionEngine
+    """Like :func:`decompress`, returning the array plus stage reporting.
 
-        engine = own_engine = CompressionEngine(jobs=jobs)
+    .. deprecated:: the ``engine=`` keyword; pass the engine as ``backend=``.
+    """
+    from ..engine.backends import deprecate_engine_kwarg, resolve_execution
+
+    if engine is not None and backend is None:
+        backend = deprecate_engine_kwarg("decompress_with_stats", engine)
+    eng, own_engine = resolve_execution(backend, jobs, None)
     try:
         kind = sniff_container(blob)
         if kind == "pwrel":
             from .pwrel import decompress_pwrel_with_stats
 
-            return decompress_pwrel_with_stats(blob, engine=engine)
+            return decompress_pwrel_with_stats(blob, engine=eng)
         if kind == "blocks":
             from .streaming import decompress_blocks_with_stats
 
-            return decompress_blocks_with_stats(blob, engine=engine)
-        return _decompress_impl(ArchiveReader(blob), blob, engine=engine)
+            return decompress_blocks_with_stats(blob, backend=eng)
+        return _decompress_impl(ArchiveReader(blob), blob, engine=eng)
     except struct.error as exc:
         # Belt and braces: structured parsing is length-checked everywhere,
         # but a raw struct.error must never leak to the caller.
@@ -411,8 +431,8 @@ def decompress_with_stats(
             "truncated or corrupt"
         ) from None
     finally:
-        if own_engine is not None:
-            own_engine.shutdown(wait=True)
+        if own_engine:
+            eng.shutdown(wait=True)
 
 
 def _decompress_impl(
@@ -525,22 +545,26 @@ class Compressor:
     ...         sc.append(block)
     >>> blob = sc.container
 
-    ``jobs`` sets the worker count of the lazily-created engine behind
-    :meth:`batch` and :meth:`compress_blocks` (default: the core count).
-    Use the ``Compressor`` as a context manager (or call :meth:`close`) to
-    shut that engine down eagerly.
+    ``jobs`` sets the worker count -- and ``backend`` the executor
+    (``"serial"``/``"thread"``/``"process"``) -- of the lazily-created
+    engine behind :meth:`batch` and :meth:`compress_blocks` (defaults: the
+    core count, and the config/``REPRO_ENGINE_BACKEND`` resolution).  Use
+    the ``Compressor`` as a context manager (or call :meth:`close`) to shut
+    that engine down eagerly.
     """
 
     def __init__(
         self,
         config: CompressorConfig | None = None,
         jobs: int | None = None,
+        backend: str | None = None,
         **kwargs,
     ) -> None:
         self.config = config.with_(**kwargs) if config and kwargs else (
             config or CompressorConfig(**kwargs)
         )
         self.jobs = jobs
+        self.backend = backend
         self._engine = None
 
     # -- single fields ------------------------------------------------------
@@ -549,14 +573,16 @@ class Compressor:
         return compress(data, self.config, **overrides)
 
     @staticmethod
-    def decompress(blob: bytes, jobs: int | None = None, engine=None) -> np.ndarray:
-        return decompress(blob, jobs=jobs, engine=engine)
+    def decompress(
+        blob: bytes, jobs: int | None = None, backend=None, engine=None
+    ) -> np.ndarray:
+        return decompress(blob, jobs=jobs, backend=backend, engine=engine)
 
     @staticmethod
     def decompress_with_stats(
-        blob: bytes, jobs: int | None = None, engine=None
+        blob: bytes, jobs: int | None = None, backend=None, engine=None
     ) -> DecompressionResult:
-        return decompress_with_stats(blob, jobs=jobs, engine=engine)
+        return decompress_with_stats(blob, jobs=jobs, backend=backend, engine=engine)
 
     # -- blocks, batches, streams ------------------------------------------
 
@@ -572,7 +598,7 @@ class Compressor:
 
         engine = self.engine(jobs) if (jobs or self.jobs or self._engine) else None
         return compress_blocks(
-            data, self.config, max_block_bytes=max_block_bytes, engine=engine
+            data, self.config, max_block_bytes=max_block_bytes, backend=engine
         )
 
     def batch(self, fields, **overrides) -> list:
@@ -586,7 +612,7 @@ class Compressor:
 
         config = self.config.with_(**overrides) if overrides else self.config
         engine = self.engine(jobs) if (jobs or self.jobs or self._engine) else None
-        return StreamingCompressor(config, engine=engine)
+        return StreamingCompressor(config, backend=engine)
 
     # -- engine lifecycle ---------------------------------------------------
 
@@ -599,7 +625,9 @@ class Compressor:
         if self._engine is None or self._engine.closed:
             from ..engine.core import CompressionEngine
 
-            self._engine = CompressionEngine(self.config, jobs=jobs or self.jobs)
+            self._engine = CompressionEngine(
+                self.config, jobs=jobs or self.jobs, backend=self.backend
+            )
         return self._engine
 
     def close(self) -> None:

@@ -105,6 +105,12 @@ class CompressorConfig:
         :mod:`repro.telemetry.ledger`).  ``None`` (default) follows the
         ``REPRO_LEDGER`` environment variable.  Observability only -- the
         produced archive is byte-identical either way.
+    backend:
+        Default executor backend (``"serial"``, ``"thread"`` or
+        ``"process"``) for engines built from this config.  ``None``
+        (default) follows the ``REPRO_ENGINE_BACKEND`` environment variable,
+        then ``"thread"``.  Execution strategy only -- archives are
+        byte-identical across backends.
     """
 
     eb: float = 1e-4
@@ -119,6 +125,7 @@ class CompressorConfig:
     rle_length_dtype: str = "uint16"
     telemetry: bool | None = None
     ledger: str | None = None
+    backend: str | None = None
     #: Construction-time alias for ``eb_mode`` (the unified codec API's
     #: spelling); it never survives as state -- ``eb_mode`` holds the truth.
     mode: InitVar[str | None] = None
@@ -130,6 +137,10 @@ class CompressorConfig:
             raise ConfigError(f"telemetry must be True, False or None, got {self.telemetry!r}")
         if self.ledger is not None and not isinstance(self.ledger, (str, Path)):
             raise ConfigError(f"ledger must be a path or None, got {self.ledger!r}")
+        if self.backend is not None and self.backend not in ("serial", "thread", "process"):
+            raise ConfigError(
+                f"backend must be 'serial', 'thread', 'process' or None, got {self.backend!r}"
+            )
         if not (self.eb > 0.0 and math.isfinite(self.eb)):
             raise ConfigError(f"error bound must be a positive finite number, got {self.eb!r}")
         if self.eb_mode not in ("abs", "rel", "pwrel"):

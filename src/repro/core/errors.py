@@ -40,6 +40,17 @@ class IntegrityError(ArchiveError):
     *structurally malformed* ones."""
 
 
+class EngineError(ReproError):
+    """The parallel engine's executor failed outside the job's own code.
+
+    Raised when a worker process dies mid-batch (segfault, ``os._exit``,
+    OOM-kill), when jobs are submitted to a broken or shut-down executor,
+    or when the shared-memory arena is unusable.  Errors raised *by* a job
+    (e.g. :class:`ConfigError` from bad input) propagate unchanged through
+    the job's future; :class:`EngineError` means the execution substrate
+    itself failed."""
+
+
 class DeviceError(ReproError):
     """Invalid use of the simulated GPU device/runtime."""
 

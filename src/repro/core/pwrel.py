@@ -171,7 +171,7 @@ def decompress_pwrel_with_stats(blob: bytes, engine=None) -> DecompressionResult
             is_f64 = raw_meta[16] == 1
             out_dtype = np.float64 if is_f64 else np.float32
 
-        inner = decompress_with_stats(reader.get_bytes("pw.inner"), engine=engine)
+        inner = decompress_with_stats(reader.get_bytes("pw.inner"), backend=engine)
         logs = inner.data
         with tel.span("pwrel_inverse") as sp:
             mags = np.exp(logs.astype(np.float64)).reshape(-1)

@@ -133,6 +133,7 @@ def compress_blocks(
     config: CompressorConfig | None = None,
     max_block_bytes: int = 64 << 20,
     jobs: int | None = None,
+    backend=None,
     engine=None,
     **kwargs,
 ) -> bytes:
@@ -144,11 +145,19 @@ def compress_blocks(
     relative bounds need no range and pass through unchanged.
 
     ``jobs=N`` compresses blocks concurrently on a transient
-    :class:`~repro.engine.CompressionEngine`; passing ``engine=`` reuses a
-    caller-owned pool (and its codebook cache) instead.  Blocks are
-    reassembled in submission order, so the container is **byte-identical**
-    regardless of worker count.
+    :class:`~repro.engine.CompressionEngine`; ``backend=`` picks its
+    executor (``"serial"``/``"thread"``/``"process"``, default resolved via
+    the config then ``REPRO_ENGINE_BACKEND``), or pass a caller-owned
+    engine as ``backend=`` to reuse its pool and codebook cache.  Blocks
+    are reassembled in submission order, so the container is
+    **byte-identical** regardless of backend and worker count.
+
+    .. deprecated:: the ``engine=`` keyword; pass the engine as ``backend=``.
     """
+    from ..engine.backends import deprecate_engine_kwarg, resolve_execution
+
+    if engine is not None and backend is None:
+        backend = deprecate_engine_kwarg("compress_blocks", engine)
     if config is None:
         config = CompressorConfig(**kwargs)
     elif kwargs:
@@ -169,15 +178,16 @@ def compress_blocks(
     blocks = (
         data[off : off + ext] for off, ext in zip(manifest.offsets, extents)
     )
-    effective_jobs = jobs or (engine.jobs if engine else 1)
+    eng, own_engine = resolve_execution(backend, jobs, block_config)
+    effective_jobs = eng.jobs if eng is not None else 1
     engine_snap: dict | None = None
     with tel.span(
         "compress_blocks", bytes_in=int(data.nbytes),
         n_blocks=manifest.n_blocks, jobs=effective_jobs,
     ) as root:
-        if engine is not None or (jobs is not None and jobs != 1):
+        if eng is not None:
             archives, engine_snap = _compress_blocks_parallel(
-                blocks, block_config, jobs, engine
+                blocks, block_config, eng, own_engine
             )
         else:
             archives = [compress(block, block_config).archive for block in blocks]
@@ -200,6 +210,7 @@ def compress_blocks(
         }
         if engine_snap is not None:
             record["engine"] = {
+                "backend": engine_snap["backend"],
                 "queue_depth_max": engine_snap["queue_depth_max"],
                 "submit_wait_seconds": engine_snap["submit_wait_seconds"],
                 "worker_wall_seconds": engine_snap["worker_wall_seconds"],
@@ -214,8 +225,8 @@ def compress_blocks(
 def _compress_blocks_parallel(
     blocks: Iterable[np.ndarray],
     block_config: CompressorConfig,
-    jobs: int | None,
-    engine,
+    eng,
+    own: bool,
 ) -> tuple[list[bytes], dict]:
     """Fan blocks out over an engine; results return in submission order.
 
@@ -224,10 +235,6 @@ def _compress_blocks_parallel(
     caller-owned engine the snapshot is cumulative over the engine's life,
     not just this batch.
     """
-    from ..engine.core import CompressionEngine
-
-    own = engine is None
-    eng = engine if engine is not None else CompressionEngine(block_config, jobs=jobs)
     try:
         futures = [eng.submit(block, block_config) for block in blocks]
         archives = [f.result().archive for f in futures]
@@ -254,17 +261,25 @@ def _resolve_global_bound(data: np.ndarray, config: CompressorConfig) -> float:
     """Absolute bound for the whole field, safe on NaN-masked and constant data.
 
     NaN-masked fields resolve the relative bound on the finite range.  An
-    all-NaN field has no range to resolve against (and no finite values to
-    bound), so it is rejected outright; a constant field degenerates to a
-    tiny bound scaled to the field's magnitude so the quantization step
-    stays positive and finite instead of poisoning every block downstream.
+    all-NaN field has no range to resolve a *relative* bound against, so it
+    is rejected under ``rel`` mode -- but an absolute bound needs no range,
+    and the NaN mask reproduces such a field exactly, so ``abs`` mode passes
+    the configured bound through.  A constant field degenerates to a tiny
+    bound scaled to the field's magnitude so the quantization step stays
+    positive and finite instead of poisoning every block downstream.
     """
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)  # all-NaN slice
         vmin = float(np.nanmin(data))
         vmax = float(np.nanmax(data))
     if np.isnan(vmin) or np.isnan(vmax):
-        raise ConfigError("cannot block-compress an all-NaN field: no finite values")
+        if config.eb_mode == "abs":
+            return float(config.eb)
+        raise ConfigError(
+            "cannot block-compress an all-NaN field under a relative "
+            "bound: no finite values to resolve the range; use an "
+            "absolute bound"
+        )
     if not (np.isfinite(vmin) and np.isfinite(vmax)):
         raise ConfigError("cannot block-compress a field containing infinities")
     eb_abs = config.absolute_bound(vmax - vmin)
@@ -308,20 +323,27 @@ def decompress_range(blob: bytes, start: int, stop: int) -> np.ndarray:
 
 
 def decompress_blocks(
-    blob: bytes, jobs: int | None = None, engine=None
+    blob: bytes, jobs: int | None = None, backend=None, engine=None
 ) -> np.ndarray:
     """Restore the full field from a multi-block container.
 
     ``jobs=N`` decodes blocks concurrently on a transient
-    :class:`~repro.engine.CompressionEngine`; ``engine=`` reuses a
-    caller-owned pool.  Blocks are gathered in manifest order, so the
-    output is identical to the serial decode.
+    :class:`~repro.engine.CompressionEngine`; ``backend=`` picks its
+    executor, or reuses a caller-owned engine passed in its place.  Blocks
+    are gathered in manifest order, so the output is identical to the
+    serial decode.
+
+    .. deprecated:: the ``engine=`` keyword; pass the engine as ``backend=``.
     """
-    return decompress_blocks_with_stats(blob, jobs=jobs, engine=engine).data
+    from ..engine.backends import deprecate_engine_kwarg
+
+    if engine is not None and backend is None:
+        backend = deprecate_engine_kwarg("decompress_blocks", engine)
+    return decompress_blocks_with_stats(blob, jobs=jobs, backend=backend).data
 
 
 def decompress_blocks_with_stats(
-    blob: bytes, jobs: int | None = None, engine=None
+    blob: bytes, jobs: int | None = None, backend=None, engine=None
 ) -> DecompressionResult:
     """Restore the full field plus aggregated per-block reporting.
 
@@ -329,19 +351,21 @@ def decompress_blocks_with_stats(
     ``"mixed"`` when the selector chose differently per block; outlier
     counts are summed and ``eb_abs`` is the largest per-block bound (they
     are identical for containers built by :func:`compress_blocks`, which
-    resolves the bound globally).  ``jobs``/``engine`` parallelize across
+    resolves the bound globally).  ``jobs``/``backend`` parallelize across
     blocks (see :func:`decompress_blocks`).
-    """
-    own_engine = None
-    if engine is None and jobs is not None and jobs > 1:
-        from ..engine.core import CompressionEngine
 
-        engine = own_engine = CompressionEngine(jobs=jobs)
+    .. deprecated:: the ``engine=`` keyword; pass the engine as ``backend=``.
+    """
+    from ..engine.backends import deprecate_engine_kwarg, resolve_execution
+
+    if engine is not None and backend is None:
+        backend = deprecate_engine_kwarg("decompress_blocks_with_stats", engine)
+    eng, own_engine = resolve_execution(backend, jobs, None)
     try:
-        return _decompress_blocks_impl(blob, engine)
+        return _decompress_blocks_impl(blob, eng)
     finally:
-        if own_engine is not None:
-            own_engine.shutdown(wait=True)
+        if own_engine:
+            eng.shutdown(wait=True)
 
 
 def _decompress_blocks_impl(blob: bytes, engine) -> DecompressionResult:
@@ -363,7 +387,7 @@ def _decompress_blocks_impl(blob: bytes, engine) -> DecompressionResult:
             results = [f.result() for f in futures]
         else:
             results = [
-                decompress_with_stats(reader.get_bytes(f"blk{k}"), engine=engine)
+                decompress_with_stats(reader.get_bytes(f"blk{k}"), backend=engine)
                 for k in range(manifest.n_blocks)
             ]
         out = np.concatenate([r.data for r in results], axis=0)
@@ -398,19 +422,26 @@ class StreamingCompressor:
     ...     sc.append(block)
     >>> blob = sc.finish()
 
-    With an engine attached (``jobs=N`` or ``engine=``), :meth:`append`
-    only *schedules* the block; compression proceeds on the worker pool
-    while the producer keeps feeding, and :meth:`finish` gathers results in
-    append order -- the container stays byte-identical to the serial one.
-    Worker-side failures surface at :meth:`finish`.
+    With an engine attached (``jobs=N`` or a ``backend=`` selection),
+    :meth:`append` only *schedules* the block; compression proceeds on the
+    worker pool while the producer keeps feeding, and :meth:`finish`
+    gathers results in append order -- the container stays byte-identical
+    to the serial one.  Worker-side failures surface at :meth:`finish`.
+
+    .. deprecated:: the ``engine=`` keyword; pass the engine as ``backend=``.
     """
 
     def __init__(
         self,
         config: CompressorConfig,
         jobs: int | None = None,
+        backend=None,
         engine=None,
     ) -> None:
+        from ..engine.backends import deprecate_engine_kwarg, resolve_execution
+
+        if engine is not None and backend is None:
+            backend = deprecate_engine_kwarg("StreamingCompressor", engine)
         if config.eb_mode == "rel":
             raise ConfigError(
                 "streaming compression requires an absolute or point-wise "
@@ -418,13 +449,7 @@ class StreamingCompressor:
                 "up front)"
             )
         self.config = config
-        self._engine = engine
-        self._own_engine = False
-        if engine is None and jobs is not None and jobs != 1:
-            from ..engine.core import CompressionEngine
-
-            self._engine = CompressionEngine(config, jobs=jobs)
-            self._own_engine = True
+        self._engine, self._own_engine = resolve_execution(backend, jobs, config)
         self._pending: list = []  # archive bytes, or futures when engined
         self._extents: list[int] = []
         self._tail_shape: tuple[int, ...] | None = None

@@ -200,6 +200,10 @@ def _decode_stream(encoded, book, out_dtype, table, engine):
         return huff_decode(encoded, book, out_dtype=out_dtype, table=table)
     n_groups = min(engine.jobs, n_chunks // _MIN_CHUNKS_PER_GROUP)
     groups = split_chunk_groups(encoded, n_groups)
+    if getattr(engine, "backend", None) == "process":
+        # A decode LUT is big and rebuildable; let each worker process build
+        # (and cache) its own from the codebook instead of pickling ours.
+        table = None
     futures = [
         engine.run(huff_decode, g, book, out_dtype=out_dtype, table=table)
         for g in groups

@@ -1,14 +1,20 @@
-"""Parallel batch/block compression engine (worker pool + shared cache).
+"""Parallel batch/block compression engine (executor backends + shared cache).
 
 Public surface:
 
-* :class:`CompressionEngine` -- submit/result futures over a thread pool
-  with bounded in-flight backpressure and deterministic ordering;
+* :class:`CompressionEngine` -- submit/result futures with bounded in-flight
+  backpressure and deterministic ordering, over a pluggable executor backend
+  (``serial`` / ``thread`` / ``process``);
+* :func:`get_executor` -- the single backend-resolution path (explicit arg >
+  config ``backend`` field > ``REPRO_ENGINE_BACKEND`` env > ``thread``);
+* :class:`ExecutorBackend` / :data:`BACKEND_NAMES` -- the backend protocol
+  and the valid names;
 * :class:`QuantCache` / :func:`cache_scope` -- the cross-block
   codebook/histogram cache keyed by quant-code distribution fingerprint;
 * :func:`default_jobs` -- the worker count used when none is requested;
-* :func:`run_scaling_sweep` / :class:`ScalingReport` -- worker-count sweep
-  with a per-point CPU-vs-lock-wait breakdown (``repro obs scaling``).
+* :func:`run_scaling_sweep` / :func:`compare_backends` /
+  :class:`ScalingReport` -- worker-count sweeps with per-point
+  CPU-vs-lock-wait-vs-IPC breakdowns (``repro obs scaling``).
 
 ``repro.engine.core`` is imported lazily: :mod:`repro.core.workflow` pulls
 in the cache hooks at import time, and an eager import here would close a
@@ -27,13 +33,19 @@ __all__ = [
     "cache_scope",
     "cached_codebook",
     "cached_histogram",
+    "BACKEND_NAMES",
+    "ExecutorBackend",
+    "get_executor",
+    "resolve_backend_name",
     "ScalingPoint",
     "ScalingReport",
+    "compare_backends",
     "run_scaling_sweep",
 ]
 
 _LAZY = {"CompressionEngine", "default_jobs"}
-_LAZY_DIAG = {"ScalingPoint", "ScalingReport", "run_scaling_sweep"}
+_LAZY_BACKENDS = {"BACKEND_NAMES", "ExecutorBackend", "get_executor", "resolve_backend_name"}
+_LAZY_DIAG = {"ScalingPoint", "ScalingReport", "compare_backends", "run_scaling_sweep"}
 
 
 def __getattr__(name: str):
@@ -41,6 +53,10 @@ def __getattr__(name: str):
         from . import core
 
         return getattr(core, name)
+    if name in _LAZY_BACKENDS:
+        from . import backends
+
+        return getattr(backends, name)
     if name in _LAZY_DIAG:
         from . import diagnostics
 

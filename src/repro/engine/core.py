@@ -1,13 +1,15 @@
 """The parallel batch/block compression engine.
 
 The paper's coarse-grained block scheme exists so independent blocks can be
-processed concurrently; :class:`CompressionEngine` is the worker pool that
-finally exploits it.  Jobs run on a ``concurrent.futures`` thread pool --
-the hot kernels (``bincount``, ``diff``/``cumsum``, the vectorized Huffman
-coder) are numpy calls that release the GIL, so threads scale on real cores
-without the serialization cost of process pools.
+processed concurrently; :class:`CompressionEngine` is the scheduler that
+finally exploits it.  *How* jobs execute is pluggable
+(:mod:`repro.engine.backends`): ``serial`` runs them inline, ``thread`` uses
+a ``concurrent.futures`` thread pool (the hot numpy kernels release the GIL,
+but the Python glue between them serializes), and ``process`` runs them in
+worker processes fed through a shared-memory arena for true multi-core
+scaling.
 
-Guarantees:
+Guarantees (identical across backends):
 
 * **submit/result future semantics** -- :meth:`submit` returns a
   ``concurrent.futures.Future`` resolving to a
@@ -18,22 +20,22 @@ Guarantees:
 * **deterministic output ordering** -- :meth:`map`/:meth:`batch` return
   results in submission order, so a parallel multi-block container is
   byte-identical to the serial one;
-* **cross-block codebook/histogram cache** -- workers share a
-  :class:`~repro.engine.cache.QuantCache`, so blocks with identical
-  quant-code distributions skip Huffman tree construction;
-* **telemetry continuity** -- each job runs in a ``contextvars`` copy of
-  the submitting context, so worker spans nest under the caller's open span
-  and per-call telemetry scopes propagate across the pool.
+* **cross-block codebook/histogram cache** -- thread workers share a
+  :class:`~repro.engine.cache.QuantCache`; process workers keep a
+  per-process cache whose hit/miss deltas fold back into the engine's
+  counters;
+* **telemetry continuity** -- thread jobs run in a ``contextvars`` copy of
+  the submitting context; process jobs re-apply the captured telemetry
+  switch and pinned archive format in the worker.
 """
 
 from __future__ import annotations
 
-import contextvars
 import os
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 
 import numpy as np
 
@@ -42,6 +44,7 @@ from ..core.config import CompressorConfig
 from ..core.errors import ConfigError
 from ..telemetry import instruments as ins
 from ..telemetry.context import enabled as _tel_enabled
+from .backends import make_backend, resolve_backend_name
 from .cache import QuantCache, cache_scope
 
 __all__ = ["CompressionEngine", "default_jobs"]
@@ -55,7 +58,7 @@ def default_jobs() -> int:
 class CompressionEngine:
     """Schedules independent fields and blocks across a worker pool.
 
-    >>> with CompressionEngine(jobs=4) as eng:
+    >>> with CompressionEngine(jobs=4, backend="process") as eng:
     ...     futures = [eng.submit(block) for block in blocks]
     ...     results = [f.result() for f in futures]
 
@@ -65,12 +68,17 @@ class CompressionEngine:
         Default :class:`CompressorConfig` bound to jobs that do not bring
         their own.
     jobs:
-        Worker thread count; defaults to the machine's core count.
+        Worker count; defaults to the machine's core count (``1`` for the
+        serial backend).
     max_inflight:
         Backpressure bound on queued-plus-running jobs; defaults to
         ``2 * jobs``.  :meth:`submit` blocks once the bound is reached.
     cache_entries:
         LRU capacity of the shared codebook/histogram cache.
+    backend:
+        ``"serial"``, ``"thread"``, or ``"process"``; ``None`` resolves via
+        the config's ``backend`` field, then the ``REPRO_ENGINE_BACKEND``
+        environment variable, then ``"thread"``.
     """
 
     def __init__(
@@ -79,9 +87,19 @@ class CompressionEngine:
         jobs: int | None = None,
         max_inflight: int | None = None,
         cache_entries: int = 256,
+        backend: str | None = None,
     ) -> None:
         self.config = config or CompressorConfig()
-        self.jobs = int(jobs) if jobs else default_jobs()
+        self.backend = resolve_backend_name(backend, self.config)
+        if self.backend == "serial":
+            if jobs is not None and int(jobs) > 1:
+                raise ConfigError(
+                    f"backend='serial' is single-worker; got jobs={jobs} "
+                    "(pick 'thread' or 'process' for parallelism)"
+                )
+            self.jobs = 1
+        else:
+            self.jobs = int(jobs) if jobs else default_jobs()
         if self.jobs < 1:
             raise ConfigError(f"engine needs at least one worker, got {jobs}")
         self.max_inflight = int(max_inflight) if max_inflight else 2 * self.jobs
@@ -96,19 +114,21 @@ class CompressionEngine:
         self._depth = 0
         self._depth_max = 0
         self._submit_wait = 0.0
-        # Per-worker-thread accounting: tid -> [wall_seconds, cpu_seconds,
-        # jobs].  Wall comes from perf_counter pairs, CPU from
-        # time.thread_time; their gap is lock/GIL wait inside jobs -- the
-        # quantity the scaling diagnostics exist to measure.
+        # Per-worker accounting: worker id -> [wall_seconds, cpu_seconds,
+        # jobs].  For the thread/serial backends the id is a thread ident and
+        # CPU comes from the submitting process's time.thread_time; for the
+        # process backend the id is the worker's pid and both numbers are
+        # measured inside that worker (thread_time is per-process there).
+        # The wall-vs-CPU gap is lock/GIL wait inside jobs -- the quantity
+        # the scaling diagnostics exist to measure.
         self._worker_lock = threading.Lock()
         self._workers: dict[int, list] = {}
+        self._remote_cache = [0, 0]  # (hits, misses) folded in from workers
         # Queue-depth timeline: (perf_counter, depth) at every transition,
         # bounded so a long-lived engine cannot grow it without limit.
         self._depth_samples: deque[tuple[float, int]] = deque(maxlen=4096)
         self._closed = False
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.jobs, thread_name_prefix="repro-engine"
-        )
+        self._backend = make_backend(self.backend, self, self.jobs)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -120,9 +140,13 @@ class CompressionEngine:
         return False
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting jobs and (optionally) wait for in-flight ones."""
+        """Stop accepting jobs and (optionally) wait for in-flight ones.
+
+        Always releases backend resources: the process backend's
+        shared-memory segments are unlinked here, clean exit or not.
+        """
         self._closed = True
-        self._pool.shutdown(wait=wait)
+        self._backend.shutdown(wait=wait)
 
     @property
     def closed(self) -> bool:
@@ -147,7 +171,11 @@ class CompressionEngine:
             return self._submit_wait
 
     def worker_stats(self) -> dict[int, dict]:
-        """Per-worker-thread accounting: wall/CPU seconds and job count."""
+        """Per-worker accounting: wall/CPU seconds and job count.
+
+        Keys are thread idents (serial/thread backends) or worker pids
+        (process backend).
+        """
         with self._worker_lock:
             return {
                 tid: {"wall_seconds": w, "cpu_seconds": c, "jobs": n}
@@ -168,7 +196,10 @@ class CompressionEngine:
         workers = self.worker_stats()
         wall = sum(w["wall_seconds"] for w in workers.values())
         cpu = sum(w["cpu_seconds"] for w in workers.values())
+        with self._worker_lock:
+            remote_hits, remote_misses = self._remote_cache
         return {
+            "backend": self.backend,
             "jobs": self.jobs,
             "max_inflight": self.max_inflight,
             "queue_depth": self.queue_depth,
@@ -182,7 +213,10 @@ class CompressionEngine:
             "workers": [
                 {"tid": tid, **stats} for tid, stats in sorted(workers.items())
             ],
-            "cache": {"hits": self.cache.stats.hits, "misses": self.cache.stats.misses},
+            "cache": {
+                "hits": self.cache.stats.hits + remote_hits,
+                "misses": self.cache.stats.misses + remote_misses,
+            },
         }
 
     # -- submission ---------------------------------------------------------
@@ -195,10 +229,13 @@ class CompressionEngine:
     ) -> "Future[CompressionResult]":
         """Schedule one compression job; blocks when the pool is saturated.
 
-        The job runs :func:`repro.compress` on a worker thread under the
-        engine's shared cache, in a copy of the submitting context (so an
-        open telemetry span in the caller becomes the parent of the worker's
-        ``compress`` span, and ``telemetry.scope`` overrides propagate).
+        The job runs :func:`repro.compress` on a worker under the engine's
+        cache.  Thread workers execute in a copy of the submitting context
+        (so an open telemetry span in the caller becomes the parent of the
+        worker's ``compress`` span, and ``telemetry.scope`` overrides
+        propagate); process workers re-apply the captured telemetry switch
+        and pinned archive format instead, and take the zero-copy
+        shared-memory path for the field payload.
         """
         cfg = config or self.config
         if overrides:
@@ -209,11 +246,11 @@ class CompressionEngine:
         """Schedule an arbitrary callable on the worker pool.
 
         The decode-side counterpart of :meth:`submit`: the callable runs
-        under the engine's shared cache (so decode tables built for one
-        chunk group or block are reused by the next), inside a copy of the
-        submitting context, with the same backpressure, ordering, and
-        accounting guarantees.  ``decompress(jobs=...)`` uses this to fan
-        chunk groups and blocks out across workers.
+        under the engine's cache (so decode tables built for one chunk
+        group or block are reused by the next), with the same backpressure,
+        ordering, and accounting guarantees.  ``decompress(jobs=...)`` uses
+        this to fan chunk groups and blocks out across workers.  On the
+        process backend the callable and its arguments must be picklable.
         """
         return self._schedule(fn, *args, **kwargs)
 
@@ -230,10 +267,9 @@ class CompressionEngine:
             self._submit_wait += waited
         if _tel_enabled():
             ins.ENGINE_SUBMIT_WAIT.observe(waited)
-        ctx = contextvars.copy_context()
         self._note_depth(+1)
         try:
-            return self._pool.submit(ctx.run, self._call_in_ctx, fn, args, kwargs)
+            return self._backend.schedule(fn, args, kwargs)
         except BaseException:
             self._slots.release()
             self._note_depth(-1)
@@ -260,9 +296,10 @@ class CompressionEngine:
     # -- worker side --------------------------------------------------------
 
     def _call_in_ctx(self, fn, args, kwargs):
-        # The whole job -- including the completion accounting -- runs in the
-        # submit-time context copy, so a caller's telemetry scope override
-        # governs the engine counters too, not just the inner spans.
+        # In-process job body (serial/thread backends).  The whole job --
+        # including the completion accounting -- runs in the submit-time
+        # context copy, so a caller's telemetry scope override governs the
+        # engine counters too, not just the inner spans.
         wall0 = time.perf_counter()
         cpu0 = time.thread_time()
         try:
@@ -271,18 +308,46 @@ class CompressionEngine:
         finally:
             wall = time.perf_counter() - wall0
             cpu = time.thread_time() - cpu0
-            tid = threading.get_ident()
-            with self._worker_lock:
-                slot = self._workers.setdefault(tid, [0.0, 0.0, 0])
-                slot[0] += wall
-                slot[1] += cpu
-                slot[2] += 1
+            self._record_worker(threading.get_ident(), wall, cpu)
             self._slots.release()
             self._note_depth(-1)
             if _tel_enabled():
                 ins.ENGINE_JOBS.inc()
                 ins.ENGINE_WORKER_SECONDS.inc(wall, kind="wall")
                 ins.ENGINE_WORKER_SECONDS.inc(cpu, kind="cpu")
+
+    def _finish_remote_job(
+        self,
+        worker_id: int | None,
+        wall: float,
+        cpu: float,
+        cache_delta: tuple[int, int] | None = None,
+        tel_on: bool = False,
+    ) -> None:
+        # Process-backend completion hook (runs on the pool's result
+        # thread, which has no submit-time context -- telemetry intent was
+        # captured at submit as ``tel_on``).  A failed job has no worker
+        # frame: still release the slot so the batch cannot hang, but skip
+        # the stats.
+        if worker_id is not None:
+            self._record_worker(worker_id, wall, cpu)
+            if cache_delta is not None:
+                with self._worker_lock:
+                    self._remote_cache[0] += int(cache_delta[0])
+                    self._remote_cache[1] += int(cache_delta[1])
+        self._slots.release()
+        self._note_depth(-1)
+        if tel_on and worker_id is not None:
+            ins.ENGINE_JOBS.inc()
+            ins.ENGINE_WORKER_SECONDS.inc(wall, kind="wall")
+            ins.ENGINE_WORKER_SECONDS.inc(cpu, kind="cpu")
+
+    def _record_worker(self, worker_id: int, wall: float, cpu: float) -> None:
+        with self._worker_lock:
+            slot = self._workers.setdefault(worker_id, [0.0, 0.0, 0])
+            slot[0] += wall
+            slot[1] += cpu
+            slot[2] += 1
 
     def _note_depth(self, delta: int) -> None:
         with self._depth_lock:
@@ -298,6 +363,7 @@ class CompressionEngine:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"CompressionEngine(jobs={self.jobs}, max_inflight={self.max_inflight}, "
-            f"depth={self.queue_depth}, cache={self.cache.stats!r})"
+            f"CompressionEngine(backend={self.backend!r}, jobs={self.jobs}, "
+            f"max_inflight={self.max_inflight}, depth={self.queue_depth}, "
+            f"cache={self.cache.stats!r})"
         )

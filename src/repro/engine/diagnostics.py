@@ -1,23 +1,26 @@
 """Engine scaling diagnostics: where does parallel time actually go?
 
-The committed baselines show ``jobs=4`` no faster than ``jobs=1`` -- the
-engine is a GIL-bound thread pool over pure-Python/NumPy stages.  Before
-the process-based engine lands, this module quantifies that ceiling so
-the refactor has a before/after gate:
+The committed thread-pool baselines show ``jobs=4`` no faster than
+``jobs=1`` -- a GIL-bound thread pool over pure-Python/NumPy stages.  This
+module quantifies that ceiling per executor backend so the choice has data
+behind it:
 
 * :func:`run_scaling_sweep` runs an identical batch workload at each
-  requested worker count on a fresh :class:`CompressionEngine` and folds
-  the engine's per-worker accounting (``perf_counter`` wall vs
-  ``time.thread_time`` CPU, semaphore wait, queue-depth high-water) into
-  a :class:`ScalingReport`;
-* the report's speedup curve comes with a CPU-bound-vs-wait breakdown
-  per point: ``worker_cpu_seconds`` is real compute, ``lock_wait_seconds``
-  (worker wall minus worker CPU) is GIL/lock stall, ``submit_wait_seconds``
-  is producer backpressure.  A flat speedup curve with ballooning
-  ``lock_wait_seconds`` is the GIL signature; a flat curve with growing
-  ``submit_wait_seconds`` means ``max_inflight`` is the bottleneck.
+  requested worker count on a fresh :class:`CompressionEngine` (any
+  backend) and folds the engine's per-worker accounting (``perf_counter``
+  wall vs ``time.thread_time`` CPU, semaphore wait, queue-depth high-water)
+  into a :class:`ScalingReport`;
+* the report's speedup curve comes with a per-point breakdown that tells
+  the two failure stories apart: ``worker_cpu_seconds`` is real compute,
+  ``lock_wait_seconds`` (worker wall minus worker CPU) is GIL/lock stall --
+  the *thread* backend's signature -- and ``ipc_overhead_seconds`` (parent
+  wall beyond the workers' amortized share) is dispatch, shared-memory
+  copy-in, and result-frame cost -- the *process* backend's tax;
+* :func:`compare_backends` sweeps several backends over the same workload
+  and :func:`recommend_backend` turns the curves into a one-word answer.
 
-``repro obs scaling --jobs 1,2,4`` is the CLI front end.
+``repro obs scaling --jobs 1,2,4 --backends thread,process`` is the CLI
+front end.
 """
 
 from __future__ import annotations
@@ -30,7 +33,14 @@ from ..core.config import CompressorConfig
 from ..telemetry.log import get_logger
 from .core import CompressionEngine
 
-__all__ = ["ScalingPoint", "ScalingReport", "make_sweep_fields", "run_scaling_sweep"]
+__all__ = [
+    "ScalingPoint",
+    "ScalingReport",
+    "compare_backends",
+    "make_sweep_fields",
+    "recommend_backend",
+    "run_scaling_sweep",
+]
 
 _log = get_logger("repro.engine.diagnostics")
 
@@ -50,6 +60,8 @@ class ScalingPoint:
     jobs_completed: int
     speedup: float
     efficiency: float
+    ipc_overhead_seconds: float = 0.0
+    backend: str = "thread"
 
     @property
     def cpu_fraction(self) -> float:
@@ -72,6 +84,8 @@ class ScalingPoint:
             "speedup": self.speedup,
             "efficiency": self.efficiency,
             "cpu_fraction": self.cpu_fraction,
+            "ipc_overhead_seconds": self.ipc_overhead_seconds,
+            "backend": self.backend,
         }
 
 
@@ -84,6 +98,7 @@ class ScalingReport:
     field_bytes: int
     repeats: int
     points: list[ScalingPoint] = field(default_factory=list)
+    backend: str = "thread"
 
     def to_json(self) -> dict:
         return {
@@ -92,23 +107,40 @@ class ScalingReport:
                 "field_shape": list(self.field_shape),
                 "field_bytes": self.field_bytes,
                 "repeats": self.repeats,
+                "backend": self.backend,
             },
             "points": [p.to_json() for p in self.points],
             "verdict": self.verdict(),
         }
 
     def verdict(self) -> str:
-        """One-line reading of the curve: scaling, GIL-bound, or saturated."""
+        """One-line reading of the curve, naming the *backend-specific* wall.
+
+        A thread backend that stalls is GIL/lock-bound (waiting inside
+        jobs); a process backend that stalls pays IPC overhead (dispatch +
+        shared-memory traffic outside the jobs).  Reporting them under one
+        label would point the user at the wrong fix, so the verdict keys on
+        the backend.
+        """
         if len(self.points) < 2:
             return "single point; no curve to judge"
         last = self.points[-1]
         if last.efficiency >= 0.7:
             return f"scales: {last.speedup:.2f}x at jobs={last.jobs}"
-        if last.lock_wait_seconds > last.worker_cpu_seconds:
+        if self.backend == "process":
+            if last.ipc_overhead_seconds > 0.5 * last.wall_seconds:
+                return (
+                    f"process backend pays IPC overhead: jobs={last.jobs} spends "
+                    f"{last.ipc_overhead_seconds:.3f} s of {last.wall_seconds:.3f} s "
+                    "on dispatch/shared-memory traffic; use bigger blocks or "
+                    "fewer, larger jobs"
+                )
+        elif last.lock_wait_seconds > last.worker_cpu_seconds:
             return (
-                f"GIL/lock-bound: jobs={last.jobs} spends "
+                f"thread backend is GIL-bound: jobs={last.jobs} spends "
                 f"{last.lock_wait_seconds:.3f} s waiting vs "
-                f"{last.worker_cpu_seconds:.3f} s computing"
+                f"{last.worker_cpu_seconds:.3f} s computing; "
+                "try backend='process'"
             )
         return (
             f"sub-linear: {last.speedup:.2f}x at jobs={last.jobs} "
@@ -123,16 +155,17 @@ class ScalingReport:
             [p.jobs, f"{p.wall_seconds * 1e3:.1f}", f"{p.speedup:.2f}",
              f"{p.efficiency:.0%}", f"{p.worker_cpu_seconds * 1e3:.1f}",
              f"{p.lock_wait_seconds * 1e3:.1f}",
+             f"{p.ipc_overhead_seconds * 1e3:.1f}",
              f"{p.submit_wait_seconds * 1e3:.1f}", p.queue_depth_max]
             for p in self.points
         ]
         table = format_table(
             ["jobs", "wall ms", "speedup", "eff", "cpu ms",
-             "lock-wait ms", "submit-wait ms", "depth max"],
+             "lock-wait ms", "ipc ms", "submit-wait ms", "depth max"],
             rows,
             title=(
-                f"engine scaling · {self.n_fields} fields of "
-                f"{self.field_shape} ({self.field_bytes} B each), "
+                f"engine scaling · backend={self.backend} · {self.n_fields} "
+                f"fields of {self.field_shape} ({self.field_bytes} B each), "
                 f"best of {self.repeats}"
             ),
         )
@@ -175,12 +208,14 @@ def run_scaling_sweep(
     eb: float = 1e-3,
     repeats: int = 3,
     config: CompressorConfig | None = None,
+    backend: str = "thread",
 ) -> ScalingReport:
     """Run the identical batch at each worker count; best-of-``repeats``.
 
-    Every point uses a fresh engine (fresh cache, fresh accounting) so the
-    breakdown attributes to that worker count alone.  The baseline for
-    speedup is the first entry of ``jobs_list`` (conventionally 1).
+    Every point uses a fresh engine (fresh cache, fresh accounting, fresh
+    worker pool -- process-backend spawn cost is part of what's measured)
+    so the breakdown attributes to that worker count alone.  The baseline
+    for speedup is the first entry of ``jobs_list`` (conventionally 1).
     """
     import time
 
@@ -191,14 +226,15 @@ def run_scaling_sweep(
     field_bytes = int(fields[0].nbytes)
     report = ScalingReport(
         n_fields=n_fields, field_shape=tuple(shape),
-        field_bytes=field_bytes, repeats=int(repeats),
+        field_bytes=field_bytes, repeats=int(repeats), backend=backend,
     )
     baseline_wall: float | None = None
     for jobs in jobs_list:
+        eng_jobs = 1 if backend == "serial" else jobs
         best_wall = float("inf")
         best_snap: dict = {}
         for _ in range(max(int(repeats), 1)):
-            with CompressionEngine(cfg, jobs=jobs) as engine:
+            with CompressionEngine(cfg, jobs=eng_jobs, backend=backend) as engine:
                 t0 = time.perf_counter()
                 engine.map(fields)
                 wall = time.perf_counter() - t0
@@ -209,6 +245,10 @@ def run_scaling_sweep(
             baseline_wall = best_wall
         speedup = baseline_wall / best_wall if best_wall > 0 else 0.0
         rel_jobs = jobs / jobs_list[0]
+        # Parent wall the workers' amortized busy time cannot explain:
+        # dispatch, pickling, shared-memory copies, result frames.  ~0 for
+        # in-process backends; the process backend's honest overhead line.
+        ipc = max(best_wall - best_snap["worker_wall_seconds"] / max(jobs, 1), 0.0)
         point = ScalingPoint(
             jobs=jobs,
             wall_seconds=best_wall,
@@ -221,10 +261,53 @@ def run_scaling_sweep(
             jobs_completed=best_snap["jobs_completed"],
             speedup=speedup,
             efficiency=speedup / rel_jobs if rel_jobs > 0 else 0.0,
+            ipc_overhead_seconds=ipc,
+            backend=backend,
         )
         report.points.append(point)
         _log.event(
-            "scaling.point", jobs=jobs, wall_seconds=best_wall,
+            "scaling.point", backend=backend, jobs=jobs, wall_seconds=best_wall,
             speedup=speedup, lock_wait_seconds=point.lock_wait_seconds,
+            ipc_overhead_seconds=ipc,
         )
     return report
+
+
+def compare_backends(
+    jobs_list: tuple[int, ...] = (1, 2, 4, 8),
+    backends: tuple[str, ...] = ("thread", "process"),
+    n_fields: int = 8,
+    shape: tuple[int, ...] = (256, 256),
+    eb: float = 1e-3,
+    repeats: int = 3,
+    config: CompressorConfig | None = None,
+) -> dict[str, ScalingReport]:
+    """One :func:`run_scaling_sweep` per backend over the same workload."""
+    return {
+        backend: run_scaling_sweep(
+            jobs_list, n_fields=n_fields, shape=shape, eb=eb,
+            repeats=repeats, config=config, backend=backend,
+        )
+        for backend in backends
+    }
+
+
+def recommend_backend(reports: dict[str, ScalingReport]) -> str:
+    """Pick the backend whose last sweep point ran the workload fastest.
+
+    Ties (within 5%) go to ``thread`` -- same speed without process-spawn
+    latency or pickling constraints is the simpler deal.
+    """
+    if not reports:
+        return "thread"
+    walls = {
+        name: rep.points[-1].wall_seconds
+        for name, rep in reports.items() if rep.points
+    }
+    if not walls:
+        return "thread"
+    best = min(walls, key=walls.get)
+    if best != "thread" and "thread" in walls:
+        if walls[best] >= walls["thread"] * 0.95:
+            return "thread"
+    return best

@@ -354,3 +354,110 @@ class TestBenchCli:
         assert payload["regime_counts"]["huffman"] >= 1
         assert payload["regime_counts"]["rle"] >= 1
         assert payload["all_within_bounds"] is True
+
+
+def scaling_record(
+    process_walls: dict[int, float],
+    thread_walls: dict[int, float] | None = None,
+    cpu_count: int | None = 8,
+) -> dict:
+    """Hand-built scaling-scenario record for summary/gate tests."""
+    from repro.bench.scaling import scaling_summary
+
+    def result(backend: str, jobs: int, wall: float) -> dict:
+        return {
+            "case": f"blocks_{backend}_j{jobs}", "dataset": "CESM",
+            "field": "PS", "eb": 1e-3, "workflow": "auto", "repeats": 3,
+            "timing": {
+                "blocks.compress": {"mean": wall * 1.1, "min": wall,
+                                    "max": wall * 1.2, "stdev": 0.0, "n": 3},
+            },
+            "quality": {"compression_ratio": 20.0, "psnr_db": 66.0,
+                        "max_error": 1e-3, "bound_satisfied": True},
+            "sizes": {}, "selector": {},
+            "engine": {"jobs": jobs, "block_bytes": 1 << 20,
+                       "backend": backend},
+        }
+
+    results = [result("process", j, w) for j, w in process_walls.items()]
+    results += [result("thread", j, w)
+                for j, w in (thread_walls or {}).items()]
+    record = build_record(
+        label="scaling", scenario="scaling",
+        results=results,
+        config={"repeats": 3, **scaling_summary(results)}, metrics={},
+    )
+    if cpu_count is None:
+        record["environment"].pop("cpu_count", None)
+    else:
+        record["environment"]["cpu_count"] = cpu_count
+    return record
+
+
+class TestScalingSummaryAndGate:
+    def test_summary_builds_per_backend_curves(self):
+        record = scaling_record({1: 0.4, 4: 0.2}, {1: 0.4, 4: 0.38})
+        summary = record["config"]["scaling"]
+        process = summary["process"]
+        assert [p["jobs"] for p in process["points"]] == [1, 4]
+        assert process["points"][-1]["speedup"] == pytest.approx(2.0)
+        assert process["max_speedup"] == pytest.approx(2.0)
+        assert summary["thread"]["max_speedup"] < 1.1
+        assert record["config"]["fastest_backend"] == "process"
+
+    def test_gate_passes_on_sufficient_speedup(self):
+        record = scaling_record({1: 0.4, 4: 0.2})
+        from repro.bench.scaling import check_scaling_gate
+
+        status, message = check_scaling_gate(record, min_speedup=1.5)
+        assert status == "pass"
+        assert "2.00x" in message
+
+    def test_gate_fails_below_threshold(self):
+        from repro.bench.scaling import check_scaling_gate
+
+        record = scaling_record({1: 0.4, 4: 0.35})
+        status, message = check_scaling_gate(record, min_speedup=1.5)
+        assert status == "fail"
+        assert "gate 1.50x" in message
+
+    def test_gate_skips_on_small_hosts(self):
+        from repro.bench.scaling import check_scaling_gate
+
+        record = scaling_record({1: 0.4, 4: 0.35}, cpu_count=1)
+        status, message = check_scaling_gate(record, min_speedup=1.5)
+        assert status == "skip"
+        assert "1 core" in message
+
+    def test_gate_skips_when_cases_missing(self):
+        from repro.bench.scaling import check_scaling_gate
+
+        record = scaling_record({1: 0.4, 2: 0.3})
+        status, message = check_scaling_gate(record, min_speedup=1.5)
+        assert status == "skip"
+        assert "lacks" in message
+
+    def test_gate_cli(self, tmp_path, capsys):
+        passing = write_record(scaling_record({1: 0.4, 4: 0.2}), tmp_path)
+        assert main(["bench", "scaling-gate", str(passing)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        failing = scaling_record({1: 0.4, 4: 0.38})
+        failing["label"] = "scaling-fail"
+        failing_path = write_record(failing, tmp_path)
+        assert main(["bench", "scaling-gate", str(failing_path)]) == 1
+        skipping = scaling_record({1: 0.4, 4: 0.38}, cpu_count=2)
+        skipping["label"] = "scaling-skip"
+        skipping_path = write_record(skipping, tmp_path)
+        capsys.readouterr()
+        assert main(["bench", "scaling-gate", str(skipping_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "skip"
+
+    def test_scaling_scenario_is_registered(self):
+        scenario = get_scenario("scaling")
+        backends = {c.backend for c in scenario.cases}
+        jobs = {c.jobs for c in scenario.cases}
+        assert backends == {"thread", "process"}
+        assert jobs == {1, 2, 4, 8}
+        assert scenario.summary is not None

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.conformance.metamorphic import (
+    check_backend_identity,
     check_decode_serial_parallel_identity,
     check_decoder_agreement,
     check_eb_monotonicity,
@@ -91,6 +92,29 @@ def test_decode_serial_parallel_identity(container, workflow):
         container,
         jobs=2,
     )
+
+
+# One container sweep with every backend (serial/thread/process) is enough
+# to pin the cross-backend byte-identity invariant; the per-backend engine
+# spawn (a process pool each) is why this is not in the full workflow matrix.
+@pytest.mark.parametrize("container", ["single", "blocks"])
+def test_backend_identity(container):
+    check_backend_identity(
+        _field_2d(shape=(24, 24)), _config(container, "huffman"), container,
+        jobs=2,
+    )
+
+
+def test_backend_identity_reuses_caller_engines():
+    from repro.engine import CompressionEngine
+
+    config = _config("blocks", "huffman")
+    with CompressionEngine(config, jobs=2, backend="thread") as eng:
+        check_backend_identity(
+            _field_2d(), config, "blocks", jobs=2,
+            backends=("serial", "thread"), engines={"thread": eng},
+        )
+        assert not eng.closed  # caller-owned pools must survive the check
 
 
 def test_idempotence_holds_in_3d():

@@ -252,8 +252,8 @@ class TestParallelByteIdentity:
         config = repro.CompressorConfig(eb=1e-3)
         serial = compress_blocks(field, config, max_block_bytes=8192)
         with CompressionEngine(config, jobs=3) as eng:
-            first = compress_blocks(field, config, max_block_bytes=8192, engine=eng)
-            second = compress_blocks(field, config, max_block_bytes=8192, engine=eng)
+            first = compress_blocks(field, config, max_block_bytes=8192, backend=eng)
+            second = compress_blocks(field, config, max_block_bytes=8192, backend=eng)
         assert first == serial and second == serial
 
     def test_streaming_engine_matches_serial(self):
@@ -289,7 +289,7 @@ class TestParallelDecode:
         serial = repro.decompress(blob)
         with CompressionEngine(jobs=2) as eng:
             np.testing.assert_array_equal(
-                repro.decompress(blob, engine=eng), serial
+                repro.decompress(blob, backend=eng), serial
             )
             assert not eng.closed  # caller-owned pools are left running
 
