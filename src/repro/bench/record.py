@@ -14,6 +14,7 @@ files, so additions are fine but renames/removals bump the version.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import statistics
@@ -28,6 +29,7 @@ __all__ = [
     "RECORD_REQUIRED_KEYS",
     "RESULT_REQUIRED_KEYS",
     "environment_fingerprint",
+    "quantiles",
     "summarize",
     "build_record",
     "validate_record",
@@ -148,6 +150,30 @@ def summarize(samples: list[float]) -> dict:
         "stdev": statistics.stdev(samples) if len(samples) > 1 else 0.0,
         "n": len(samples),
     }
+
+
+def quantiles(
+    samples: list[float], qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+) -> dict:
+    """Exact order-statistic quantiles keyed Prometheus-style (``p50`` ...).
+
+    Unlike the metrics registry's bucket-interpolated estimates, these come
+    from the sorted raw samples, so a latency report built from them is
+    exact.  Empty input yields all-zero quantiles (``n == 0`` elsewhere in
+    the summary disambiguates).
+    """
+    out = {}
+    ordered = sorted(samples)
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        key = f"p{q * 100:g}"
+        if not ordered:
+            out[key] = 0.0
+            continue
+        rank = max(int(math.ceil(q * len(ordered))) - 1, 0)
+        out[key] = ordered[min(rank, len(ordered) - 1)]
+    return out
 
 
 def build_record(

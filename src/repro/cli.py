@@ -16,6 +16,8 @@ Subcommands::
     python -m repro obs        serve [--port 9464] [--once]
     python -m repro obs        report [LEDGER.jsonl]
     python -m repro obs        scaling --jobs 1,2,4 --backends thread,process
+    python -m repro serve      [--port 8077] [--backend process] [-j 4]
+    python -m repro replay     PROFILE.jsonl [--url http://host:port] [--out DIR]
 
 Input fields are SDRBench-style headerless binaries (``.f32``/``.f64``);
 ``--dims`` is given slowest-varying first, exactly like the real tool.
@@ -291,6 +293,55 @@ def build_parser() -> argparse.ArgumentParser:
     posc.add_argument("--repeats", type=int, default=3,
                       help="best-of repeats per point (default 3)")
     posc.add_argument("--json", action="store_true", dest="as_json")
+
+    psrv = sub.add_parser(
+        "serve",
+        help="serve compress/decompress/verify over HTTP with per-tenant "
+             "quotas, priority classes, and 429 backpressure",
+    )
+    psrv.add_argument("--host", default="127.0.0.1")
+    psrv.add_argument("--port", type=int, default=8077,
+                      help="listen port (0 picks an ephemeral one)")
+    psrv.add_argument("-j", "--jobs", type=int, default=None,
+                      help="engine workers (default: core count)")
+    psrv.add_argument("--backend", choices=["serial", "thread", "process"],
+                      default=None,
+                      help="executor backend (default: $REPRO_ENGINE_BACKEND "
+                           "then thread)")
+    psrv.add_argument("--max-inflight", type=int, default=None,
+                      help="admission limit on in-flight requests "
+                           "(default 2 * jobs)")
+    psrv.add_argument("--batch-reserve", type=int, default=None,
+                      help="slots withheld from batch-priority requests "
+                           "(default max-inflight // 4)")
+    psrv.add_argument("--quota", default="100", metavar="RATE[:BURST]",
+                      help="default per-tenant token-bucket quota in "
+                           "requests/second (default 100)")
+    psrv.add_argument("--tenant-quota", action="append", default=[],
+                      metavar="TENANT=RATE[:BURST]",
+                      help="per-tenant quota override (repeatable)")
+    psrv.add_argument("--max-body-mb", type=int, default=256,
+                      help="largest accepted request body (default 256 MiB)")
+
+    prp = sub.add_parser(
+        "replay",
+        help="replay a JSONL traffic profile against a live server and "
+             "emit a repro.bench latency record",
+    )
+    prp.add_argument("profile", type=Path, help="JSONL traffic profile")
+    prp.add_argument("--url", default=None,
+                     help="server base URL (overrides --host/--port)")
+    prp.add_argument("--host", default="127.0.0.1")
+    prp.add_argument("--port", type=int, default=8077)
+    prp.add_argument("--out", type=Path, default=None,
+                     help="directory for the BENCH_<label>.json record")
+    prp.add_argument("--label", default=None,
+                     help="record label (default replay_<profile-stem>)")
+    prp.add_argument("--speed", type=float, default=1.0,
+                     help="time-compression factor for arrival offsets")
+    prp.add_argument("--max-concurrency", type=int, default=64,
+                     help="client-side cap on simultaneous requests")
+    prp.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -855,6 +906,82 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .core.errors import ConfigError
+    from .server import ServerConfig, parse_quota, serve_forever
+
+    rate, burst = parse_quota(args.quota)
+    tenant_quotas = {}
+    for spec in args.tenant_quota:
+        name, sep, quota = spec.partition("=")
+        if not sep or not name:
+            raise ConfigError(
+                f"--tenant-quota must be TENANT=RATE[:BURST], got {spec!r}"
+            )
+        tenant_quotas[name] = parse_quota(quota)
+    serve_forever(ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        backend=args.backend,
+        max_inflight=args.max_inflight,
+        batch_reserve=args.batch_reserve,
+        quota_rate=rate,
+        quota_burst=burst,
+        tenant_quotas=tenant_quotas,
+        max_body=args.max_body_mb << 20,
+    ))
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from urllib.parse import urlsplit
+
+    from .core.errors import ConfigError
+    from .server.replay import replay_profile
+
+    host, port = args.host, args.port
+    if args.url:
+        split = urlsplit(args.url)
+        if not split.hostname or not split.port:
+            raise ConfigError(
+                f"--url must look like http://host:port, got {args.url!r}"
+            )
+        host, port = split.hostname, split.port
+    summary = replay_profile(
+        args.profile,
+        host=host,
+        port=port,
+        out_dir=args.out,
+        label=args.label,
+        speed=args.speed,
+        max_concurrency=args.max_concurrency,
+    )
+    failed = bool(summary["errors"]) or summary["digest_mismatches"] > 0
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+        return 1 if failed else 0
+    lat = summary["latency_seconds"]
+    print(f"replayed {summary['n_requests']} requests "
+          f"({summary['n_tenants']} tenant(s)) against {summary['url']} "
+          f"in {summary['wall_seconds']:.2f}s "
+          f"({summary['requests_per_second']:.1f} req/s)")
+    print(f"  statuses: {summary['statuses']}")
+    print(f"  latency p50/p95/p99: {lat['p50'] * 1e3:.1f} / "
+          f"{lat['p95'] * 1e3:.1f} / {lat['p99'] * 1e3:.1f} ms")
+    if summary["record_path"]:
+        print(f"  bench record -> {summary['record_path']}")
+    if failed:
+        print(f"  FAILED: {len(summary['errors'])} error(s), "
+              f"{summary['digest_mismatches']} digest mismatch(es)")
+        for err in summary["errors"][:10]:
+            print(f"    #{err['index']} {err['op']} [{err['tenant']}] "
+                  f"status={err['status']}: {err['detail']}")
+        return 1
+    print("  all round-trips byte-identical to the library pipeline")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -869,6 +996,8 @@ def main(argv: list[str] | None = None) -> int:
         "diagnose": _cmd_diagnose,
         "conformance": _cmd_conformance,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
+        "replay": _cmd_replay,
     }[args.command]
     try:
         return handler(args)

@@ -158,6 +158,13 @@ class CompressionEngine:
         with self._depth_lock:
             return self._depth
 
+    def spare_capacity(self) -> int:
+        """``max_inflight`` headroom right now (0 means :meth:`submit` would
+        block).  The server's admission layer consults this so saturation
+        becomes a 429 instead of a blocked event loop."""
+        with self._depth_lock:
+            return self.max_inflight - self._depth
+
     @property
     def queue_depth_max(self) -> int:
         """High-water mark of :attr:`queue_depth` over this engine's life."""

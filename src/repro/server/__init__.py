@@ -1,0 +1,40 @@
+"""Compression-as-a-service: the asyncio HTTP front door and its load
+replayer.
+
+* :class:`~repro.server.app.CompressionServer` -- the server itself
+  (``repro serve`` on the CLI); see :mod:`repro.server.app` for the
+  endpoint and admission-control contract.
+* :mod:`repro.server.scheduler` -- per-tenant token-bucket quotas and
+  priority-class admission.
+* :func:`~repro.server.replay.replay_profile` -- drive a live server from
+  a recorded JSONL traffic profile (``repro replay``) and emit a
+  ``repro.bench/v1`` latency record.
+"""
+
+from .app import CompressionServer, ServerConfig, serve_forever
+from .replay import load_profile, replay_profile, synthesize_field
+from .scheduler import (
+    PRIORITIES,
+    AdmissionError,
+    QuotaExceeded,
+    RequestScheduler,
+    Saturated,
+    TokenBucket,
+    parse_quota,
+)
+
+__all__ = [
+    "PRIORITIES",
+    "AdmissionError",
+    "CompressionServer",
+    "QuotaExceeded",
+    "RequestScheduler",
+    "Saturated",
+    "ServerConfig",
+    "TokenBucket",
+    "load_profile",
+    "parse_quota",
+    "replay_profile",
+    "serve_forever",
+    "synthesize_field",
+]

@@ -1,0 +1,611 @@
+"""The compression-as-a-service front door.
+
+:class:`CompressionServer` is an asyncio HTTP server (stdlib only) that
+exposes the library's compress/decompress/verify pipeline to concurrent
+network clients, executing every job on a
+:class:`~repro.engine.CompressionEngine` so the thread/process backends do
+the heavy lifting while the event loop only shuttles bytes.
+
+Endpoints
+---------
+``POST /v1/compress``
+    Raw little-endian array bytes in, archive bytes out.  The field's
+    geometry and codec come from query parameters (``dims=160,200``,
+    ``dtype=f32|f64``, ``eb=1e-3``, ``mode=rel|abs|pwrel``, ``workflow``,
+    ``predictor``, ``dict_size``, ``block_bytes=N`` for the blocks
+    container).
+``POST /v1/decompress``
+    Archive bytes (any container kind) in, raw array bytes out, with
+    ``X-Repro-Dims``/``X-Repro-Dtype`` response headers.
+``POST /v1/verify``
+    Archive bytes in, JSON integrity report out.  A *corrupt* archive is a
+    successful verification with ``ok: false`` (200), not an error.
+``GET /v1/info``
+    Server, scheduler, and engine diagnostics as JSON.
+``GET /metrics`` / ``GET /metrics.json``
+    The process-global metrics registry (same instruments the ``obs
+    serve`` exporter renders -- one registry, never double-registered).
+``GET /healthz``
+    Liveness: 200 while the process serves, including during drain.
+
+Admission control
+-----------------
+Every ``POST /v1/*`` request passes the
+:class:`~repro.server.scheduler.RequestScheduler` first: per-tenant token
+buckets (``X-Repro-Tenant``), priority classes (``X-Repro-Priority:
+interactive|batch``), and a hard in-flight cap mirroring the engine's
+``max_inflight``.  Rejections are ``429`` + ``Retry-After`` -- the event
+loop never blocks on the engine's backpressure semaphore.
+
+Fault tolerance
+---------------
+A process-backend worker dying mid-request fails *that* request with a
+``500`` carrying the ``EngineError`` detail; the server swaps in a fresh
+engine (the broken pool cannot accept further work) and keeps serving.
+
+Lifecycle
+---------
+``start()``/``stop()`` run the event loop on a dedicated thread so tests
+and the CLI can drive the server synchronously; ``begin_drain()`` (or
+SIGTERM via :func:`serve_forever`) flips the server into drain mode --
+new ``POST /v1/*`` work gets ``503`` while in-flight requests finish --
+before the listener closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import __version__
+from ..core.compressor import compress, decompress_with_stats, sniff_container
+from ..core.config import CompressorConfig
+from ..core.errors import ArchiveError, ConfigError, EngineError, ReproError
+from ..core.integrity import verify_archive
+from ..core.streaming import compress_blocks
+from ..engine import CompressionEngine
+from ..telemetry import instruments as ins
+from ..telemetry import ledger as ledger_mod
+from ..telemetry.metrics import render_json, render_prometheus
+from .http import (
+    ProtocolError,
+    Request,
+    Response,
+    error_response,
+    json_response,
+    read_request,
+)
+from .scheduler import PRIORITIES, AdmissionError, RequestScheduler
+
+__all__ = ["CompressionServer", "ServerConfig", "serve_forever"]
+
+_DTYPES = {"f32": np.dtype(np.float32), "f64": np.dtype(np.float64)}
+_DTYPE_NAMES = {np.dtype(np.float32): "f32", np.dtype(np.float64): "f64"}
+
+_JOB_ENDPOINTS = {"/v1/compress", "/v1/decompress", "/v1/verify"}
+
+
+# ---------------------------------------------------------------------------
+# Job functions -- module level so the process backend can pickle them.
+# ---------------------------------------------------------------------------
+
+
+def _warmup_job() -> int:
+    """Touch the worker's import graph (this module pulls in the whole
+    pipeline) so the first real request never pays process spin-up."""
+    import os
+
+    return os.getpid()
+
+
+def _compress_job(body: bytes, spec: dict) -> tuple[bytes, dict]:
+    """Compress raw field bytes according to a parsed request spec."""
+    arr = np.frombuffer(body, dtype=spec["dtype"]).reshape(spec["dims"])
+    cfg = CompressorConfig(
+        eb=spec["eb"],
+        mode=spec["mode"],
+        workflow=spec["workflow"],
+        predictor=spec["predictor"],
+        dict_size=spec["dict_size"],
+    )
+    if spec["block_bytes"]:
+        blob = compress_blocks(arr, cfg, max_block_bytes=spec["block_bytes"])
+        workflow = "blocks"
+        ratio = arr.nbytes / max(len(blob), 1)
+    else:
+        result = compress(arr, cfg)
+        blob = result.archive
+        workflow = result.workflow
+        ratio = result.compression_ratio
+    return blob, {
+        "container": sniff_container(blob),
+        "workflow": workflow,
+        "ratio": round(float(ratio), 4),
+    }
+
+
+def _decompress_job(blob: bytes) -> tuple[bytes, dict]:
+    """Decompress any container kind back to raw array bytes."""
+    result = decompress_with_stats(blob)
+    arr = np.ascontiguousarray(result.data)
+    return arr.tobytes(), {
+        "dims": list(arr.shape),
+        "dtype": _DTYPE_NAMES.get(arr.dtype, str(arr.dtype)),
+    }
+
+
+def _verify_job(blob: bytes) -> dict:
+    """Deep-verify an archive; corruption is a *finding*, not a failure."""
+    try:
+        report = verify_archive(blob, deep=True)
+    except ArchiveError as exc:
+        return {
+            "ok": False,
+            "error": {"type": type(exc).__name__, "detail": str(exc)},
+        }
+    return {
+        "ok": True,
+        "version": report.version,
+        "checksum_algo": report.checksum_algo,
+        "kind": report.kind,
+        "sections_checked": report.total_sections_checked,
+        "nested_archives": len(report.nested),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Request-spec parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_compress_spec(query: dict[str, str], body_len: int) -> dict:
+    """Validate ``/v1/compress`` query parameters against the body size."""
+    dims_raw = query.get("dims", "")
+    if not dims_raw:
+        raise ConfigError(
+            "compress needs a dims query parameter, e.g. dims=160,200"
+        )
+    try:
+        dims = tuple(int(d) for d in dims_raw.split(","))
+    except ValueError:
+        raise ConfigError(f"dims must be comma-separated integers, got {dims_raw!r}") from None
+    if not 1 <= len(dims) <= 4 or any(d < 1 for d in dims):
+        raise ConfigError(f"dims must be 1..4 positive axes, got {dims}")
+    dtype_name = query.get("dtype", "f32")
+    dtype = _DTYPES.get(dtype_name)
+    if dtype is None:
+        raise ConfigError(
+            f"unsupported dtype {dtype_name!r}; expected one of {sorted(_DTYPES)}"
+        )
+    expected = int(np.prod(dims)) * dtype.itemsize
+    if body_len != expected:
+        raise ConfigError(
+            f"body size mismatch: dims={dims} dtype={dtype_name} needs "
+            f"{expected} bytes but the request carried {body_len}"
+        )
+    mode = query.get("mode", "rel")
+    if mode not in ("rel", "abs", "pwrel"):
+        raise ConfigError(f"mode must be rel|abs|pwrel, got {mode!r}")
+    try:
+        eb = float(query.get("eb", "1e-4"))
+        dict_size = int(query.get("dict_size", "1024"))
+        block_bytes = int(query.get("block_bytes", "0"))
+    except ValueError as exc:
+        raise ConfigError(f"malformed numeric query parameter ({exc})") from None
+    if block_bytes < 0:
+        raise ConfigError(f"block_bytes must be >= 0, got {block_bytes}")
+    return {
+        "dims": dims,
+        "dtype": dtype,
+        "eb": eb,
+        "mode": mode,
+        "workflow": query.get("workflow", "auto"),
+        "predictor": query.get("predictor", "lorenzo"),
+        "dict_size": dict_size,
+        "block_bytes": block_bytes,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServerConfig:
+    """Everything :class:`CompressionServer` needs to boot."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077
+    jobs: int | None = None          #: engine workers (default: core count)
+    backend: str | None = None       #: serial | thread | process
+    max_inflight: int | None = None  #: admission limit (default: 2 * jobs)
+    batch_reserve: int | None = None
+    quota_rate: float = 100.0        #: default tenant tokens/second
+    quota_burst: float | None = None
+    tenant_quotas: dict[str, tuple[float, float]] = field(default_factory=dict)
+    max_body: int = 256 << 20
+    drain_timeout: float = 30.0
+
+
+class CompressionServer:
+    """The asyncio front door; see the module docstring for the contract."""
+
+    def __init__(self, config: ServerConfig | None = None, **overrides) -> None:
+        cfg = config or ServerConfig()
+        if overrides:
+            cfg = ServerConfig(**{**cfg.__dict__, **overrides})
+        self.config = cfg
+        self.host = cfg.host
+        self.port = cfg.port
+        self._engine: CompressionEngine | None = None
+        self._engine_gen = 0
+        self._engine_lock: asyncio.Lock | None = None
+        self._scheduler: RequestScheduler | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._active = 0
+        self._draining = False
+        self._started = 0.0
+
+    # -- engine -------------------------------------------------------------
+
+    def _make_engine(self) -> CompressionEngine:
+        cfg = self.config
+        engine = CompressionEngine(
+            jobs=cfg.jobs,
+            backend=cfg.backend,
+            max_inflight=cfg.max_inflight,
+        )
+        return engine
+
+    async def _warm_engine(self, engine: CompressionEngine) -> None:
+        """Pre-spawn the worker pool.  Process workers pay an import-heavy
+        spin-up on their first job; paying it here keeps first-burst
+        latency from cascading into Saturated rejections."""
+        fanout = min(engine.jobs, engine.max_inflight)
+        futures = [engine.run(_warmup_job) for _ in range(fanout)]
+        await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
+
+    async def _recycle_engine(self, gen: int) -> None:
+        """Replace a broken engine (dead process-pool worker) exactly once."""
+        async with self._engine_lock:
+            if self._engine_gen != gen:
+                return  # a concurrent failure already recycled it
+            old = self._engine
+            self._engine = self._make_engine()
+            self._engine_gen += 1
+            await self._warm_engine(self._engine)
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, lambda: old.shutdown(wait=False))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def _start(self) -> None:
+        self._engine = self._make_engine()
+        self._engine_lock = asyncio.Lock()
+        await self._warm_engine(self._engine)
+        cfg = self.config
+        self._scheduler = RequestScheduler(
+            limit=self._engine.max_inflight,
+            batch_reserve=cfg.batch_reserve,
+            quota_rate=cfg.quota_rate,
+            quota_burst=cfg.quota_burst,
+            tenant_quotas=cfg.tenant_quotas,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_conn, cfg.host, cfg.port, limit=256 << 10
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.time()
+
+    async def _stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        self._draining = True
+        if drain and self._active > 0:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + (
+                timeout if timeout is not None else self.config.drain_timeout
+            )
+            while self._active > 0 and loop.time() < deadline:
+                await asyncio.sleep(0.02)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._engine is not None:
+            engine = self._engine
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: engine.shutdown(wait=True)
+            )
+
+    def start(self) -> "CompressionServer":
+        """Boot the server on a dedicated event-loop thread (sync callers)."""
+        if self._thread is not None:
+            raise ConfigError("server already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._start(), self._loop)
+        try:
+            future.result(timeout=60)
+        except Exception:
+            self._shutdown_loop()
+            raise
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Drain (optionally) and stop; idempotent."""
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self._stop(drain=drain, timeout=timeout), self._loop
+        )
+        budget = (timeout if timeout is not None else self.config.drain_timeout)
+        future.result(timeout=budget + 30)
+        self._shutdown_loop()
+
+    def _shutdown_loop(self) -> None:
+        loop, thread = self._loop, self._thread
+        self._loop = self._thread = None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=10)
+        if loop is not None:
+            loop.close()
+
+    def begin_drain(self) -> None:
+        """Flip into drain mode from any thread (the SIGTERM path)."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(setattr, self, "_draining", True)
+        else:
+            self._draining = True
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def __enter__(self) -> "CompressionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop(drain=exc == (None, None, None))
+        return False
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, max_body=self.config.max_body)
+                except ProtocolError as exc:
+                    response = error_response(
+                        exc.status, "ProtocolError", str(exc), close=True
+                    )
+                    await self._respond(writer, None, response, started=time.perf_counter())
+                    break
+                if request is None:
+                    break
+                started = time.perf_counter()
+                self._active += 1
+                try:
+                    response = await self._dispatch(request)
+                    await self._respond(writer, request, response, started)
+                finally:
+                    self._active -= 1
+                    ins.SERVER_INFLIGHT.set_value(self._active)
+                if not (request.keep_alive and not response.close):
+                    break
+        except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        request: Request | None,
+        response: Response,
+        started: float,
+    ) -> None:
+        keep = request is not None and request.keep_alive and not response.close
+        writer.write(response.to_bytes(keep_alive=keep))
+        await writer.drain()
+        elapsed = time.perf_counter() - started
+        path = request.path if request is not None else "<malformed>"
+        ins.SERVER_REQUESTS.inc(endpoint=path, status=str(response.status))
+        ins.SERVER_REQUEST_SECONDS.observe(elapsed, endpoint=path)
+        if request is not None and request.path in _JOB_ENDPOINTS:
+            led = ledger_mod.ledger_for(None)
+            if led is not None:
+                led.record(
+                    "server." + request.path.rsplit("/", 1)[-1],
+                    status=response.status,
+                    tenant=request.header("x-repro-tenant", "anonymous"),
+                    priority=request.header("x-repro-priority", "interactive"),
+                    seconds=round(elapsed, 6),
+                    bytes_in=len(request.body),
+                    bytes_out=len(response.body),
+                )
+
+    # -- routing ------------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> Response:
+        try:
+            return await self._route(request)
+        except AdmissionError as exc:
+            ins.SERVER_REJECTIONS.inc(reason=exc.reason)
+            return error_response(
+                429, type(exc).__name__, str(exc), retry_after=exc.retry_after
+            )
+        except EngineError as exc:
+            return error_response(500, "EngineError", str(exc))
+        except ReproError as exc:
+            return error_response(400, type(exc).__name__, str(exc))
+        except Exception as exc:  # noqa: BLE001 -- the front door must not die
+            return error_response(
+                500, "InternalError", f"{type(exc).__name__}: {exc}"
+            )
+
+    async def _route(self, request: Request) -> Response:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return json_response(
+                {"status": "draining" if self._draining else "ok",
+                 "active_requests": self._active}
+            )
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return Response(
+                200, render_prometheus().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/metrics.json":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return json_response(render_json())
+        if path == "/v1/info":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return json_response(self._info())
+        if path in _JOB_ENDPOINTS:
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            if self._draining:
+                return error_response(
+                    503, "ServerDraining",
+                    "server is draining; retry against another instance",
+                    retry_after=1,
+                )
+            return await self._handle_job(request)
+        return error_response(404, "NotFound", f"no route for {path!r}")
+
+    @staticmethod
+    def _method_not_allowed(allowed: str) -> Response:
+        return error_response(
+            405, "MethodNotAllowed", f"this endpoint only accepts {allowed}"
+        )
+
+    def _info(self) -> dict:
+        return {
+            "server": {
+                "version": __version__,
+                "address": self.address,
+                "draining": self._draining,
+                "active_requests": self._active,
+                "uptime_seconds": round(time.time() - self._started, 3),
+            },
+            "scheduler": self._scheduler.snapshot(),
+            "engine": self._engine.diagnostics_snapshot(),
+            "endpoints": sorted(_JOB_ENDPOINTS)
+            + ["/healthz", "/metrics", "/metrics.json", "/v1/info"],
+        }
+
+    # -- job execution ------------------------------------------------------
+
+    async def _handle_job(self, request: Request) -> Response:
+        tenant = request.header("x-repro-tenant", "anonymous")
+        priority = request.header("x-repro-priority", "interactive").lower()
+        if priority not in PRIORITIES:
+            raise ConfigError(
+                f"unknown priority {priority!r}; expected one of {PRIORITIES}"
+            )
+        self._scheduler.admit(
+            tenant, priority, spare=self._engine.spare_capacity()
+        )
+        try:
+            if request.path == "/v1/compress":
+                spec = _parse_compress_spec(request.query, len(request.body))
+                blob, meta = await self._run(_compress_job, request.body, spec)
+                return Response(
+                    200, blob, "application/octet-stream",
+                    headers=[
+                        ("X-Repro-Container", meta["container"]),
+                        ("X-Repro-Workflow", meta["workflow"]),
+                        ("X-Repro-Ratio", str(meta["ratio"])),
+                    ],
+                )
+            if request.path == "/v1/decompress":
+                if not request.body:
+                    raise ArchiveError(
+                        "decompress needs the archive bytes as the request body"
+                    )
+                raw, meta = await self._run(_decompress_job, request.body)
+                return Response(
+                    200, raw, "application/octet-stream",
+                    headers=[
+                        ("X-Repro-Dims", ",".join(str(d) for d in meta["dims"])),
+                        ("X-Repro-Dtype", meta["dtype"]),
+                    ],
+                )
+            # /v1/verify
+            if not request.body:
+                raise ArchiveError(
+                    "verify needs the archive bytes as the request body"
+                )
+            report = await self._run(_verify_job, request.body)
+            return json_response(report)
+        finally:
+            self._scheduler.release()
+
+    async def _run(self, fn, *args):
+        """Run one job on the engine; a dead worker recycles the engine."""
+        gen, engine = self._engine_gen, self._engine
+        try:
+            return await asyncio.wrap_future(engine.run(fn, *args))
+        except EngineError:
+            await self._recycle_engine(gen)
+            raise
+
+
+def serve_forever(config: ServerConfig) -> None:
+    """CLI entry point: serve until SIGTERM/SIGINT, then drain and exit."""
+    server = CompressionServer(config).start()
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 -- signal handler shape
+        server.begin_drain()
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    print(f"repro-server listening on {server.address}", flush=True)
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.stop(drain=True)
+        print("repro-server drained and stopped", flush=True)

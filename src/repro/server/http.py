@@ -1,0 +1,205 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The front door (:mod:`repro.server.app`) serves a handful of well-known
+endpoints to programmatic clients, so the framing layer is deliberately
+small: request-line + headers + ``Content-Length`` bodies, keep-alive by
+default on HTTP/1.1, no chunked transfer coding (a 501 tells the client to
+retry with a sized body).  Every framing violation raises
+:class:`ProtocolError` carrying the HTTP status the connection handler
+should answer with before closing -- a malformed *request* must produce a
+4xx, never a 500 or a silent hangup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "error_response",
+    "json_response",
+    "read_request",
+]
+
+#: Upper bound on the request line + headers block.
+MAX_HEADER_BYTES = 64 << 10
+
+#: Reason phrases for every status the server emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """The peer sent something that is not a well-formed HTTP request.
+
+    ``status`` is the response code the connection handler answers with
+    (400 unless a more specific code applies: 413 oversized body, 431
+    oversized headers, 501 chunked transfer coding).
+    """
+
+    def __init__(self, detail: str, status: int = 400) -> None:
+        super().__init__(detail)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed request: split target, lowercase header names, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class Response:
+    """One response; ``to_bytes`` renders the wire form."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/octet-stream"
+    headers: list[tuple[str, str]] = field(default_factory=list)
+    close: bool = False
+
+    def to_bytes(self, keep_alive: bool = True) -> bytes:
+        keep = keep_alive and not self.close
+        lines = [
+            f"HTTP/1.1 {self.status} {REASONS.get(self.status, 'Unknown')}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep else 'close'}",
+            "Server: repro-server/1",
+        ]
+        lines.extend(f"{k}: {v}" for k, v in self.headers)
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + self.body
+
+
+def json_response(
+    payload: dict,
+    status: int = 200,
+    headers: list[tuple[str, str]] | None = None,
+    close: bool = False,
+) -> Response:
+    body = (json.dumps(payload, indent=2, default=str) + "\n").encode()
+    return Response(status, body, "application/json", headers or [], close)
+
+
+def error_response(
+    status: int,
+    err_type: str,
+    detail: str,
+    retry_after: int | None = None,
+    close: bool = False,
+) -> Response:
+    """The uniform error envelope: ``{"error": {"type", "detail"}}``.
+
+    ``type`` carries the library exception class name (``ArchiveError``,
+    ``ConfigError``, ``EngineError``, ...) so clients can dispatch on it
+    without parsing prose.
+    """
+    headers = []
+    if retry_after is not None:
+        headers.append(("Retry-After", str(max(int(retry_after), 1))))
+    return json_response(
+        {"error": {"type": err_type, "detail": detail}},
+        status=status, headers=headers, close=close,
+    )
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = 256 << 20
+) -> Request | None:
+    """Parse one request off the stream; ``None`` means clean EOF.
+
+    Raises :class:`ProtocolError` for anything malformed -- including a
+    body shorter than its declared ``Content-Length`` (the peer closed
+    mid-upload), which the server reports as a 400 rather than hanging.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise ProtocolError(
+            "connection closed before the request headers completed"
+        ) from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(
+            f"request headers exceed {MAX_HEADER_BYTES} bytes", status=431
+        ) from None
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise ProtocolError(f"malformed header line {line!r}")
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError(
+            "chunked transfer coding is not supported; send a "
+            "Content-Length body", status=501,
+        )
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise ProtocolError(f"invalid Content-Length {raw_length!r}") from None
+    if length < 0:
+        raise ProtocolError(f"invalid Content-Length {length}")
+    if length > max_body:
+        raise ProtocolError(
+            f"request body of {length} bytes exceeds the {max_body}-byte "
+            "limit", status=413,
+        )
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                f"request body truncated: Content-Length declared {length} "
+                f"bytes but only {len(exc.partial)} arrived"
+            ) from None
+    return Request(method, split.path, query, headers, body, version)

@@ -1,0 +1,476 @@
+"""Load replayer: drive the front door from a recorded traffic profile.
+
+A *profile* is a JSONL file, one request per line (blank lines and ``#``
+comments skipped)::
+
+    {"op": "compress", "offset": 0.0, "tenant": "cesm",
+     "priority": "interactive", "dims": [64, 80], "dtype": "f32",
+     "eb": 1e-3, "mode": "rel", "workflow": "auto", "seed": 1}
+
+Fields:
+
+``op``
+    ``compress`` | ``decompress`` | ``verify``.
+``offset``
+    Seconds after replay start at which the request fires; requests sharing
+    an offset fire concurrently (that is how a profile encodes bursts).
+``tenant`` / ``priority``
+    Forwarded as ``X-Repro-Tenant`` / ``X-Repro-Priority``.
+``dims``/``dtype``/``seed``
+    The synthetic field: deterministic from ``seed`` alone, so the same
+    profile always replays the same bytes.
+``eb``/``mode``/``workflow``/``predictor``/``dict_size``/``block_bytes``
+    Codec parameters (defaults ``1e-4``/``rel``/``auto``/``lorenzo``/
+    ``1024``/``0``; a non-zero ``block_bytes`` requests the blocks
+    container).
+
+Before the clock starts, the replayer runs the *library* pipeline locally
+for every distinct (field, codec) pair and records the expected response
+digest -- the archive bytes for ``compress``, the reconstructed field bytes
+for ``decompress``.  Because the codec is deterministic across processes
+and backends (the conformance kit pins this), a digest mismatch during
+replay is a real correctness failure, not noise.
+
+The outcome is a summary dict plus, when ``out_dir`` is given, a
+``repro.bench/v1`` record (one result per op) whose timing blocks carry
+exact p50/p95/p99 latency quantiles -- directly comparable with ``repro
+bench compare`` tooling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from urllib.parse import urlencode
+
+import numpy as np
+
+from ..bench.record import build_record, quantiles, summarize, write_record
+from ..core.compressor import compress, decompress_with_stats
+from ..core.config import CompressorConfig
+from ..core.errors import ConfigError
+from ..core.streaming import compress_blocks
+from ..telemetry.metrics import render_json
+
+__all__ = ["load_profile", "replay_profile", "synthesize_field"]
+
+_OPS = ("compress", "decompress", "verify")
+_DTYPES = {"f32": np.dtype(np.float32), "f64": np.dtype(np.float64)}
+
+
+# ---------------------------------------------------------------------------
+# Profile loading and deterministic payload synthesis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayEntry:
+    """One request from the profile, with defaults resolved."""
+
+    op: str
+    offset: float
+    tenant: str
+    priority: str
+    dims: tuple[int, ...]
+    dtype: str
+    seed: int
+    eb: float
+    mode: str
+    workflow: str
+    predictor: str
+    dict_size: int
+    block_bytes: int
+    index: int = 0
+
+    def codec_key(self) -> tuple:
+        """Everything that determines the bytes this entry exchanges."""
+        return (
+            self.dims, self.dtype, self.seed, self.eb, self.mode,
+            self.workflow, self.predictor, self.dict_size, self.block_bytes,
+        )
+
+
+def load_profile(path: str | Path) -> list[ReplayEntry]:
+    """Parse and validate a JSONL traffic profile."""
+    entries: list[ReplayEntry] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path}:{lineno}: malformed JSON ({exc})") from None
+        if not isinstance(raw, dict):
+            raise ConfigError(f"{path}:{lineno}: profile lines must be objects")
+        op = raw.get("op")
+        if op not in _OPS:
+            raise ConfigError(
+                f"{path}:{lineno}: op must be one of {_OPS}, got {op!r}"
+            )
+        dims = tuple(int(d) for d in raw.get("dims", ()))
+        if not 1 <= len(dims) <= 4 or any(d < 1 for d in dims):
+            raise ConfigError(
+                f"{path}:{lineno}: dims must be 1..4 positive axes, got {dims}"
+            )
+        dtype = raw.get("dtype", "f32")
+        if dtype not in _DTYPES:
+            raise ConfigError(
+                f"{path}:{lineno}: dtype must be one of {sorted(_DTYPES)}"
+            )
+        entries.append(ReplayEntry(
+            op=op,
+            offset=float(raw.get("offset", 0.0)),
+            tenant=str(raw.get("tenant", "anonymous")),
+            priority=str(raw.get("priority", "interactive")),
+            dims=dims,
+            dtype=dtype,
+            seed=int(raw.get("seed", 0)),
+            eb=float(raw.get("eb", 1e-4)),
+            mode=str(raw.get("mode", "rel")),
+            workflow=str(raw.get("workflow", "auto")),
+            predictor=str(raw.get("predictor", "lorenzo")),
+            dict_size=int(raw.get("dict_size", 1024)),
+            block_bytes=int(raw.get("block_bytes", 0)),
+            index=len(entries),
+        ))
+    if not entries:
+        raise ConfigError(f"profile {path} contains no requests")
+    return entries
+
+
+def synthesize_field(
+    dims: tuple[int, ...], dtype: str, seed: int
+) -> np.ndarray:
+    """Deterministic smooth-ish field: the same seed always replays the
+    same bytes.  An offset keeps values away from zero so ``pwrel``
+    profiles are well-posed."""
+    rng = np.random.default_rng(seed)
+    n = int(np.prod(dims))
+    wave = np.sin(np.linspace(0.0, 8.0 * np.pi, n))
+    drift = np.cumsum(rng.standard_normal(n) * 0.01)
+    return (wave + drift + 5.0).astype(_DTYPES[dtype]).reshape(dims)
+
+
+@dataclass
+class _Prepared:
+    """Request bytes plus the locally-computed expected outcome."""
+
+    payload: bytes
+    query: str
+    expected_digest: str | None  # None: JSON response, assert ok instead
+    field_bytes: int = 0
+
+
+def _digest(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _prepare(entries: list[ReplayEntry]) -> dict[tuple, dict[str, _Prepared]]:
+    """Run the library pipeline once per distinct codec key."""
+    prepared: dict[tuple, dict[str, _Prepared]] = {}
+    for entry in entries:
+        key = entry.codec_key()
+        bucket = prepared.setdefault(key, {})
+        if entry.op in bucket:
+            continue
+        data = synthesize_field(entry.dims, entry.dtype, entry.seed)
+        cfg = CompressorConfig(
+            eb=entry.eb, mode=entry.mode, workflow=entry.workflow,
+            predictor=entry.predictor, dict_size=entry.dict_size,
+        )
+        if entry.block_bytes:
+            archive = compress_blocks(
+                data, cfg, max_block_bytes=entry.block_bytes
+            )
+        else:
+            archive = compress(data, cfg).archive
+        params = {
+            "dims": ",".join(str(d) for d in entry.dims),
+            "dtype": entry.dtype,
+            "eb": repr(entry.eb),
+            "mode": entry.mode,
+            "workflow": entry.workflow,
+            "predictor": entry.predictor,
+            "dict_size": str(entry.dict_size),
+        }
+        if entry.block_bytes:
+            params["block_bytes"] = str(entry.block_bytes)
+        if entry.op == "compress":
+            bucket["compress"] = _Prepared(
+                payload=data.tobytes(),
+                query=urlencode(params),
+                expected_digest=_digest(archive),
+                field_bytes=data.nbytes,
+            )
+        elif entry.op == "decompress":
+            reconstructed = np.ascontiguousarray(
+                decompress_with_stats(archive).data
+            ).tobytes()
+            bucket["decompress"] = _Prepared(
+                payload=archive,
+                query="",
+                expected_digest=_digest(reconstructed),
+                field_bytes=data.nbytes,
+            )
+        else:  # verify
+            bucket["verify"] = _Prepared(
+                payload=archive,
+                query="",
+                expected_digest=None,
+                field_bytes=data.nbytes,
+            )
+    return prepared
+
+
+# ---------------------------------------------------------------------------
+# The asyncio driver
+# ---------------------------------------------------------------------------
+
+
+async def _http_request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    body: bytes,
+    headers: list[tuple[str, str]],
+) -> tuple[int, dict[str, str], bytes]:
+    """One connection, one request (Connection: close keeps it simple)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = [
+            f"{method} {target} HTTP/1.1",
+            f"Host: {host}:{port}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{k}: {v}" for k, v in headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.split(maxsplit=2)
+        if len(parts) < 2:
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        resp_headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").strip().partition(":")
+            resp_headers[name.lower()] = value.strip()
+        length = int(resp_headers.get("content-length", "0"))
+        resp_body = await reader.readexactly(length) if length else b""
+        return status, resp_headers, resp_body
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+@dataclass
+class _Outcome:
+    entry: ReplayEntry
+    status: int = 0
+    latency: float = 0.0
+    digest_ok: bool = True
+    detail: str = ""
+    bytes_out: int = 0
+    bytes_in: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200 and self.digest_ok and not self.detail
+
+
+async def _fire(
+    host: str,
+    port: int,
+    entry: ReplayEntry,
+    prep: _Prepared,
+    start: float,
+    speed: float,
+    gate: asyncio.Semaphore,
+) -> _Outcome:
+    loop = asyncio.get_running_loop()
+    delay = start + entry.offset / speed - loop.time()
+    if delay > 0:
+        await asyncio.sleep(delay)
+    target = f"/v1/{entry.op}"
+    if prep.query:
+        target += "?" + prep.query
+    outcome = _Outcome(entry, bytes_out=len(prep.payload))
+    async with gate:
+        t0 = loop.time()
+        try:
+            status, _, body = await _http_request(
+                host, port, "POST", target, prep.payload,
+                [("X-Repro-Tenant", entry.tenant),
+                 ("X-Repro-Priority", entry.priority)],
+            )
+        except (OSError, asyncio.IncompleteReadError, ConnectionError) as exc:
+            outcome.detail = f"transport failure: {exc}"
+            return outcome
+        outcome.latency = loop.time() - t0
+    outcome.status = status
+    outcome.bytes_in = len(body)
+    if status != 200:
+        try:
+            outcome.detail = json.loads(body)["error"]["detail"]
+        except (ValueError, KeyError, TypeError):
+            outcome.detail = body[:200].decode("latin-1", "replace")
+        return outcome
+    if prep.expected_digest is not None:
+        outcome.digest_ok = _digest(body) == prep.expected_digest
+        if not outcome.digest_ok:
+            outcome.detail = (
+                f"response digest {_digest(body)[:16]}... does not match the "
+                f"library pipeline ({prep.expected_digest[:16]}...)"
+            )
+    else:  # verify: the JSON report must say ok
+        try:
+            report = json.loads(body)
+        except ValueError:
+            outcome.detail = "verify response is not JSON"
+            return outcome
+        if report.get("ok") is not True:
+            outcome.detail = f"verify reported not-ok: {report}"
+    return outcome
+
+
+async def _drive(
+    host: str,
+    port: int,
+    entries: list[ReplayEntry],
+    prepared: dict,
+    speed: float,
+    max_concurrency: int,
+) -> list[_Outcome]:
+    gate = asyncio.Semaphore(max_concurrency)
+    start = asyncio.get_running_loop().time()
+    tasks = [
+        asyncio.ensure_future(_fire(
+            host, port, entry, prepared[entry.codec_key()][entry.op],
+            start, speed, gate,
+        ))
+        for entry in entries
+    ]
+    return list(await asyncio.gather(*tasks))
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+
+def replay_profile(
+    profile: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    out_dir: str | Path | None = None,
+    label: str | None = None,
+    speed: float = 1.0,
+    max_concurrency: int = 64,
+) -> dict:
+    """Replay ``profile`` against a live server and summarize the outcome.
+
+    Returns a summary dict (statuses, error list, digest mismatches, exact
+    latency quantiles); with ``out_dir`` it also writes a ``repro.bench/v1``
+    record (``record_path`` in the summary) whose per-op results carry
+    ``latency_quantiles`` blocks.
+    """
+    if speed <= 0:
+        raise ConfigError(f"replay speed must be > 0, got {speed}")
+    entries = load_profile(profile)
+    prepared = _prepare(entries)
+    wall_start = time.perf_counter()
+    outcomes = asyncio.run(
+        _drive(host, port, entries, prepared, speed, max_concurrency)
+    )
+    wall = time.perf_counter() - wall_start
+
+    statuses: dict[str, int] = {}
+    errors: list[dict] = []
+    mismatches = 0
+    tenants: set[str] = set()
+    for outcome in outcomes:
+        statuses[str(outcome.status)] = statuses.get(str(outcome.status), 0) + 1
+        tenants.add(outcome.entry.tenant)
+        if not outcome.digest_ok:
+            mismatches += 1
+        if not outcome.ok:
+            errors.append({
+                "index": outcome.entry.index,
+                "op": outcome.entry.op,
+                "tenant": outcome.entry.tenant,
+                "status": outcome.status,
+                "detail": outcome.detail,
+            })
+    latencies = [o.latency for o in outcomes if o.status == 200]
+    summary = {
+        "profile": str(profile),
+        "url": f"http://{host}:{port}",
+        "n_requests": len(outcomes),
+        "n_tenants": len(tenants),
+        "statuses": dict(sorted(statuses.items())),
+        "errors": errors,
+        "digest_mismatches": mismatches,
+        "wall_seconds": round(wall, 4),
+        "requests_per_second": round(len(outcomes) / wall, 2) if wall else 0.0,
+        "latency_seconds": {
+            **summarize(latencies), **quantiles(latencies),
+        },
+        "record_path": None,
+    }
+
+    if out_dir is not None:
+        results = []
+        for op in _OPS:
+            op_outcomes = [o for o in outcomes if o.entry.op == op]
+            if not op_outcomes:
+                continue
+            op_latencies = [o.latency for o in op_outcomes if o.status == 200]
+            results.append({
+                "case": f"replay.{op}",
+                "dataset": "replay",
+                "field": Path(profile).stem,
+                "eb": op_outcomes[0].entry.eb,
+                "workflow": "mixed",
+                "repeats": len(op_outcomes),
+                "timing": {"request": summarize(op_latencies)},
+                "latency_quantiles": {"request": quantiles(op_latencies)},
+                "quality": {
+                    "errors": sum(1 for o in op_outcomes if not o.ok),
+                    "digest_mismatches": sum(
+                        1 for o in op_outcomes if not o.digest_ok
+                    ),
+                },
+                "sizes": {
+                    "bytes_sent": sum(o.bytes_out for o in op_outcomes),
+                    "bytes_received": sum(o.bytes_in for o in op_outcomes),
+                },
+                "selector": {},
+            })
+        record = build_record(
+            label=label or f"replay_{Path(profile).stem}",
+            scenario="replay",
+            results=results,
+            config={
+                "profile": str(profile),
+                "url": summary["url"],
+                "speed": speed,
+                "max_concurrency": max_concurrency,
+                "n_requests": len(outcomes),
+                "n_tenants": len(tenants),
+            },
+            metrics=render_json(),
+        )
+        summary["record_path"] = str(write_record(record, out_dir))
+    return summary

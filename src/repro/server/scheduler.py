@@ -1,0 +1,233 @@
+"""Request admission control: per-tenant quotas and priority classes.
+
+The front door must never queue unboundedly: the engine already bounds
+in-flight work with its ``max_inflight`` semaphore, but *blocking* on that
+semaphore from the event loop would stall every connection.  The scheduler
+converts saturation into an immediate, explicit answer instead:
+
+* **per-tenant token buckets** -- every tenant (the ``X-Repro-Tenant``
+  header) draws from a refilling bucket; an empty bucket is a
+  :class:`QuotaExceeded` rejection whose ``retry_after`` is the time until
+  the next token;
+* **priority classes** -- ``interactive`` requests may use every admission
+  slot, ``batch`` requests stop at ``limit - batch_reserve`` so a batch
+  flood cannot starve interactive traffic;
+* **capacity admission** -- once the admitted in-flight count reaches the
+  limit (or the engine reports no spare ``max_inflight`` headroom), further
+  requests get :class:`Saturated`.
+
+Both rejection types map to ``429 Too Many Requests`` with a
+``Retry-After`` header upstream.  The scheduler is intentionally
+synchronous and unlocked: it is only ever called from the server's event
+loop thread.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from ..core.errors import ConfigError, ReproError
+
+__all__ = [
+    "PRIORITIES",
+    "AdmissionError",
+    "QuotaExceeded",
+    "RequestScheduler",
+    "Saturated",
+    "TokenBucket",
+    "parse_quota",
+]
+
+#: Recognized priority classes, most privileged first.
+PRIORITIES = ("interactive", "batch")
+
+
+class AdmissionError(ReproError):
+    """A request was rejected at admission (HTTP 429 upstream)."""
+
+    reason = "rejected"
+
+    def __init__(self, detail: str, retry_after: float) -> None:
+        super().__init__(detail)
+        #: Seconds the client should wait before retrying (>= 1 on the wire).
+        self.retry_after = max(int(math.ceil(retry_after)), 1)
+
+
+class QuotaExceeded(AdmissionError):
+    """The tenant's token bucket is empty."""
+
+    reason = "quota"
+
+
+class Saturated(AdmissionError):
+    """Every admission slot (or the engine's inflight headroom) is taken."""
+
+    reason = "capacity"
+
+
+def parse_quota(spec: str) -> tuple[float, float]:
+    """Parse a ``RATE[:BURST]`` quota spec into ``(rate, burst)``.
+
+    ``RATE`` is tokens (requests) per second; ``BURST`` defaults to twice
+    the rate (minimum 1 token).
+    """
+    rate_s, _, burst_s = str(spec).partition(":")
+    try:
+        rate = float(rate_s)
+        burst = float(burst_s) if burst_s else max(2.0 * rate, 1.0)
+    except ValueError:
+        raise ConfigError(f"quota must be RATE[:BURST], got {spec!r}") from None
+    if rate <= 0 or burst < 1:
+        raise ConfigError(
+            f"quota needs rate > 0 and burst >= 1, got rate={rate} burst={burst}"
+        )
+    return rate, burst
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second up to ``burst``."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock")
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        if rate <= 0 or burst < 1:
+            raise ConfigError(
+                f"token bucket needs rate > 0 and burst >= 1, "
+                f"got rate={rate} burst={burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_take(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens if available; returns 0.0 on success, else the
+        seconds until ``n`` tokens will have refilled."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+    def snapshot(self) -> dict:
+        self._refill()
+        return {"rate": self.rate, "burst": self.burst,
+                "tokens": round(self._tokens, 3)}
+
+
+class RequestScheduler:
+    """Admission bookkeeping for one server instance (event-loop only).
+
+    Parameters
+    ----------
+    limit:
+        Maximum admitted in-flight requests -- normally the engine's
+        ``max_inflight`` so admission mirrors the engine's own
+        backpressure bound.
+    batch_reserve:
+        Slots withheld from ``batch``-priority requests (default
+        ``limit // 4``); interactive traffic always sees the full limit.
+    quota_rate / quota_burst:
+        Default per-tenant token-bucket parameters; ``tenant_quotas`` maps
+        tenant names to ``(rate, burst)`` overrides.
+    """
+
+    def __init__(
+        self,
+        limit: int,
+        batch_reserve: int | None = None,
+        quota_rate: float = 100.0,
+        quota_burst: float | None = None,
+        tenant_quotas: dict[str, tuple[float, float]] | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.limit = int(limit)
+        if self.limit < 1:
+            raise ConfigError(f"admission limit must be >= 1, got {limit}")
+        self.batch_reserve = (
+            self.limit // 4 if batch_reserve is None else int(batch_reserve)
+        )
+        if not 0 <= self.batch_reserve < self.limit:
+            raise ConfigError(
+                f"batch_reserve must be in [0, limit), got "
+                f"{self.batch_reserve} with limit {self.limit}"
+            )
+        self.quota_rate = float(quota_rate)
+        self.quota_burst = (
+            float(quota_burst) if quota_burst is not None
+            else max(2.0 * self.quota_rate, 1.0)
+        )
+        self._tenant_quotas = dict(tenant_quotas or {})
+        self._buckets: dict[str, TokenBucket] = {}
+        self._clock = clock
+        self.inflight = 0
+        self.inflight_peak = 0
+        self.admitted_total = 0
+        self.rejected: dict[str, int] = {}
+
+    def bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            rate, burst = self._tenant_quotas.get(
+                tenant, (self.quota_rate, self.quota_burst)
+            )
+            bucket = TokenBucket(rate, burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, priority: str, spare: int | None = None) -> None:
+        """Admit one request or raise; the caller must :meth:`release`.
+
+        ``spare`` is the engine's current ``max_inflight`` headroom
+        (:meth:`~repro.engine.CompressionEngine.spare_capacity`); passing it
+        lets admission reflect work the engine is running for other callers.
+        """
+        if priority not in PRIORITIES:
+            raise ConfigError(
+                f"unknown priority {priority!r}; expected one of {PRIORITIES}"
+            )
+        wait = self.bucket_for(tenant).try_take()
+        if wait > 0.0:
+            self.rejected["quota"] = self.rejected.get("quota", 0) + 1
+            raise QuotaExceeded(
+                f"tenant {tenant!r} is over its request quota "
+                f"({self.bucket_for(tenant).rate:g}/s)", retry_after=wait,
+            )
+        cap = self.limit if priority == "interactive" else (
+            self.limit - self.batch_reserve
+        )
+        if self.inflight >= cap or (spare is not None and spare < 1):
+            self.rejected["capacity"] = self.rejected.get("capacity", 0) + 1
+            raise Saturated(
+                f"server is at capacity ({self.inflight} in flight, "
+                f"{priority} admission limit {cap})", retry_after=1.0,
+            )
+        self.inflight += 1
+        self.inflight_peak = max(self.inflight_peak, self.inflight)
+        self.admitted_total += 1
+
+    def release(self) -> None:
+        self.inflight = max(self.inflight - 1, 0)
+
+    def snapshot(self) -> dict:
+        return {
+            "limit": self.limit,
+            "batch_reserve": self.batch_reserve,
+            "inflight": self.inflight,
+            "inflight_peak": self.inflight_peak,
+            "admitted_total": self.admitted_total,
+            "rejected": dict(self.rejected),
+            "tenants": {
+                name: bucket.snapshot()
+                for name, bucket in sorted(self._buckets.items())
+            },
+        }

@@ -37,6 +37,18 @@ suffix on counters, base-unit ``_seconds``/``_bytes``):
 * ``repro_engine_worker_seconds_total{kind=wall|cpu}`` -- wall vs
   thread-CPU seconds spent inside engine jobs; the gap is lock/GIL wait
 * ``repro_ledger_records_total{op=...}`` -- run-ledger records appended
+* ``repro_server_requests_total{endpoint=...,status=...}`` -- front-door
+  HTTP requests served
+* ``repro_server_request_seconds{endpoint=...}`` -- front-door request
+  latency histogram
+* ``repro_server_rejections_total{reason=quota|capacity}`` -- admission
+  rejections (the 429 paths)
+* ``repro_server_inflight`` (gauge) -- requests currently being served
+
+Server instruments tick unconditionally (serving is observable even with
+``REPRO_TELEMETRY=0``); everything is registered once in the process-global
+registry, so the ``obs serve`` exporter and the front door's ``/metrics``
+endpoint render the same families without double registration.
 """
 
 from __future__ import annotations
@@ -68,6 +80,10 @@ __all__ = [
     "ENGINE_SUBMIT_WAIT",
     "ENGINE_WORKER_SECONDS",
     "LEDGER_RECORDS",
+    "SERVER_REQUESTS",
+    "SERVER_REQUEST_SECONDS",
+    "SERVER_REJECTIONS",
+    "SERVER_INFLIGHT",
     "stage_stats_from_span",
     "record_stage_metrics",
     "record_kernel_profile",
@@ -135,6 +151,17 @@ ENGINE_WORKER_SECONDS = REGISTRY.counter(
     "Wall vs thread-CPU seconds inside engine jobs (gap = lock/GIL wait)")
 LEDGER_RECORDS = REGISTRY.counter(
     "repro_ledger_records_total", "Run-ledger records appended, by operation")
+SERVER_REQUESTS = REGISTRY.counter(
+    "repro_server_requests_total",
+    "HTTP requests served by the compression front door, by endpoint/status")
+SERVER_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_server_request_seconds",
+    "Front-door request latency (admission to last response byte)")
+SERVER_REJECTIONS = REGISTRY.counter(
+    "repro_server_rejections_total",
+    "Requests rejected at admission (quota or capacity), by reason")
+SERVER_INFLIGHT = REGISTRY.gauge(
+    "repro_server_inflight", "Front-door requests currently being served")
 
 
 def stage_stats_from_span(root: Span | None) -> dict[str, float]:

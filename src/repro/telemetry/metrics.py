@@ -315,6 +315,20 @@ class MetricsRegistry:
                     raise ValueError(
                         f"metric {name!r} already registered as {existing.kind}"
                     )
+                # Get-or-create is how independent exporters (obs serve, the
+                # server's /metrics endpoint) share one family without double
+                # registration -- but only when they agree on its shape.  A
+                # histogram re-registered with different buckets would
+                # silently fork the series, so that is an error instead.
+                buckets = kwargs.get("buckets")
+                if buckets is not None and isinstance(existing, Histogram):
+                    bounds = tuple(sorted(float(b) for b in buckets))
+                    if bounds != existing.buckets:
+                        raise ValueError(
+                            f"histogram {name!r} already registered with "
+                            f"buckets {existing.buckets}; re-registering "
+                            f"with {bounds} would fork the series"
+                        )
                 return existing
             metric = cls(name, help, self._lock, **kwargs)
             self._metrics[name] = metric

@@ -180,3 +180,69 @@ class TestStructuredLog:
         assert "server.start" in events
         assert "server.request" in events
         assert "server.stop" in events
+
+
+class TestSharedRegistry:
+    """Satellite: the MetricsServer exporter and the compression front
+    door's /metrics endpoint must render ONE process-global registry --
+    importing/booting both never double-registers a family."""
+
+    def test_obs_exporter_and_front_door_share_one_registry(self):
+        from repro.server import CompressionServer, ServerConfig
+
+        config = ServerConfig(port=0, jobs=1, backend="serial", max_inflight=2)
+        with MetricsServer() as obs, CompressionServer(config) as front:
+            # Tick a server instrument through the front door...
+            front_text = (
+                urllib.request.urlopen(front.address + "/healthz").read()
+                and urllib.request.urlopen(front.address + "/metrics")
+                .read().decode()
+            )
+            # ...and the obs exporter must see the same sample.
+            obs_text = urllib.request.urlopen(obs.url + "/metrics").read().decode()
+        for text in (front_text, obs_text):
+            assert "repro_server_requests_total" in text
+            assert lint_prometheus(text) == [], "double-registered family"
+        front_families = {
+            ln.split()[2] for ln in front_text.splitlines()
+            if ln.startswith("# TYPE ")
+        }
+        obs_families = {
+            ln.split()[2] for ln in obs_text.splitlines()
+            if ln.startswith("# TYPE ")
+        }
+        assert front_families == obs_families
+
+    def test_reimporting_instruments_is_idempotent(self):
+        import importlib
+
+        before = ins.SERVER_REQUESTS
+        importlib.reload(ins)
+        assert ins.SERVER_REQUESTS is before  # same family object, no fork
+        assert lint_prometheus(render_prometheus()) == []
+
+    def test_counter_reregistration_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("shared_total", "first registration")
+        b = reg.counter("shared_total", "second registration ignored")
+        assert a is b
+        a.inc()
+        assert b.total() == 1.0
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("shape_shifter", "")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("shape_shifter", "")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        """Regression: silently returning the existing histogram under
+        different buckets would fork the series between exporters."""
+        reg = MetricsRegistry()
+        reg.histogram("latency_seconds", "", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError, match="buckets"):
+            reg.histogram("latency_seconds", "", buckets=(0.5, 5.0))
+        # Same buckets (any ordering) is the dedupe path, not an error.
+        again = reg.histogram("latency_seconds", "", buckets=(1.0, 0.1))
+        again.observe(0.05)
+        assert lint_prometheus(reg.render_prometheus()) == []

@@ -1,0 +1,171 @@
+"""Soak/latency tests: replay the committed smoke traffic profile against
+a live front door and hold it to the acceptance bar -- zero server errors,
+byte-identical round trips, and a valid ``repro.bench`` record carrying
+exact p50/p95/p99 latency quantiles."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.record import load_record, quantiles
+from repro.core.errors import ConfigError
+from repro.server import (
+    CompressionServer,
+    ServerConfig,
+    load_profile,
+    replay_profile,
+    synthesize_field,
+)
+from repro.telemetry import ledger as ledger_mod
+
+PROFILE = Path(__file__).parent / "profiles" / "smoke.jsonl"
+
+
+@pytest.fixture(scope="module")
+def soak_server(tmp_path_factory):
+    """One server for the module, with the request ledger enabled."""
+    ledger_path = tmp_path_factory.mktemp("soak") / "ledger.jsonl"
+    previous = os.environ.get("REPRO_LEDGER")
+    os.environ["REPRO_LEDGER"] = str(ledger_path)
+    config = ServerConfig(
+        port=0, jobs=4, backend="thread", max_inflight=16, quota_rate=1000.0
+    )
+    try:
+        with CompressionServer(config) as srv:
+            yield srv, ledger_path
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_LEDGER", None)
+        else:
+            os.environ["REPRO_LEDGER"] = previous
+        ledger_mod.reset_ledgers()
+
+
+class TestSmokeProfile:
+    def test_profile_meets_the_acceptance_shape(self):
+        """The committed profile itself: >= 50 requests, >= 8 concurrent
+        arrivals per burst, two tenants, mixed priorities and ops."""
+        entries = load_profile(PROFILE)
+        assert len(entries) >= 50
+        bursts: dict[float, int] = {}
+        for entry in entries:
+            bursts[entry.offset] = bursts.get(entry.offset, 0) + 1
+        assert max(bursts.values()) >= 8
+        assert {e.tenant for e in entries} == {"cesm", "hacc"}
+        assert {e.priority for e in entries} == {"interactive", "batch"}
+        assert {e.op for e in entries} == {"compress", "decompress", "verify"}
+        assert any(e.block_bytes for e in entries)  # blocks container too
+
+    def test_soak_zero_errors_and_exact_digests(self, soak_server, tmp_path):
+        srv, ledger_path = soak_server
+        summary = replay_profile(
+            PROFILE, host="127.0.0.1", port=srv.port,
+            out_dir=tmp_path, label="soak",
+        )
+        assert summary["n_requests"] == 56
+        assert summary["statuses"] == {"200": 56}, summary["errors"]
+        assert summary["errors"] == []
+        assert summary["digest_mismatches"] == 0
+        assert summary["n_tenants"] == 2
+
+        lat = summary["latency_seconds"]
+        assert lat["n"] == 56
+        assert 0.0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+
+        record = load_record(summary["record_path"])
+        assert record["scenario"] == "replay"
+        cases = {r["case"]: r for r in record["results"]}
+        assert set(cases) == {
+            "replay.compress", "replay.decompress", "replay.verify"
+        }
+        assert sum(r["repeats"] for r in record["results"]) == 56
+        for result in record["results"]:
+            q = result["latency_quantiles"]["request"]
+            assert set(q) == {"p50", "p95", "p99"}
+            assert 0.0 < q["p50"] <= q["p95"] <= q["p99"]
+            assert result["quality"]["errors"] == 0
+            assert result["timing"]["request"]["n"] == result["repeats"]
+
+        # One ledger record per /v1/* request, tagged with tenant/priority.
+        records = ledger_mod.read_ledger(ledger_path)
+        server_records = [r for r in records if r["op"].startswith("server.")]
+        assert len(server_records) >= 56
+        assert {r["op"] for r in server_records} == {
+            "server.compress", "server.decompress", "server.verify"
+        }
+        sample = server_records[0]
+        assert {"tenant", "priority", "status", "seconds", "bytes_in",
+                "bytes_out"} <= set(sample)
+
+    @pytest.mark.slow
+    def test_soak_repeated_rounds_stay_clean(self, soak_server, tmp_path):
+        """Longer soak: several back-to-back rounds of the profile keep the
+        same deterministic digests and never produce a server error."""
+        srv, _ = soak_server
+        for round_no in range(3):
+            summary = replay_profile(
+                PROFILE, host="127.0.0.1", port=srv.port,
+                out_dir=tmp_path, label=f"soak_round{round_no}",
+            )
+            assert summary["statuses"] == {"200": 56}, summary["errors"]
+            assert summary["digest_mismatches"] == 0
+
+
+class TestReplayHarness:
+    def test_synthesize_field_is_deterministic(self):
+        a = synthesize_field((32, 40), "f32", seed=9)
+        b = synthesize_field((32, 40), "f32", seed=9)
+        assert a.tobytes() == b.tobytes()
+        assert a.dtype == np.float32 and a.shape == (32, 40)
+        assert synthesize_field((32, 40), "f32", seed=10).tobytes() != a.tobytes()
+
+    def test_load_profile_rejects_malformed_lines(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"op": "explode", "dims": [4]}\n')
+        with pytest.raises(ConfigError, match="op must be one of"):
+            load_profile(bad)
+        bad.write_text("not json\n")
+        with pytest.raises(ConfigError, match="malformed JSON"):
+            load_profile(bad)
+        bad.write_text('{"op": "compress", "dims": []}\n')
+        with pytest.raises(ConfigError, match="dims"):
+            load_profile(bad)
+        bad.write_text("# only comments\n\n")
+        with pytest.raises(ConfigError, match="no requests"):
+            load_profile(bad)
+
+    def test_load_profile_applies_defaults(self, tmp_path):
+        prof = tmp_path / "p.jsonl"
+        prof.write_text(json.dumps({"op": "compress", "dims": [8, 8]}) + "\n")
+        (entry,) = load_profile(prof)
+        assert entry.tenant == "anonymous"
+        assert entry.priority == "interactive"
+        assert entry.dtype == "f32" and entry.eb == 1e-4
+        assert entry.offset == 0.0 and entry.block_bytes == 0
+
+    def test_replay_rejects_bad_speed(self, tmp_path):
+        prof = tmp_path / "p.jsonl"
+        prof.write_text(json.dumps({"op": "verify", "dims": [8]}) + "\n")
+        with pytest.raises(ConfigError, match="speed"):
+            replay_profile(prof, port=1, speed=0.0)
+
+
+class TestQuantiles:
+    def test_exact_order_statistics(self):
+        samples = [float(i) for i in range(1, 101)]
+        q = quantiles(samples)
+        assert q == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+
+    def test_small_and_empty_inputs(self):
+        assert quantiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        assert quantiles([3.5]) == {"p50": 3.5, "p95": 3.5, "p99": 3.5}
+        assert quantiles([2.0, 1.0], qs=(0.0, 1.0)) == {"p0": 1.0, "p100": 2.0}
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            quantiles([1.0], qs=(1.5,))
